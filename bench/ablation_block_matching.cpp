@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation: block-matching search organization (Section II-C1 cites
+ * exhaustive search and the classic fast searches; RFBME uses a
+ * subsampled exhaustive search with tile reuse).
+ *
+ * Compares exhaustive search, three-step search, diamond search, and
+ * RFBME on textured frames with exact known translations: endpoint
+ * error of the recovered backward vectors and wall-clock cost. Shows
+ * why the hardware favours RFBME: exhaustive-quality vectors at
+ * fast-search cost, because tile differences are shared across
+ * receptive fields.
+ */
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "eval/tables.h"
+#include "flow/block_matching.h"
+#include "flow/rfbme.h"
+#include "tensor/tensor_ops.h"
+#include "video/synthetic_video.h"
+
+using namespace eva2;
+
+namespace {
+
+double
+now_ms()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Mean endpoint error against a known uniform backward offset. */
+double
+endpoint_error(const MotionField &field, double dy, double dx)
+{
+    double acc = 0.0;
+    for (i64 y = 0; y < field.height(); ++y) {
+        for (i64 x = 0; x < field.width(); ++x) {
+            const Vec2 v = field.at(y, x);
+            acc += std::hypot(v.dy - dy, v.dx - dx);
+        }
+    }
+    return acc / static_cast<double>(field.height() * field.width());
+}
+
+/** A textured 192x192 frame from the scene generator's noise field. */
+Tensor
+textured_frame(u64 seed)
+{
+    const ValueNoise noise(seed, 9.0);
+    Tensor t(1, 192, 192);
+    for (i64 y = 0; y < 192; ++y) {
+        for (i64 x = 0; x < 192; ++x) {
+            t.at(0, y, x) = static_cast<float>(noise.sample(
+                static_cast<double>(y), static_cast<double>(x)));
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: block matching search organization");
+
+    const Tensor key = textured_frame(11);
+
+    TablePrinter t({"shift (px)", "method", "endpoint err", "time (ms)"});
+    for (const i64 shift : {5, 15}) {
+        // Content moves right by `shift`: the backward source offset
+        // every estimator should report is dx = -shift.
+        const Tensor cur = translate(key, 0, shift);
+        const double edx = static_cast<double>(-shift);
+
+        BlockMatchConfig bm;
+        bm.block_size = 16;
+        bm.search_radius = 24;
+
+        const std::string label = std::to_string(shift);
+        {
+            const double t0 = now_ms();
+            const MotionField f = exhaustive_block_match(key, cur, bm);
+            t.row({label, "exhaustive", fmt(endpoint_error(f, 0, edx), 2),
+                   fmt(now_ms() - t0, 1)});
+        }
+        {
+            const double t0 = now_ms();
+            const MotionField f = three_step_search(key, cur, bm);
+            t.row({label, "three-step", fmt(endpoint_error(f, 0, edx), 2),
+                   fmt(now_ms() - t0, 1)});
+        }
+        {
+            const double t0 = now_ms();
+            const MotionField f = diamond_search(key, cur, bm);
+            t.row({label, "diamond", fmt(endpoint_error(f, 0, edx), 2),
+                   fmt(now_ms() - t0, 1)});
+        }
+        {
+            RfbmeConfig cfg;
+            cfg.rf_size = 32;
+            cfg.rf_stride = 16;
+            cfg.rf_pad = 0;
+            cfg.search_radius = 24;
+            cfg.search_stride = 1;
+            const double t0 = now_ms();
+            const RfbmeResult r = rfbme(key, cur, cfg);
+            t.row({label, "RFBME", fmt(endpoint_error(r.field, 0, edx), 2),
+                   fmt(now_ms() - t0, 1)});
+        }
+    }
+    t.print();
+    std::cout
+        << "\nExpected shape: exhaustive and RFBME recover the shift "
+           "exactly;\nfast searches are far cheaper but fall into "
+           "local minima on\nrepetitive texture (diamond at the larger "
+           "shift). RFBME keeps\nexhaustive-search quality; its tile "
+           "reuse buys a (rf_size/rf_stride)^2\nreduction over naive "
+           "receptive-field matching (see micro_kernels\nBM_RfbmeNaive "
+           "vs BM_RfbmeOptimized), which is what makes the\nexhaustive "
+           "organization affordable in hardware.\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation: warp-engine numeric precision.
+ *
+ * The paper's warp engine stores activations as 16-bit Q8.8 and
+ * interpolates with 8-bit vector fractions, shifting wide products
+ * back to 16 bits (Section III-B, Figure 11). This ablation asks how
+ * much precision the datapath actually needs: activations are passed
+ * through narrower and wider Q formats around a float-warped
+ * reference, reporting representation error, warped-activation error,
+ * and the end-task detection mAP.
+ *
+ * Expected shape: Q8.8 (the paper's choice) is indistinguishable from
+ * float for the end task; aggressive narrowing (Q4.4-style 8-bit
+ * storage) degrades the activation but the read-out only collapses
+ * once quantization error rivals activation magnitude.
+ */
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/warp.h"
+#include "flow/rfbme.h"
+#include "util/fixed_point.h"
+
+using namespace eva2;
+using namespace eva2::bench;
+
+namespace {
+
+/** Quantize every element through a Q format. */
+template <int IntBits, int FracBits>
+Tensor
+quantize(const Tensor &t)
+{
+    Tensor out(t.shape());
+    for (i64 i = 0; i < t.size(); ++i) {
+        out[i] = static_cast<float>(
+            Fixed<IntBits, FracBits>::from_double(t[i]).to_double());
+    }
+    return out;
+}
+
+double
+rel_l1(const Tensor &a, const Tensor &ref)
+{
+    double err = 0.0;
+    double norm = 0.0;
+    for (i64 i = 0; i < ref.size(); ++i) {
+        err += std::fabs(static_cast<double>(a[i]) - ref[i]);
+        norm += std::fabs(ref[i]);
+    }
+    return norm > 0.0 ? err / norm : 0.0;
+}
+
+using QuantFn = Tensor (*)(const Tensor &);
+
+struct Format
+{
+    const char *name;
+    QuantFn fn;
+    double resolution;
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: warp-engine activation precision");
+
+    DetectionWorkload w = make_detection_workload(
+        fasterm_spec(), 192, 5, 14, /*data_seed=*/977,
+        /*speed_scale=*/2.5);
+    const ReceptiveField rf = w.net.receptive_field_at(w.target);
+
+    const Format formats[] = {
+        {"float (reference)", nullptr, 0.0},
+        {"Q12.12", &quantize<12, 12>, Fixed<12, 12>::resolution()},
+        {"Q8.8 (paper)", &quantize<8, 8>, Fixed<8, 8>::resolution()},
+        {"Q4.4", &quantize<4, 4>, Fixed<4, 4>::resolution()},
+        {"Q2.2", &quantize<2, 2>, Fixed<2, 2>::resolution()},
+    };
+
+    TablePrinter t({"format", "resolution", "warped act err",
+                    "detection mAP @198ms"});
+    for (const Format &f : formats) {
+        double err = 0.0;
+        i64 pairs = 0;
+        std::vector<Detection> dets;
+        std::vector<GtBox> truths;
+        i64 frame_id = 0;
+        for (const Sequence &seq : w.sequences) {
+            for (i64 a = 0; a + 6 < seq.size(); a += 3) {
+                const Tensor key_act =
+                    w.net.forward_prefix(seq[a].image, w.target);
+                RfbmeConfig cfg;
+                cfg.rf_size = rf.size;
+                cfg.rf_stride = rf.stride;
+                cfg.rf_pad = rf.pad;
+                cfg.search_radius = 28;
+                cfg.search_stride = 2;
+                MotionField field =
+                    rfbme(seq[a].image, seq[a + 6].image, cfg).field;
+                field = fit_field(field, key_act.height(),
+                                  key_act.width());
+
+                const Tensor ref = warp_activation(
+                    key_act, field, rf.stride, InterpMode::kBilinear);
+                Tensor warped =
+                    f.fn == nullptr
+                        ? ref
+                        : f.fn(warp_activation(f.fn(key_act), field,
+                                               rf.stride,
+                                               InterpMode::kBilinear));
+                err += rel_l1(warped, ref);
+                ++pairs;
+
+                for (const Detection &d :
+                     w.detector.detect(warped, frame_id)) {
+                    dets.push_back(d);
+                }
+                for (const BoundingBox &b :
+                     seq[a + 6].truth.boxes) {
+                    truths.push_back(GtBox{b, frame_id});
+                }
+                ++frame_id;
+            }
+        }
+        t.row({f.name, f.fn == nullptr ? "-" : fmt(f.resolution, 4),
+               fmt_pct(err / static_cast<double>(pairs), 2),
+               fmt(100.0 * mean_average_precision(dets, truths), 1)});
+    }
+    t.print();
+    std::cout << "\nExpected shape: Q8.8 matches float on the end "
+                 "task; error grows as\nthe format narrows, and the "
+                 "task collapses only at extreme widths.\n";
+    return 0;
+}

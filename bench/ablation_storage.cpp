@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Ablation: sparse activation storage design (Section II-C2 / III-B).
+ *
+ * Two hardware knobs shape the key activation buffer:
+ *
+ *  1. the near-zero pruning threshold applied before encoding (the
+ *     paper's "avoid storing near-zero values"), traded against the
+ *     fidelity of the reconstructed activation, and
+ *  2. the width of the RLE zero-gap field (wider gaps cost bits on
+ *     every entry but split long runs less often).
+ *
+ * Reported on the FasterM target activation over synthetic frames:
+ * storage savings, activation RMS error vs the unpruned original, and
+ * the end-task effect (detection mAP from the pruned activation).
+ */
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sparse/rle.h"
+#include "tensor/tensor_ops.h"
+
+using namespace eva2;
+using namespace eva2::bench;
+
+namespace {
+
+double
+rms(const Tensor &t)
+{
+    double acc = 0.0;
+    for (i64 i = 0; i < t.size(); ++i) {
+        acc += static_cast<double>(t[i]) * t[i];
+    }
+    return std::sqrt(acc / static_cast<double>(t.size()));
+}
+
+double
+rms_error(const Tensor &a, const Tensor &b)
+{
+    double acc = 0.0;
+    for (i64 i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: activation storage (prune threshold, gap width)");
+
+    DetectionWorkload w = make_detection_workload(fasterm_spec(), 192,
+                                                  2, 8);
+
+    // Reference activations for a handful of frames.
+    std::vector<Tensor> acts;
+    for (const Sequence &seq : w.sequences) {
+        for (i64 t = 0; t < seq.size(); t += 4) {
+            acts.push_back(
+                w.net.forward_prefix(seq[t].image, w.target));
+        }
+    }
+
+    std::cout << "\n(1) Near-zero pruning threshold (relative to "
+                 "activation RMS), 8-bit gaps\n";
+    TablePrinter t1({"prune rel", "savings", "act RMS error",
+                     "detection mAP"});
+    for (const double rel : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+        double savings = 0.0;
+        double err = 0.0;
+        std::vector<Detection> dets;
+        std::vector<GtBox> truths;
+        i64 frame_id = 0;
+        for (const Sequence &seq : w.sequences) {
+            for (i64 t = 0; t < seq.size(); t += 4) {
+                const Tensor act =
+                    w.net.forward_prefix(seq[t].image, w.target);
+                RleParams params;
+                params.zero_threshold =
+                    static_cast<float>(rel * rms(act));
+                const RleActivation enc = rle_encode(act, params);
+                const Tensor back = rle_decode(enc);
+                savings += enc.storage_savings();
+                err += rms_error(act, back) / std::max(1e-12, rms(act));
+                for (const Detection &d :
+                     w.detector.detect(back, frame_id)) {
+                    dets.push_back(d);
+                }
+                for (const BoundingBox &b : seq[t].truth.boxes) {
+                    truths.push_back(GtBox{b, frame_id});
+                }
+                ++frame_id;
+            }
+        }
+        const double n = static_cast<double>(frame_id);
+        t1.row({fmt(rel, 2), fmt_pct(savings / n),
+                fmt(err / n, 3),
+                fmt(100.0 * mean_average_precision(dets, truths), 1)});
+    }
+    t1.print();
+
+    std::cout << "\n(2) Zero-gap field width at prune rel = 0.1\n"
+                 "    (moderate sparsity: runs are short, so narrow "
+                 "fields win outright)\n";
+    TablePrinter t2({"gap bits", "max gap", "entries", "savings"});
+    for (const i64 bits : {4, 8, 12, 16}) {
+        double savings = 0.0;
+        i64 entries = 0;
+        for (const Tensor &act : acts) {
+            RleParams params;
+            params.max_zero_gap =
+                static_cast<u16>((1u << bits) - 1);
+            params.zero_threshold =
+                static_cast<float>(0.1 * rms(act));
+            RleActivation enc = rle_encode(act, params);
+            // Account the actual gap width instead of the default.
+            const i64 bits_per_entry = bits + 16;
+            const i64 encoded_bits = enc.num_entries() * bits_per_entry;
+            savings += 1.0 - static_cast<double>(encoded_bits) /
+                                 static_cast<double>(enc.dense_bytes() * 8);
+            entries += enc.num_entries();
+        }
+        t2.row({std::to_string(bits),
+                std::to_string((1 << bits) - 1),
+                std::to_string(entries),
+                fmt_pct(savings / static_cast<double>(acts.size()))});
+    }
+    t2.print();
+
+    std::cout << "\n(3) Zero-gap field width at 99% sparsity "
+                 "(long runs: narrow fields\n    pay for placeholder "
+                 "splits, showing the crossover)\n";
+    TablePrinter t3({"gap bits", "entries", "savings"});
+    {
+        Tensor extreme(64, 32, 32);
+        Rng rng(99);
+        for (i64 i = 0; i < extreme.size(); ++i) {
+            extreme[i] = rng.chance(0.01) ? rng.uniform_f(0.5f, 2.0f)
+                                          : 0.0f;
+        }
+        for (const i64 bits : {2, 4, 8, 12, 16}) {
+            RleParams params;
+            params.max_zero_gap =
+                static_cast<u16>((1u << bits) - 1);
+            const RleActivation enc = rle_encode(extreme, params);
+            const i64 encoded_bits = enc.num_entries() * (bits + 16);
+            t3.row({std::to_string(bits),
+                    std::to_string(enc.num_entries()),
+                    fmt_pct(1.0 - static_cast<double>(encoded_bits) /
+                                      static_cast<double>(
+                                          enc.dense_bytes() * 8))});
+        }
+    }
+    t3.print();
+
+    std::cout << "\nExpected shape: savings rise and fidelity falls "
+                 "monotonically with\npruning; mAP is flat for mild "
+                 "pruning and collapses when real\nactivations start "
+                 "dying. Gap width trades per-entry bits against\n"
+                 "placeholder splits; the best width grows with "
+                 "sparsity (the\nhardware's 8-bit field suits the "
+                 "80-90% regime).\n";
+    return 0;
+}

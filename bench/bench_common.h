@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared setup for the table/figure benches: scaled network builds,
+ * calibrated read-outs, standard synthetic datasets, and paper
+ * reference values printed next to measured ones.
+ *
+ * Frame timing follows the paper: sequences are treated as 30 fps, so
+ * one frame step = 33 ms. The paper's prediction intervals map to
+ * frame gaps as 33 ms -> 1, 198 ms -> 6, 4891 ms -> 148.
+ */
+#ifndef EVA2_BENCH_BENCH_COMMON_H
+#define EVA2_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "cnn/model_zoo.h"
+#include "eval/classifier.h"
+#include "eval/detector.h"
+#include "eval/experiment.h"
+#include "eval/tables.h"
+#include "video/scenarios.h"
+
+namespace eva2::bench {
+
+/** Frame gap corresponding to a paper time interval at 30 fps. */
+inline i64
+gap_for_ms(double interval_ms)
+{
+    return static_cast<i64>(interval_ms / 33.0 + 0.5);
+}
+
+/** A fully prepared detection workload (network + read-out + data). */
+struct DetectionWorkload
+{
+    NetworkSpec spec;
+    Network net;
+    i64 target;
+    ActivationDetector detector;
+    std::vector<Sequence> sequences;
+};
+
+/**
+ * Build a scaled detection network and its calibrated activation
+ * detector, plus a mixed-difficulty synthetic test set.
+ *
+ * @param image    Square frame edge for the scaled build.
+ * @param num_seqs Sequences in the test set.
+ * @param frames   Frames per sequence.
+ */
+inline DetectionWorkload
+make_detection_workload(const NetworkSpec &spec, i64 image = 192,
+                        i64 num_seqs = 4, i64 frames = 12,
+                        u64 data_seed = 977, double speed_scale = 1.0)
+{
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, image, image};
+    Network net = build_scaled(spec, opts);
+    const i64 target = net.find_layer(spec.late_target);
+    ActivationDetector detector =
+        ActivationDetector::calibrate(net, target);
+    return DetectionWorkload{
+        spec, std::move(net), target, std::move(detector),
+        detection_test_set(data_seed, num_seqs, frames, image,
+                           speed_scale)};
+}
+
+/** A fully prepared classification workload. */
+struct ClassificationWorkload
+{
+    NetworkSpec spec;
+    Network net;
+    i64 target;
+    PrototypeClassifier classifier;
+    std::vector<Sequence> sequences;
+};
+
+inline ClassificationWorkload
+make_classification_workload(i64 image = 128, i64 num_seqs = 8,
+                             i64 frames = 12, u64 data_seed = 977)
+{
+    const NetworkSpec spec = alexnet_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, image, image};
+    Network net = build_scaled(spec, opts);
+    const i64 target = net.find_layer(spec.late_target);
+    PrototypeClassifier classifier = PrototypeClassifier::calibrate(net);
+    return ClassificationWorkload{
+        spec, std::move(net), target, std::move(classifier),
+        classification_test_set(data_seed, num_seqs, frames, image)};
+}
+
+/** Print the paper's reference value next to a measured one. */
+inline void
+paper_vs_measured(const std::string &what, const std::string &paper,
+                  const std::string &measured)
+{
+    std::cout << "  " << what << ": paper " << paper << ", measured "
+              << measured << "\n";
+}
+
+} // namespace eva2::bench
+
+#endif // EVA2_BENCH_BENCH_COMMON_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 12: hardware area on a 65 nm process for EVA2 next to the
+ * deep learning ASICs it augments (Eyeriss for conv layers, EIE for
+ * FC layers, the latter scaled from 45 nm).
+ *
+ * Paper values: Eyeriss 12.2 mm2, EIE ~58.9 mm2 (65 nm-scaled), EVA2
+ * 2.6 mm2 = 3.5% of the total; within EVA2, pixel buffers 54.5% and
+ * the activation buffer 16.0% of area.
+ */
+#include <iostream>
+
+#include "eval/tables.h"
+#include "hw/accelerator_model.h"
+#include "hw/vpu.h"
+
+using namespace eva2;
+
+int
+main()
+{
+    banner("Figure 12: VPU area breakdown (65 nm)");
+
+    // Area is dominated by the deployment's buffer sizing; use the
+    // Faster16 deployment (the paper's largest) as Figure 12 does.
+    const NetworkSpec spec = faster16_spec();
+    const Eva2Area area = vpu_eva2_area(spec);
+    const TechParams tech = default_tech();
+
+    const double eva2_mm2 = area.total_mm2(tech);
+    const double total =
+        eva2_mm2 + EyerissModel::area_mm2 + EieModel::area_mm2;
+
+    TablePrinter t({"unit", "area (mm2)", "share"});
+    t.row({"Eyeriss (conv)", fmt(EyerissModel::area_mm2, 1),
+           fmt_pct(EyerissModel::area_mm2 / total)});
+    t.row({"EIE (FC, 65 nm-scaled)", fmt(EieModel::area_mm2, 1),
+           fmt_pct(EieModel::area_mm2 / total)});
+    t.row({"EVA2", fmt(eva2_mm2, 1), fmt_pct(eva2_mm2 / total)});
+    t.print();
+
+    std::cout << "\nEVA2 internal breakdown:\n";
+    TablePrinter b({"component", "area (mm2)", "share of EVA2"});
+    b.row({"pixel buffers (eDRAM)",
+           fmt(area.pixel_buffer_a.area_mm2(tech) +
+                   area.pixel_buffer_b.area_mm2(tech),
+               2),
+           fmt_pct(area.pixel_buffer_fraction(tech))});
+    b.row({"key activation buffer (eDRAM)",
+           fmt(area.activation_buffer.area_mm2(tech), 2),
+           fmt_pct(area.activation_buffer_fraction(tech))});
+    b.row({"datapath + SRAM", fmt(area.logic_mm2, 2),
+           fmt_pct(area.logic_mm2 / eva2_mm2)});
+    b.print();
+
+    std::cout << "\nPaper: Eyeriss 12.2 mm2, EIE 58.9 mm2, EVA2 2.6 mm2 "
+                 "(3.5% of total);\n       pixel buffers 54.5% of EVA2, "
+                 "activation buffer 16.0%.\n";
+    std::cout << "Measured: EVA2 " << fmt(eva2_mm2, 1) << " mm2 ("
+              << fmt_pct(area.vpu_fraction(tech)) << " of total)\n";
+    return 0;
+}

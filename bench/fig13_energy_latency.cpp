@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 13: per-frame latency (a) and energy (b) for the baseline
+ * accelerator (orig), EVA2 predicted frames (pred), and the average
+ * over the stream (avg), stacked by unit (Eyeriss / EIE / EVA2), for
+ * AlexNet, Faster16, and FasterM.
+ *
+ * The avg column uses each network's med-configuration key-frame
+ * fraction from Table I (11% AlexNet, 36% Faster16, 37% FasterM).
+ * Paper headline: average energy savings 87% (AlexNet), 62%
+ * (Faster16), 54% (FasterM) at <1% accuracy loss.
+ */
+#include <iostream>
+
+#include "eval/tables.h"
+#include "hw/vpu.h"
+
+using namespace eva2;
+
+namespace {
+
+/** Table I med-configuration key-frame fractions. */
+double
+med_key_fraction(const std::string &network)
+{
+    if (network == "AlexNet") {
+        return 0.11;
+    }
+    if (network == "Faster16") {
+        return 0.36;
+    }
+    return 0.37; // FasterM
+}
+
+void
+print_stack(TablePrinter &t, const std::string &net,
+            const std::string &kind, const CostStack &s, bool energy)
+{
+    auto pick = [energy](const HwCost &c) {
+        return energy ? c.energy_mj : c.latency_ms;
+    };
+    t.row({net, kind, fmt(pick(s.eyeriss), 3), fmt(pick(s.eie), 3),
+           fmt(pick(s.eva2), 3), fmt(pick(s.total()), 3)});
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 13: per-frame latency and energy, orig vs pred vs avg");
+
+    for (const bool energy : {false, true}) {
+        std::cout << (energy ? "\n(b) Energy per frame (mJ)\n"
+                             : "\n(a) Latency per frame (ms)\n");
+        TablePrinter t({"network", "frame", "Eyeriss", "EIE", "EVA2",
+                        "total"});
+        for (const NetworkSpec &spec : paper_network_specs()) {
+            const VpuReport r = vpu_report(spec);
+            const double key_frac = med_key_fraction(spec.name);
+            print_stack(t, spec.name, "orig", r.orig, energy);
+            print_stack(t, spec.name, "pred", r.pred, energy);
+            print_stack(t, spec.name, "avg", r.average(key_frac),
+                        energy);
+        }
+        t.print();
+    }
+
+    std::cout << "\nAverage energy savings vs baseline (paper: AlexNet "
+                 "87%, Faster16 62%, FasterM 54%):\n";
+    for (const NetworkSpec &spec : paper_network_specs()) {
+        const VpuReport r = vpu_report(spec);
+        std::cout << "  " << spec.name << ": "
+                  << fmt_pct(r.energy_savings(med_key_fraction(spec.name)))
+                  << "\n";
+    }
+    return 0;
+}

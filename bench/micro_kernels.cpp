@@ -1,0 +1,156 @@
+/**
+ * @file
+ * google-benchmark microbenches for the hot kernels: RFBME (tile
+ * reuse) vs the naive reference, dense optical flow, activation
+ * warping, the RLE codec, and the conv engine. These quantify the
+ * software-side cost ordering the paper's hardware exploits: motion
+ * estimation and warping must be orders of magnitude cheaper than
+ * the CNN prefix they replace.
+ */
+#include <benchmark/benchmark.h>
+
+#include "cnn/model_zoo.h"
+#include "core/amc_pipeline.h"
+#include "core/warp.h"
+#include "flow/optical_flow.h"
+#include "flow/rfbme.h"
+#include "sparse/rle.h"
+#include "video/scenarios.h"
+
+namespace eva2 {
+namespace {
+
+Tensor
+test_frame(i64 size, u64 seed, i64 frame)
+{
+    SyntheticVideo video(object_scene(seed, 3, 2.0, size));
+    return video.render(frame).image;
+}
+
+RfbmeConfig
+faster_rf_config()
+{
+    // conv5-style receptive field on a 192px frame.
+    RfbmeConfig cfg;
+    cfg.rf_size = 32;
+    cfg.rf_stride = 16;
+    cfg.rf_pad = 0;
+    cfg.search_radius = 24;
+    cfg.search_stride = 2;
+    return cfg;
+}
+
+void
+BM_RfbmeOptimized(benchmark::State &state)
+{
+    const Tensor key = test_frame(192, 7, 0);
+    const Tensor cur = test_frame(192, 7, 4);
+    const RfbmeConfig cfg = faster_rf_config();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rfbme(key, cur, cfg));
+    }
+}
+BENCHMARK(BM_RfbmeOptimized)->Unit(benchmark::kMillisecond);
+
+void
+BM_RfbmeNaive(benchmark::State &state)
+{
+    const Tensor key = test_frame(192, 7, 0);
+    const Tensor cur = test_frame(192, 7, 4);
+    const RfbmeConfig cfg = faster_rf_config();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rfbme_naive(key, cur, cfg));
+    }
+}
+BENCHMARK(BM_RfbmeNaive)->Unit(benchmark::kMillisecond);
+
+void
+BM_LucasKanade(benchmark::State &state)
+{
+    const Tensor key = test_frame(192, 7, 0);
+    const Tensor cur = test_frame(192, 7, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lucas_kanade(cur, key));
+    }
+}
+BENCHMARK(BM_LucasKanade)->Unit(benchmark::kMillisecond);
+
+void
+BM_HornSchunck(benchmark::State &state)
+{
+    const Tensor key = test_frame(192, 7, 0);
+    const Tensor cur = test_frame(192, 7, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(horn_schunck(cur, key));
+    }
+}
+BENCHMARK(BM_HornSchunck)->Unit(benchmark::kMillisecond);
+
+void
+BM_WarpActivation(benchmark::State &state)
+{
+    const i64 c = state.range(0);
+    Tensor act(c, 12, 12);
+    Rng rng(3);
+    for (i64 i = 0; i < act.size(); ++i) {
+        act[i] = rng.uniform_f(0.0f, 1.0f);
+    }
+    const MotionField field =
+        MotionField::uniform(12, 12, Vec2{4.7, -9.3});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            warp_activation(act, field, 16, InterpMode::kBilinear));
+    }
+}
+BENCHMARK(BM_WarpActivation)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_RleRoundTrip(benchmark::State &state)
+{
+    const double density = static_cast<double>(state.range(0)) / 100.0;
+    Tensor act(64, 12, 12);
+    Rng rng(5);
+    for (i64 i = 0; i < act.size(); ++i) {
+        act[i] = rng.uniform(0.0, 1.0) < density
+                     ? rng.uniform_f(0.1f, 4.0f)
+                     : 0.0f;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rle_decode(rle_encode(act)));
+    }
+}
+BENCHMARK(BM_RleRoundTrip)->Arg(10)->Arg(50);
+
+void
+BM_ConvPrefixFasterM(benchmark::State &state)
+{
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    const Network net = build_scaled(fasterm_spec(), opts);
+    const Tensor frame = test_frame(192, 7, 0);
+    const i64 target = net.find_layer(fasterm_spec().late_target);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.forward_prefix(frame, target));
+    }
+}
+BENCHMARK(BM_ConvPrefixFasterM)->Unit(benchmark::kMillisecond);
+
+void
+BM_PredictedFrameFasterM(benchmark::State &state)
+{
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    const Network net = build_scaled(fasterm_spec(), opts);
+    AmcPipeline pipeline(net, std::make_unique<StaticRatePolicy>(1000));
+    pipeline.process(test_frame(192, 7, 0));
+    const Tensor cur = test_frame(192, 7, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pipeline.run_predicted(cur));
+    }
+}
+BENCHMARK(BM_PredictedFrameFasterM)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace eva2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Section IV-A first-order efficiency comparison.
+ *
+ * Reproduces the paper's analytic cost illustration for Faster16 on
+ * 1000x562 video frames with the target at conv5_3:
+ *
+ *   - CNN prefix cost:        ~1.7e11 MACs
+ *   - unoptimized block ME:   ~3e9 adds
+ *   - RFBME:                  ~1.3e7 adds
+ *
+ * All three numbers come from closed-form op counts over the network
+ * geometry (Section IV-A's formulas), evaluated by the same model the
+ * VPU cost reports use.
+ */
+#include <iostream>
+
+#include "eval/tables.h"
+#include "hw/eva2_model.h"
+#include "hw/vpu.h"
+
+using namespace eva2;
+
+namespace {
+
+/** Render an op count as a short scientific string ("1.7e11"). */
+std::string
+sci(double v)
+{
+    int exp = 0;
+    while (v >= 10.0) {
+        v /= 10.0;
+        ++exp;
+    }
+    return fmt(v, 1) + "e" + std::to_string(exp);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Section IV-A: first-order efficiency comparison (Faster16)");
+
+    const NetworkSpec spec = faster16_spec();
+    // The paper's illustration uses the full video resolution.
+    const Shape video{1, 562, 1000};
+    const std::vector<LayerCost> costs = analyze_at(spec, video);
+
+    // Prefix MACs: all conv layers up to and including conv5_3.
+    i64 prefix_macs = 0;
+    Shape target_shape;
+    for (const LayerCost &c : costs) {
+        if (c.kind == LayerKind::kConv) {
+            prefix_macs += c.macs;
+        }
+        if (c.name == spec.late_target) {
+            target_shape = c.out;
+            break;
+        }
+    }
+
+    // RFBME over the conv5_3 receptive-field grid, with the hardware
+    // search parameters.
+    Eva2Config cfg = eva2_config_for(spec, spec.late_target, video);
+    const Eva2Model model(cfg);
+    const RfbmeOpModel ops = model.op_model();
+
+    TablePrinter t({"quantity", "paper", "measured"});
+    t.row({"prefix MACs (conv1_1..conv5_3)", "1.7e11",
+           sci(static_cast<double>(prefix_macs))});
+    t.row({"unoptimized motion estimation adds", "3e9",
+           sci(static_cast<double>(ops.unoptimized_ops()))});
+    t.row({"RFBME adds", "1.3e7",
+           sci(static_cast<double>(ops.rfbme_ops()))});
+    t.print();
+
+    const double ratio = static_cast<double>(prefix_macs) /
+                         static_cast<double>(ops.rfbme_ops());
+    std::cout << "\nPrefix MACs / RFBME adds = " << fmt(ratio / 1e4, 1)
+              << "e4 (paper: ~1e4; AMC trades ~1e11 MACs for ~1e7 "
+                 "adds)\n";
+    std::cout << "Target activation at conv5_3: " << target_shape.c
+              << "x" << target_shape.h << "x" << target_shape.w << "\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section III-B storage claim: run-length encoding the key frame's
+ * target activation cuts its memory footprint by more than 80%
+ * (80-87% across the paper's networks), which is what makes on-chip
+ * storage feasible.
+ *
+ * Measures the RLE savings of real stored activations from the AMC
+ * pipeline (with its near-zero pruning, Section II-C2) across
+ * frames of a synthetic clip, per network, plus the zero fraction
+ * that drives the savings.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/amc_pipeline.h"
+#include "tensor/tensor_ops.h"
+
+using namespace eva2;
+using namespace eva2::bench;
+
+int
+main()
+{
+    banner("Section III-B: sparse activation storage savings");
+    TablePrinter t({"network", "dense (KiB)", "RLE (KiB)", "savings",
+                    "zero fraction"});
+
+    for (const NetworkSpec &spec : paper_network_specs()) {
+        // AlexNet runs at its native 227 so pool5 has a realistic
+        // spatial extent (at the experiments' 128px input it is a
+        // degenerate 2x2 plane with meaningless run statistics).
+        const i64 image =
+            spec.task == VisionTask::kDetection ? 192 : 227;
+        ScaledBuildOptions opts;
+        opts.input = Shape{1, image, image};
+        const Network net = build_scaled(spec, opts);
+
+        AmcPipeline pipeline(net, std::make_unique<StaticRatePolicy>(1));
+        SyntheticVideo video(object_scene(55, 3, 1.0, image));
+
+        double dense_b = 0.0;
+        double rle_b = 0.0;
+        double zeros = 0.0;
+        const i64 frames = 4;
+        for (i64 f = 0; f < frames; ++f) {
+            pipeline.process(video.render(f * 3).image);
+            const Tensor &act = pipeline.stored_activation();
+            dense_b += static_cast<double>(act.size() * 2);
+            rle_b +=
+                static_cast<double>(pipeline.stored_activation_bytes());
+            zeros += zero_fraction(act);
+        }
+        dense_b /= frames;
+        rle_b /= frames;
+        zeros /= frames;
+
+        t.row({spec.name, fmt(dense_b / 1024.0, 1),
+               fmt(rle_b / 1024.0, 1), fmt_pct(1.0 - rle_b / dense_b),
+               fmt_pct(zeros)});
+    }
+
+    t.print();
+    std::cout << "\nPaper: sparse storage reduces activation memory by "
+                 "80-87%\n(\"for Faster16 ... more than 80%\", Section "
+                 "III-B).\n";
+    return 0;
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Table I: the accuracy/efficiency trade-off space.
+ *
+ * For each network the paper reports four rows — orig (every frame
+ * precise) and three adaptive configurations hi/med/lo, found by
+ * bounding the validation-set accuracy drop to <0.5, <1, and <2
+ * points — listing task accuracy, key-frame percentage, and per-frame
+ * latency and energy.
+ *
+ * We reproduce the methodology: sweep the block-error policy
+ * threshold on a validation set, pick the cheapest threshold within
+ * each degradation bound, then score it on a fresh test set.
+ * Accuracy is the task metric against synthetic ground truth (mAP for
+ * detection, top-1 for classification, in percent); latency/energy
+ * come from the VPU hardware model at the measured key-frame
+ * fraction.
+ *
+ * Paper shape to check: accuracy degrades gently while key-frame
+ * fraction and per-frame cost fall steeply; AlexNet sustains far
+ * lower key-frame rates than the detection networks.
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "hw/vpu.h"
+
+using namespace eva2;
+using namespace eva2::bench;
+
+namespace {
+
+/** One swept adaptive configuration. */
+struct SweepPoint
+{
+    double threshold = 0.0;
+    double accuracy = 0.0;     ///< Task metric, [0,1].
+    double key_fraction = 1.0;
+};
+
+/** Degradation bounds defining hi/med/lo, in accuracy points. */
+constexpr double kBounds[] = {0.005, 0.01, 0.02};
+constexpr const char *kConfigNames[] = {"hi", "med", "lo"};
+
+/**
+ * Pick the cheapest (fewest key frames) sweep point whose validation
+ * degradation stays within `bound`; falls back to the most accurate
+ * point if none qualifies.
+ */
+const SweepPoint &
+pick_config(const std::vector<SweepPoint> &sweep, double baseline,
+            double bound)
+{
+    const SweepPoint *best = nullptr;
+    for (const SweepPoint &p : sweep) {
+        if (baseline - p.accuracy < bound &&
+            (best == nullptr || p.key_fraction < best->key_fraction)) {
+            best = &p;
+        }
+    }
+    if (best == nullptr) {
+        best = &sweep.front();
+        for (const SweepPoint &p : sweep) {
+            if (p.accuracy > best->accuracy) {
+                best = &p;
+            }
+        }
+    }
+    return *best;
+}
+
+void
+print_rows(TablePrinter &t, const NetworkSpec &spec, double orig_acc,
+           const std::vector<std::pair<std::string, SweepPoint>> &rows)
+{
+    const VpuReport hw = vpu_report(spec);
+    const CostStack orig = hw.orig;
+    t.row({spec.name, "orig", fmt(100.0 * orig_acc, 1), "100%",
+           fmt(orig.total().latency_ms, 1),
+           fmt(orig.total().energy_mj, 1)});
+    for (const auto &[name, p] : rows) {
+        const CostStack avg = hw.average(p.key_fraction);
+        t.row({spec.name, name, fmt(100.0 * p.accuracy, 1),
+               fmt_pct(p.key_fraction, 0), fmt(avg.total().latency_ms, 1),
+               fmt(avg.total().energy_mj, 1)});
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table I: accuracy vs resource efficiency (hi/med/lo)");
+    TablePrinter t({"network", "config", "acc", "keys", "time (ms)",
+                    "energy (mJ)"});
+
+    // The ladder must reach thresholds loose enough that accuracy
+    // actually degrades, or the three bounds select the same point.
+    const std::vector<double> thresholds{0.004, 0.008, 0.015, 0.03,
+                                         0.06, 0.12, 0.25};
+
+    // --- Classification (AlexNet): memoization mode (Section IV-E1).
+    {
+        ClassificationWorkload val = make_classification_workload(
+            128, 8, 16, /*data_seed=*/1201);
+        ClassificationWorkload test = make_classification_workload(
+            128, 8, 16, /*data_seed=*/2311);
+        AmcOptions amc;
+        amc.motion_mode = MotionMode::kMemoization;
+
+        const double base_val = baseline_classification_accuracy(
+            val.net, val.classifier, val.sequences);
+        std::vector<SweepPoint> sweep;
+        for (double th : thresholds) {
+            const AdaptiveRunResult r = run_adaptive_classification(
+                val.net, val.classifier, val.sequences,
+                [th] { return std::make_unique<BlockErrorPolicy>(th); },
+                amc);
+            sweep.push_back({th, r.accuracy, r.key_fraction});
+        }
+
+        const double base_test = baseline_classification_accuracy(
+            test.net, test.classifier, test.sequences);
+        std::vector<std::pair<std::string, SweepPoint>> rows;
+        for (size_t i = 0; i < 3; ++i) {
+            const SweepPoint &chosen =
+                pick_config(sweep, base_val, kBounds[i]);
+            const AdaptiveRunResult r = run_adaptive_classification(
+                test.net, test.classifier, test.sequences,
+                [&chosen] {
+                    return std::make_unique<BlockErrorPolicy>(
+                        chosen.threshold);
+                },
+                amc);
+            rows.emplace_back(kConfigNames[i],
+                              SweepPoint{chosen.threshold, r.accuracy,
+                                         r.key_fraction});
+        }
+        print_rows(t, val.spec, base_test, rows);
+    }
+
+    // --- Detection (Faster16, FasterM): full motion compensation.
+    for (const NetworkSpec &spec : {faster16_spec(), fasterm_spec()}) {
+        // Fast scenes (speed_scale 2.5): slow clips never punish
+        // prediction, which would collapse hi/med/lo into one point.
+        DetectionWorkload val = make_detection_workload(
+            spec, 192, 5, 12, /*data_seed=*/1201, /*speed_scale=*/2.5);
+        DetectionWorkload test = make_detection_workload(
+            spec, 192, 5, 12, /*data_seed=*/2311, /*speed_scale=*/2.5);
+        AmcOptions amc; // compensation is the default
+
+        const double base_val = baseline_detection_map(
+            val.net, val.detector, val.sequences, val.target);
+        std::vector<SweepPoint> sweep;
+        for (double th : thresholds) {
+            const AdaptiveRunResult r = run_adaptive_detection(
+                val.net, val.detector, val.sequences,
+                [th] { return std::make_unique<BlockErrorPolicy>(th); },
+                amc);
+            sweep.push_back({th, r.accuracy, r.key_fraction});
+        }
+
+        const double base_test = baseline_detection_map(
+            test.net, test.detector, test.sequences, test.target);
+        std::vector<std::pair<std::string, SweepPoint>> rows;
+        for (size_t i = 0; i < 3; ++i) {
+            const SweepPoint &chosen =
+                pick_config(sweep, base_val, kBounds[i]);
+            const AdaptiveRunResult r = run_adaptive_detection(
+                test.net, test.detector, test.sequences,
+                [&chosen] {
+                    return std::make_unique<BlockErrorPolicy>(
+                        chosen.threshold);
+                },
+                amc);
+            rows.emplace_back(kConfigNames[i],
+                              SweepPoint{chosen.threshold, r.accuracy,
+                                         r.key_fraction});
+        }
+        print_rows(t, spec, base_test, rows);
+    }
+
+    t.print();
+    std::cout
+        << "\nPaper Table I (for shape comparison):\n"
+           "  AlexNet  orig 65.1 / hi 22% keys / med 11% / lo 4%\n"
+           "  Faster16 orig 60.1 / hi 60% keys / med 36% / lo 29%\n"
+           "  FasterM  orig 51.9 / hi 61% keys / med 37% / lo 29%\n"
+           "Expected shape: small accuracy drops buy large key-rate\n"
+           "and energy reductions; AlexNet tolerates far fewer keys.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table II: accuracy impact of the AMC target layer choice.
+ *
+ * For each network, compares predicting at an early target (after the
+ * first pooling layer) against the late target (the last spatial
+ * layer) at the paper's prediction intervals: 4891 ms for AlexNet
+ * classification, 33 and 198 ms for the detection networks. The orig
+ * rows give each network's baseline accuracy.
+ *
+ * Paper shape to check: the late target is at least as accurate as
+ * the early target at almost every interval (its one exception is
+ * Faster16 at 33 ms, where the difference is small), supporting the
+ * static last-spatial-layer choice.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace eva2;
+using namespace eva2::bench;
+
+int
+main()
+{
+    banner("Table II: early vs late target layer");
+    TablePrinter t({"network", "interval", "early target", "late target"});
+
+    // --- AlexNet at 4891 ms (148 frames), memoization-style reuse
+    // with warping as Table II studies compensation at both targets.
+    {
+        ClassificationWorkload w =
+            make_classification_workload(128, 8, 160);
+        const i64 early = w.net.find_layer(w.spec.early_target);
+        const i64 gap = gap_for_ms(4891);
+
+        const double orig = baseline_classification_accuracy(
+            w.net, w.classifier, w.sequences);
+        t.row({w.spec.name, "orig", fmt(100.0 * orig, 2),
+               fmt(100.0 * orig, 2)});
+
+        const GapClassificationResult e = classification_at_gap(
+            w.net, w.classifier, w.sequences, gap, MotionSource::kRfbme,
+            early, /*step=*/8);
+        const GapClassificationResult l = classification_at_gap(
+            w.net, w.classifier, w.sequences, gap, MotionSource::kRfbme,
+            w.target, /*step=*/8);
+        t.row({w.spec.name, "4891 ms", fmt(100.0 * e.accuracy, 2),
+               fmt(100.0 * l.accuracy, 2)});
+    }
+
+    // --- Detection networks at 33 and 198 ms.
+    for (const NetworkSpec &spec : {faster16_spec(), fasterm_spec()}) {
+        // Fast scenes, as in Figure 14, so the 198 ms gap carries
+        // real motion for the warp to compensate.
+        DetectionWorkload w = make_detection_workload(
+            spec, 192, 5, 14, /*data_seed=*/977, /*speed_scale=*/2.5);
+        const i64 early = w.net.find_layer(spec.early_target);
+
+        const double orig = baseline_detection_map(
+            w.net, w.detector, w.sequences, w.target);
+        t.row({spec.name, "orig", fmt(100.0 * orig, 2),
+               fmt(100.0 * orig, 2)});
+
+        for (double ms : {33.0, 198.0}) {
+            const GapDetectionResult e = detection_at_gap(
+                w.net, w.detector, w.sequences, gap_for_ms(ms),
+                MotionSource::kRfbme, InterpMode::kBilinear, early);
+            const GapDetectionResult l = detection_at_gap(
+                w.net, w.detector, w.sequences, gap_for_ms(ms),
+                MotionSource::kRfbme, InterpMode::kBilinear, w.target);
+            t.row({spec.name, fmt(ms, 0) + " ms", fmt(100.0 * e.map, 2),
+                   fmt(100.0 * l.map, 2)});
+        }
+    }
+
+    t.print();
+    std::cout
+        << "\nPaper Table II shape: late target >= early target except\n"
+           "Faster16 @33 ms where the difference is small. (Note the\n"
+           "early-target runs here warp at the early layer but still\n"
+           "score with the same late-layer read-out, as the paper's\n"
+           "suffix does.)\n";
+    return 0;
+}

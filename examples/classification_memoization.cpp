@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Classification with memoization mode (Section IV-E1): for
+ * translation-insensitive tasks like AlexNet classification, AMC
+ * reuses the stored target activation without warping — motion
+ * compensation would only add noise. The adaptive policy still runs
+ * motion estimation to detect real scene changes and refresh the key
+ * frame when the subject changes.
+ *
+ * Streams a clip whose subject changes class mid-stream and shows the
+ * policy reacting: predicted frames keep the old (correct) label
+ * until the cut, then the block-match error spikes and a key frame
+ * restores accuracy.
+ */
+#include <iostream>
+
+#include "cnn/model_zoo.h"
+#include "core/amc_pipeline.h"
+#include "eval/classifier.h"
+#include "video/scenarios.h"
+
+using namespace eva2;
+
+int
+main()
+{
+    Network net = build_scaled(alexnet_spec());
+    const PrototypeClassifier classifier =
+        PrototypeClassifier::calibrate(net);
+
+    // Subject switches from class 2 to class 5 at frame 10.
+    SyntheticVideo video(
+        class_change_scene(/*seed=*/77, /*cls_a=*/2, /*cls_b=*/5,
+                           /*change_frame=*/10));
+
+    AmcOptions options;
+    options.motion_mode = MotionMode::kMemoization;
+    AmcPipeline amc(net, std::make_unique<BlockErrorPolicy>(0.04),
+                    options);
+
+    std::cout << "frame  type       label  truth  match error\n";
+    for (i64 t = 0; t < 20; ++t) {
+        const LabeledFrame frame = video.render(t);
+        const AmcFrameResult r = amc.process(frame.image);
+        const i64 label = classifier.classify(r.target_activation);
+        std::cout << "  " << t << (t < 10 ? "     " : "    ")
+                  << (r.is_key ? "KEY      " : "predicted") << "  "
+                  << label << "      " << frame.truth.dominant_class
+                  << "      " << r.features.match_error << "\n";
+    }
+
+    std::cout << "\nkey frames: " << amc.stats().key_frames << "/"
+              << amc.stats().frames
+              << " (the class change forces a refresh; steady scenes "
+                 "memoize)\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deployment timeline: simulate a FasterM deployment over a varied
+ * clip (calm, then a scene cut, then fast motion) and print the
+ * per-frame hardware timeline — frame type, modeled latency/energy,
+ * and the RFBME match error the policy acted on. Ends with the
+ * stream totals against the precise-every-frame baseline.
+ *
+ * Uses StreamSimulator: the functional AMC pipeline makes real
+ * key/predicted decisions on real frames; the VPU model prices them.
+ */
+#include <iostream>
+
+#include "cnn/model_zoo.h"
+#include "core/amc_pipeline.h"
+#include "eval/tables.h"
+#include "hw/stream_sim.h"
+#include "video/scenarios.h"
+
+using namespace eva2;
+
+int
+main()
+{
+    const NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    Network net = build_scaled(spec, opts);
+    AmcPipeline amc(net, std::make_unique<BlockErrorPolicy>(0.05, 8));
+    const StreamSimulator sim(spec);
+
+    // A calm scene that cuts to new content at frame 8, with moving
+    // objects after.
+    SceneConfig cfg = object_scene(/*seed=*/21, 2, 2.0, 192);
+    cfg.scene_cut_frame = 8;
+    SyntheticVideo video(cfg);
+
+    const StreamReport report =
+        sim.simulate(amc, video.sequence("varied", 20));
+
+    banner("Per-frame deployment timeline (FasterM)");
+    TablePrinter t({"frame", "type", "match err", "latency (ms)",
+                    "energy (mJ)"});
+    for (const FrameTrace &f : report.frames) {
+        t.row({std::to_string(f.index),
+               f.is_key ? "KEY" : "pred", fmt(f.match_error, 4),
+               fmt(f.cost.latency_ms, 1), fmt(f.cost.energy_mj, 1)});
+    }
+    t.print();
+
+    std::cout << "\nstream totals: " << fmt(report.total.energy_mj, 1)
+              << " mJ vs baseline "
+              << fmt(report.baseline_total.energy_mj, 1) << " mJ  ("
+              << fmt_pct(report.energy_savings()) << " saved at "
+              << fmt_pct(report.key_fraction(), 0) << " key frames)\n";
+    std::cout << "note the key frame right after the scene cut at "
+                 "frame 8: the policy\nsees the block-match error "
+                 "spike and refreshes.\n";
+    return 0;
+}

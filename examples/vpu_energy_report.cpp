@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Full VPU deployment report for all three paper networks: per-frame
+ * latency/energy stacks (baseline, key frame, predicted frame),
+ * energy savings across key-frame rates, EVA2 area breakdown, and the
+ * first-order op-count comparison driving it all. This is the
+ * hardware-model face of the library — no CNN execution happens here;
+ * everything is analytic, as in the paper's Section IV-A/IV-B
+ * methodology.
+ */
+#include <iostream>
+
+#include "eval/tables.h"
+#include "hw/accelerator_model.h"
+#include "hw/vpu.h"
+
+using namespace eva2;
+
+int
+main()
+{
+    banner("VPU deployment report (65 nm)");
+
+    for (const NetworkSpec &spec : paper_network_specs()) {
+        const VpuReport r = vpu_report(spec);
+        std::cout << "\n--- " << spec.name << " (target "
+                  << r.target_layer << ") ---\n";
+        TablePrinter t({"frame type", "latency (ms)", "energy (mJ)"});
+        t.row({"orig (no EVA2)", fmt(r.orig.total().latency_ms, 2),
+               fmt(r.orig.total().energy_mj, 2)});
+        t.row({"key (EVA2)", fmt(r.key.total().latency_ms, 2),
+               fmt(r.key.total().energy_mj, 2)});
+        t.row({"predicted (EVA2)", fmt(r.pred.total().latency_ms, 2),
+               fmt(r.pred.total().energy_mj, 2)});
+        t.print();
+
+        std::cout << "energy savings by key-frame fraction:";
+        for (double kf : {0.6, 0.4, 0.2, 0.1}) {
+            std::cout << "  " << fmt_pct(kf, 0) << " keys -> "
+                      << fmt_pct(r.energy_savings(kf));
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << "\n";
+    banner("EVA2 area (Figure 12)");
+    const Eva2Area area = vpu_eva2_area(faster16_spec());
+    const TechParams tech = default_tech();
+    std::cout << "EVA2 total: " << fmt(area.total_mm2(tech), 2)
+              << " mm2 = " << fmt_pct(area.vpu_fraction(tech))
+              << " of the VPU (Eyeriss " << EyerissModel::area_mm2
+              << " mm2 + EIE " << EieModel::area_mm2 << " mm2)\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+#include "cnn/conv_layer.h"
+
+namespace eva2 {
+
+ConvLayer::ConvLayer(i64 in_c, i64 out_c, i64 kernel, i64 stride, i64 pad)
+    : in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weights_(static_cast<size_t>(out_c * in_c * kernel * kernel), 0.0f),
+      biases_(static_cast<size_t>(out_c), 0.0f)
+{
+    require(in_c > 0 && out_c > 0, "conv: channel counts must be positive");
+    require(kernel > 0 && stride > 0 && pad >= 0,
+            "conv: invalid window geometry");
+}
+
+Shape
+ConvLayer::out_shape(const Shape &in) const
+{
+    require(in.c == in_c_,
+            "conv: input has " + std::to_string(in.c) + " channels, layer " +
+                "expects " + std::to_string(in_c_));
+    return Shape{out_c_, conv_out_size(in.h, kernel_, stride_, pad_),
+                 conv_out_size(in.w, kernel_, stride_, pad_)};
+}
+
+i64
+ConvLayer::macs(const Shape &in) const
+{
+    Shape out = out_shape(in);
+    // outputs x (in_channels x kernel area) per output; Section IV-A.
+    return out.size() * in_c_ * kernel_ * kernel_;
+}
+
+Tensor
+ConvLayer::forward(const Tensor &in) const
+{
+    Shape os = out_shape(in.shape());
+    Tensor out(os);
+    const i64 ih = in.height();
+    const i64 iw = in.width();
+    for (i64 oc = 0; oc < out_c_; ++oc) {
+        for (i64 oy = 0; oy < os.h; ++oy) {
+            const i64 base_y = oy * stride_ - pad_;
+            for (i64 ox = 0; ox < os.w; ++ox) {
+                const i64 base_x = ox * stride_ - pad_;
+                float acc = biases_[static_cast<size_t>(oc)];
+                for (i64 ic = 0; ic < in_c_; ++ic) {
+                    for (i64 ky = 0; ky < kernel_; ++ky) {
+                        const i64 y = base_y + ky;
+                        if (y < 0 || y >= ih) {
+                            continue;
+                        }
+                        const float *w = &weights_[static_cast<size_t>(
+                            weight_index(oc, ic, ky, 0))];
+                        for (i64 kx = 0; kx < kernel_; ++kx) {
+                            const i64 x = base_x + kx;
+                            if (x < 0 || x >= iw) {
+                                continue;
+                            }
+                            acc += w[kx] * in.at(ic, y, x);
+                        }
+                    }
+                }
+                out.at(oc, oy, ox) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace eva2

@@ -1,0 +1,63 @@
+#include "cnn/fc_layer.h"
+
+#include <cmath>
+
+namespace eva2 {
+
+FcLayer::FcLayer(i64 in_dim, i64 out_dim)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weights_(static_cast<size_t>(in_dim * out_dim), 0.0f),
+      biases_(static_cast<size_t>(out_dim), 0.0f)
+{
+    require(in_dim > 0 && out_dim > 0, "fc: dimensions must be positive");
+}
+
+Shape
+FcLayer::out_shape(const Shape &in) const
+{
+    require(in.size() == in_dim_,
+            "fc: input " + in.str() + " flattens to " +
+                std::to_string(in.size()) + " but layer expects " +
+                std::to_string(in_dim_));
+    return Shape{out_dim_, 1, 1};
+}
+
+Tensor
+FcLayer::forward(const Tensor &in) const
+{
+    Shape os = out_shape(in.shape());
+    Tensor out(os);
+    std::span<const float> x = in.data();
+    for (i64 o = 0; o < out_dim_; ++o) {
+        const float *w = &weights_[static_cast<size_t>(o * in_dim_)];
+        float acc = biases_[static_cast<size_t>(o)];
+        for (i64 i = 0; i < in_dim_; ++i) {
+            acc += w[i] * x[static_cast<size_t>(i)];
+        }
+        out[o] = acc;
+    }
+    return out;
+}
+
+Tensor
+SoftmaxLayer::forward(const Tensor &in) const
+{
+    Tensor out(out_shape(in.shape()));
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (i64 i = 0; i < in.size(); ++i) {
+        max_v = std::max(max_v, in[i]);
+    }
+    double denom = 0.0;
+    for (i64 i = 0; i < in.size(); ++i) {
+        double e = std::exp(static_cast<double>(in[i] - max_v));
+        out[i] = static_cast<float>(e);
+        denom += e;
+    }
+    for (i64 i = 0; i < in.size(); ++i) {
+        out[i] = static_cast<float>(out[i] / denom);
+    }
+    return out;
+}
+
+} // namespace eva2

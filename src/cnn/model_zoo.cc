@@ -1,0 +1,366 @@
+#include "cnn/model_zoo.h"
+
+#include <cmath>
+
+#include "cnn/activation_layer.h"
+#include "cnn/conv_layer.h"
+#include "cnn/fc_layer.h"
+#include "cnn/pool_layer.h"
+#include "cnn/weights.h"
+#include "util/math_util.h"
+
+namespace eva2 {
+
+namespace {
+
+LayerSpec
+conv(std::string name, i64 out, i64 k, i64 s, i64 p, i64 groups = 1)
+{
+    return {LayerKind::kConv, std::move(name), out, k, s, p, groups};
+}
+
+LayerSpec
+pool(std::string name, i64 k, i64 s, i64 p = 0)
+{
+    return {LayerKind::kPool, std::move(name), 0, k, s, p, 1};
+}
+
+LayerSpec
+relu(std::string name)
+{
+    return {LayerKind::kRelu, std::move(name), 0, 1, 1, 0, 1};
+}
+
+LayerSpec
+lrn(std::string name)
+{
+    return {LayerKind::kLrn, std::move(name), 0, 1, 1, 0, 1};
+}
+
+LayerSpec
+fc(std::string name, i64 out)
+{
+    return {LayerKind::kFc, std::move(name), out, 1, 1, 0, 1};
+}
+
+LayerSpec
+softmax(std::string name)
+{
+    return {LayerKind::kSoftmax, std::move(name), 0, 1, 1, 0, 1};
+}
+
+/** Append the 13-layer VGG-16 conv stack (through conv5_3 + relu). */
+void
+append_vgg16_convs(std::vector<LayerSpec> &ls)
+{
+    const struct
+    {
+        const char *stage;
+        i64 filters;
+        i64 count;
+    } stages[] = {
+        {"1", 64, 2}, {"2", 128, 2}, {"3", 256, 3},
+        {"4", 512, 3}, {"5", 512, 3},
+    };
+    for (const auto &st : stages) {
+        for (i64 i = 1; i <= st.count; ++i) {
+            std::string base =
+                std::string(st.stage) + "_" + std::to_string(i);
+            ls.push_back(conv("conv" + base, st.filters, 3, 1, 1));
+            ls.push_back(relu("relu" + base));
+        }
+        if (st.stage != std::string("5")) {
+            ls.push_back(pool(std::string("pool") + st.stage, 2, 2));
+        }
+    }
+}
+
+/**
+ * Append the Faster R-CNN head shared by Faster16 and FasterM: a 3x3
+ * RPN conv, two 1x1 sibling convs (modelled sequentially), an
+ * RoI-pooling surrogate, and the 4-layer FC head.
+ */
+void
+append_faster_rcnn_head(std::vector<LayerSpec> &ls, i64 feat_channels,
+                        i64 roi_kernel)
+{
+    ls.push_back(conv("rpn_conv", feat_channels, 3, 1, 1));
+    ls.push_back(relu("rpn_relu"));
+    ls.push_back(conv("rpn_cls", 18, 1, 1, 0));
+    ls.push_back(conv("rpn_bbox", 36, 1, 1, 0));
+    ls.push_back(pool("roi_pool", roi_kernel, roi_kernel));
+    ls.push_back(fc("fc6", 4096));
+    ls.push_back(relu("relu6"));
+    ls.push_back(fc("fc7", 4096));
+    ls.push_back(relu("relu7"));
+    ls.push_back(fc("cls_score", 21));
+    ls.push_back(fc("bbox_pred", 84));
+}
+
+} // namespace
+
+NetworkSpec
+alexnet_spec()
+{
+    NetworkSpec spec;
+    spec.name = "AlexNet";
+    spec.input = Shape{3, 227, 227};
+    spec.cost_input = spec.input;
+    spec.task = VisionTask::kClassification;
+    auto &ls = spec.layers;
+    ls.push_back(conv("conv1", 96, 11, 4, 0));
+    ls.push_back(relu("relu1"));
+    ls.push_back(lrn("norm1"));
+    ls.push_back(pool("pool1", 3, 2));
+    ls.push_back(conv("conv2", 256, 5, 1, 2, 2));
+    ls.push_back(relu("relu2"));
+    ls.push_back(lrn("norm2"));
+    ls.push_back(pool("pool2", 3, 2));
+    ls.push_back(conv("conv3", 384, 3, 1, 1));
+    ls.push_back(relu("relu3"));
+    ls.push_back(conv("conv4", 384, 3, 1, 1, 2));
+    ls.push_back(relu("relu4"));
+    ls.push_back(conv("conv5", 256, 3, 1, 1, 2));
+    ls.push_back(relu("relu5"));
+    ls.push_back(pool("pool5", 3, 2));
+    ls.push_back(fc("fc6", 4096));
+    ls.push_back(relu("relu6"));
+    ls.push_back(fc("fc7", 4096));
+    ls.push_back(relu("relu7"));
+    ls.push_back(fc("fc8", 1000));
+    ls.push_back(softmax("prob"));
+    spec.early_target = "pool1";
+    spec.late_target = "pool5";
+    return spec;
+}
+
+NetworkSpec
+vgg16_spec()
+{
+    NetworkSpec spec;
+    spec.name = "VGG-16";
+    spec.input = Shape{3, 224, 224};
+    spec.cost_input = spec.input;
+    spec.task = VisionTask::kClassification;
+    auto &ls = spec.layers;
+    append_vgg16_convs(ls);
+    ls.push_back(pool("pool5", 2, 2));
+    ls.push_back(fc("fc6", 4096));
+    ls.push_back(relu("relu6"));
+    ls.push_back(fc("fc7", 4096));
+    ls.push_back(relu("relu7"));
+    ls.push_back(fc("fc8", 1000));
+    ls.push_back(softmax("prob"));
+    spec.early_target = "pool1";
+    spec.late_target = "pool5";
+    return spec;
+}
+
+NetworkSpec
+faster16_spec()
+{
+    NetworkSpec spec;
+    spec.name = "Faster16";
+    // The paper evaluates Faster16 on 1000x562 video frames (IV-A);
+    // hardware costs are modelled at the published 224x224 basis.
+    spec.input = Shape{3, 562, 1000};
+    spec.cost_input = Shape{3, 224, 224};
+    spec.task = VisionTask::kDetection;
+    append_vgg16_convs(spec.layers);
+    append_faster_rcnn_head(spec.layers, 512, 5);
+    spec.early_target = "pool1";
+    spec.late_target = "relu5_3";
+    return spec;
+}
+
+NetworkSpec
+fasterm_spec()
+{
+    NetworkSpec spec;
+    spec.name = "FasterM";
+    spec.input = Shape{3, 562, 1000};
+    spec.cost_input = Shape{3, 224, 224};
+    spec.task = VisionTask::kDetection;
+    auto &ls = spec.layers;
+    // CNN-M ("medium") feature extractor from Chatfield et al.
+    ls.push_back(conv("conv1", 96, 7, 2, 0));
+    ls.push_back(relu("relu1"));
+    ls.push_back(lrn("norm1"));
+    ls.push_back(pool("pool1", 3, 2));
+    ls.push_back(conv("conv2", 256, 5, 2, 1));
+    ls.push_back(relu("relu2"));
+    ls.push_back(lrn("norm2"));
+    ls.push_back(pool("pool2", 3, 2));
+    ls.push_back(conv("conv3", 512, 3, 1, 1));
+    ls.push_back(relu("relu3"));
+    ls.push_back(conv("conv4", 512, 3, 1, 1));
+    ls.push_back(relu("relu4"));
+    ls.push_back(conv("conv5", 512, 3, 1, 1));
+    ls.push_back(relu("relu5"));
+    append_faster_rcnn_head(ls, 512, 5);
+    spec.early_target = "pool1";
+    spec.late_target = "relu5";
+    return spec;
+}
+
+std::vector<NetworkSpec>
+paper_network_specs()
+{
+    return {alexnet_spec(), faster16_spec(), fasterm_spec()};
+}
+
+std::vector<LayerCost>
+analyze(const NetworkSpec &spec)
+{
+    return analyze_at(spec, spec.cost_input);
+}
+
+std::vector<LayerCost>
+analyze_at(const NetworkSpec &spec, Shape input)
+{
+    std::vector<LayerCost> costs;
+    costs.reserve(spec.layers.size());
+    Shape s = input;
+    for (const LayerSpec &l : spec.layers) {
+        LayerCost cost;
+        cost.name = l.name;
+        cost.kind = l.kind;
+        switch (l.kind) {
+          case LayerKind::kConv: {
+            Shape out{l.out, conv_out_size(s.h, l.kernel, l.stride, l.pad),
+                      conv_out_size(s.w, l.kernel, l.stride, l.pad)};
+            cost.out = out;
+            cost.macs =
+                out.size() * (s.c / l.groups) * l.kernel * l.kernel;
+            s = out;
+            break;
+          }
+          case LayerKind::kPool: {
+            cost.out =
+                Shape{s.c, conv_out_size(s.h, l.kernel, l.stride, l.pad),
+                      conv_out_size(s.w, l.kernel, l.stride, l.pad)};
+            s = cost.out;
+            break;
+          }
+          case LayerKind::kRelu:
+          case LayerKind::kLrn:
+            cost.out = s;
+            break;
+          case LayerKind::kFc:
+            cost.macs = s.size() * l.out;
+            cost.out = Shape{l.out, 1, 1};
+            s = cost.out;
+            break;
+          case LayerKind::kSoftmax:
+            cost.out = Shape{s.size(), 1, 1};
+            s = cost.out;
+            break;
+        }
+        costs.push_back(std::move(cost));
+    }
+    return costs;
+}
+
+i64
+total_conv_macs(const std::vector<LayerCost> &costs)
+{
+    i64 total = 0;
+    for (const LayerCost &c : costs) {
+        if (c.kind == LayerKind::kConv) {
+            total += c.macs;
+        }
+    }
+    return total;
+}
+
+i64
+total_fc_macs(const std::vector<LayerCost> &costs)
+{
+    i64 total = 0;
+    for (const LayerCost &c : costs) {
+        if (c.kind == LayerKind::kFc) {
+            total += c.macs;
+        }
+    }
+    return total;
+}
+
+Network
+build_scaled(const NetworkSpec &spec, const ScaledBuildOptions &opts)
+{
+    Network net(spec.name, opts.input);
+    Shape s = opts.input;
+    const i64 num_fc =
+        static_cast<i64>(std::count_if(spec.layers.begin(),
+                                       spec.layers.end(), [](const auto &l) {
+                                           return l.kind == LayerKind::kFc;
+                                       }));
+    i64 fc_seen = 0;
+    for (const LayerSpec &l : spec.layers) {
+        LayerPtr built;
+        switch (l.kind) {
+          case LayerKind::kConv: {
+            i64 out_c = std::max<i64>(
+                opts.min_channels,
+                static_cast<i64>(std::llround(
+                    static_cast<double>(l.out) * opts.channel_scale)));
+            auto conv_layer = std::make_unique<ConvLayer>(
+                s.c, out_c, l.kernel, l.stride, l.pad);
+            built = std::move(conv_layer);
+            break;
+          }
+          case LayerKind::kPool: {
+            // Guard tiny scaled feature maps: clamp the window so the
+            // output never vanishes.
+            i64 k = std::min(l.kernel, std::min(s.h, s.w));
+            i64 st = std::min(l.stride, k);
+            built = std::make_unique<MaxPoolLayer>(k, st, l.pad);
+            break;
+          }
+          case LayerKind::kRelu:
+            built = std::make_unique<ReluLayer>();
+            break;
+          case LayerKind::kLrn:
+            built = std::make_unique<LrnLayer>();
+            break;
+          case LayerKind::kFc: {
+            ++fc_seen;
+            // The final FC maps to task classes; hidden FCs use the
+            // scaled width.
+            i64 out = opts.fc_dim;
+            if (spec.task == VisionTask::kClassification &&
+                fc_seen == num_fc) {
+                out = opts.num_classes;
+            } else if (spec.task == VisionTask::kDetection &&
+                       fc_seen >= num_fc - 1) {
+                out = opts.num_classes;
+            }
+            built = std::make_unique<FcLayer>(s.size(), out);
+            break;
+          }
+          case LayerKind::kSoftmax:
+            // Scaled builds end at the logits: softmax is monotone per
+            // component, so argmax-style read-outs are unaffected, and
+            // the prototype classifier separates classes better in
+            // logit space.
+            continue;
+        }
+        built->set_name(l.name);
+        s = built->out_shape(s);
+        net.add(std::move(built));
+    }
+    // Designate the spec's late target (the end of the feature
+    // extractor) as the network's default AMC target; for Faster
+    // R-CNN variants the mechanical last spatial layer would land
+    // inside the RPN/RoI head, which the paper treats as suffix.
+    if (!spec.late_target.empty()) {
+        const i64 target = net.find_layer(spec.late_target);
+        require(target >= 0, "late target '" + spec.late_target +
+                                 "' missing from " + spec.name);
+        net.set_default_target(target);
+    }
+    init_weights(net, opts.seed);
+    return net;
+}
+
+} // namespace eva2

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Receptive-field algebra.
+ *
+ * A value in a deep activation corresponds to a window of input pixels
+ * (its receptive field, Figure 2 of the paper). AMC needs the
+ * cumulative size, stride, and padding of that window at the target
+ * layer: RFBME estimates motion at receptive-field granularity, and
+ * activation warping scales pixel motion vectors by the cumulative
+ * stride (Section II-B).
+ */
+#ifndef EVA2_CNN_RECEPTIVE_FIELD_H
+#define EVA2_CNN_RECEPTIVE_FIELD_H
+
+#include "cnn/layer.h"
+
+namespace eva2 {
+
+/**
+ * Cumulative receptive-field parameters at some depth in a network.
+ * Output coordinate u (along either spatial axis) covers input pixels
+ * [u * stride - pad, u * stride - pad + size).
+ */
+struct ReceptiveField
+{
+    i64 size = 1;   ///< Extent of the input window in pixels.
+    i64 stride = 1; ///< Input-pixel step between adjacent outputs.
+    i64 pad = 0;    ///< Left/top overhang of output 0 beyond the image.
+
+    bool operator==(const ReceptiveField &o) const = default;
+
+    /** First input pixel covered by output coordinate u (may be < 0). */
+    i64 start(i64 u) const { return u * stride - pad; }
+
+    /**
+     * Compose with one more layer of the given window geometry stacked
+     * on top of this one.
+     *
+     * Derivation: the new layer's output u covers its own input
+     * coordinates [u*s - p, u*s - p + k). Each such coordinate v covers
+     * original pixels [v*stride - pad, v*stride - pad + size). The
+     * union is [u*(s*stride) - (p*stride + pad),
+     *           ... + size + (k-1)*stride).
+     */
+    ReceptiveField
+    compose(const WindowGeometry &g) const
+    {
+        ReceptiveField out;
+        out.size = size + (g.kernel - 1) * stride;
+        out.stride = stride * g.stride;
+        out.pad = pad + g.pad * stride;
+        return out;
+    }
+};
+
+} // namespace eva2
+
+#endif // EVA2_CNN_RECEPTIVE_FIELD_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic structured weight initialization.
+ *
+ * The reproduction cannot ship ImageNet-trained weights, but AMC's
+ * behaviour depends on activations that respond meaningfully and
+ * sparsely to image content. We therefore initialize the first
+ * convolutional layer with a deterministic bank of oriented-edge and
+ * center-surround filters (the filter types first layers of trained
+ * CNNs converge to) and deeper layers with He-scaled Gaussians and a
+ * small negative bias, which yields post-ReLU sparsity in the range
+ * sparse accelerators report for trained networks. See DESIGN.md §1.
+ */
+#ifndef EVA2_CNN_WEIGHTS_H
+#define EVA2_CNN_WEIGHTS_H
+
+#include "cnn/network.h"
+#include "util/rng.h"
+
+namespace eva2 {
+class ConvLayer;
+} // namespace eva2
+
+namespace eva2 {
+
+/**
+ * Initialize every conv and FC layer in a network.
+ *
+ * @param net  The network to initialize in place.
+ * @param seed Root seed; each layer derives an independent stream, so
+ *             results are reproducible regardless of layer count.
+ */
+void init_weights(Network &net, u64 seed);
+
+/**
+ * Fill one convolutional layer with the deterministic first-layer
+ * filter bank (oriented edges at evenly spaced angles plus
+ * center-surround filters). Exposed for tests.
+ */
+void fill_first_layer_bank(ConvLayer &conv);
+
+/**
+ * Empirically calibrate conv biases and weight scales so that every
+ * conv layer's post-ReLU activations hit a target sparsity with O(1)
+ * magnitudes (LSUV-style data-dependent init on a deterministic
+ * texture image). Trained CNNs exhibit exactly this regime — most
+ * activation values zero, the rest moderate — and EVA2's RLE storage
+ * and sparsity decoder lanes depend on it. Called by init_weights().
+ *
+ * @param net             Network with weights already initialized.
+ * @param seed            Seed for the calibration image.
+ * @param target_sparsity Desired post-ReLU zero fraction per channel.
+ */
+void calibrate_activations(Network &net, u64 seed,
+                           double target_sparsity = 0.92);
+
+} // namespace eva2
+
+#endif // EVA2_CNN_WEIGHTS_H

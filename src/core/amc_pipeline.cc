@@ -1,0 +1,193 @@
+#include "core/amc_pipeline.h"
+
+namespace eva2 {
+
+i64
+AmcPipeline::resolve_target(const Network &net, TargetChoice choice,
+                            i64 explicit_target)
+{
+    switch (choice) {
+      case TargetChoice::kLastSpatial:
+        return net.default_target_index();
+      case TargetChoice::kEarly: {
+        const i64 pool = net.first_pool_index();
+        require(pool >= 0,
+                "network " + net.name() + " has no pooling layer for an "
+                "early target");
+        return pool;
+      }
+      case TargetChoice::kExplicit:
+        require(explicit_target >= 0 &&
+                    explicit_target < net.num_layers(),
+                "explicit target out of range");
+        return explicit_target;
+    }
+    throw InternalError("unreachable target choice");
+}
+
+AmcPipeline::AmcPipeline(const Network &net,
+                         std::unique_ptr<KeyFramePolicy> policy,
+                         AmcOptions opts)
+    : net_(&net),
+      policy_(std::move(policy)),
+      opts_(opts),
+      target_layer_(resolve_target(net, opts.target_choice,
+                                   opts.explicit_target))
+{
+    if (!policy_) {
+        policy_ = std::make_unique<StaticRatePolicy>(1);
+    }
+    target_rf_ = net.receptive_field_at(target_layer_);
+    rfbme_config_.rf_size = target_rf_.size;
+    rfbme_config_.rf_stride = target_rf_.stride;
+    rfbme_config_.rf_pad = target_rf_.pad;
+    rfbme_config_.search_radius = opts.search_radius;
+    rfbme_config_.search_stride = opts.search_stride;
+}
+
+void
+AmcPipeline::reset()
+{
+    has_key_ = false;
+    key_pixels_ = Tensor();
+    key_activation_ = Tensor();
+    key_activation_rle_ = RleActivation();
+    frames_since_key_ = 0;
+    stats_ = AmcStats();
+    policy_->reset();
+}
+
+const Tensor &
+AmcPipeline::stored_activation() const
+{
+    require(has_key_, "no key frame has been processed yet");
+    return key_activation_;
+}
+
+i64
+AmcPipeline::stored_activation_bytes() const
+{
+    require(has_key_, "no key frame has been processed yet");
+    return key_activation_rle_.encoded_bytes();
+}
+
+AmcFrameResult
+AmcPipeline::key_frame_path(const Tensor &frame)
+{
+    AmcFrameResult result;
+    result.is_key = true;
+    Tensor target = net_->forward_prefix(frame, target_layer_);
+
+    // Store pixels and the target activation the way the hardware
+    // does: pixels in the key pixel buffer, the activation run-length
+    // encoded in the key frame activation buffer.
+    key_pixels_ = frame;
+    RleParams rle_params;
+    if (opts_.storage_prune_rel > 0.0) {
+        double acc = 0.0;
+        for (i64 i = 0; i < target.size(); ++i) {
+            acc += static_cast<double>(target[i]) * target[i];
+        }
+        const double rms =
+            std::sqrt(acc / static_cast<double>(target.size()));
+        rle_params.zero_threshold =
+            static_cast<float>(opts_.storage_prune_rel * rms);
+    }
+    key_activation_rle_ = rle_encode(target, rle_params);
+    key_activation_ =
+        opts_.quantize_storage ? rle_decode(key_activation_rle_) : target;
+    has_key_ = true;
+    frames_since_key_ = 0;
+
+    // Key frames are full, precise executions (Section II-A); the
+    // quantized RLE copy is only consumed by later predicted frames.
+    result.output = net_->forward_suffix(target, target_layer_);
+    result.target_activation = std::move(target);
+    ++stats_.frames;
+    ++stats_.key_frames;
+    return result;
+}
+
+AmcFrameResult
+AmcPipeline::predicted_frame_path(const RfbmeResult &me)
+{
+    AmcFrameResult result;
+    result.is_key = false;
+    result.me_add_ops = me.add_ops;
+    result.features.match_error = me.mean_error;
+    result.features.motion_magnitude = me.field.total_magnitude();
+    result.features.frames_since_key = frames_since_key_;
+
+    Tensor predicted;
+    if (opts_.motion_mode == MotionMode::kMemoization) {
+        predicted = key_activation_;
+    } else {
+        const MotionField field =
+            fit_field(me.field, key_activation_.height(),
+                      key_activation_.width());
+        predicted = warp_activation(key_activation_, field,
+                                    target_rf_.stride, opts_.interp);
+    }
+    result.output = net_->forward_suffix(predicted, target_layer_);
+    result.target_activation = std::move(predicted);
+    ++stats_.frames;
+    return result;
+}
+
+AmcFrameResult
+AmcPipeline::process(const Tensor &frame)
+{
+    require(frame.shape() == net_->input_shape(),
+            "frame shape " + frame.shape().str() +
+                " does not match network input " +
+                net_->input_shape().str());
+    if (!has_key_) {
+        return key_frame_path(frame);
+    }
+    ++frames_since_key_;
+    const RfbmeResult me = rfbme(key_pixels_, frame, rfbme_config_);
+    FrameFeatures features;
+    features.match_error = me.mean_error;
+    features.motion_magnitude = me.field.total_magnitude();
+    features.frames_since_key = frames_since_key_;
+    if (policy_->is_key_frame(features)) {
+        AmcFrameResult result = key_frame_path(frame);
+        result.features = features;
+        result.me_add_ops = me.add_ops;
+        return result;
+    }
+    return predicted_frame_path(me);
+}
+
+Tensor
+AmcPipeline::run_key(const Tensor &frame)
+{
+    require(frame.shape() == net_->input_shape(),
+            "frame shape does not match network input");
+    return key_frame_path(frame).output;
+}
+
+AmcFrameResult
+AmcPipeline::run_predicted(const Tensor &frame)
+{
+    require(has_key_, "run_predicted: no stored key frame");
+    ++frames_since_key_;
+    const RfbmeResult me = rfbme(key_pixels_, frame, rfbme_config_);
+    return predicted_frame_path(me);
+}
+
+Tensor
+AmcPipeline::predicted_activation(const Tensor &frame)
+{
+    require(has_key_, "predicted_activation: no stored key frame");
+    if (opts_.motion_mode == MotionMode::kMemoization) {
+        return key_activation_;
+    }
+    const RfbmeResult me = rfbme(key_pixels_, frame, rfbme_config_);
+    const MotionField field = fit_field(
+        me.field, key_activation_.height(), key_activation_.width());
+    return warp_activation(key_activation_, field, target_rf_.stride,
+                           opts_.interp);
+}
+
+} // namespace eva2

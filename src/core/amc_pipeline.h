@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The activation motion compensation pipeline (Section II, Figure 1).
+ *
+ * The pipeline owns the state EVA2 keeps between frames — the last key
+ * frame's pixels and its target-layer activation (run-length encoded,
+ * as in the hardware's key frame activation buffer) — and drives the
+ * per-frame flow: motion estimation with RFBME, the key-frame policy
+ * decision, either full CNN execution (key frames) or activation
+ * warping plus suffix execution (predicted frames).
+ */
+#ifndef EVA2_CORE_AMC_PIPELINE_H
+#define EVA2_CORE_AMC_PIPELINE_H
+
+#include <memory>
+
+#include "cnn/network.h"
+#include "core/keyframe_policy.h"
+#include "core/warp.h"
+#include "flow/rfbme.h"
+#include "sparse/rle.h"
+
+namespace eva2 {
+
+/** How the AMC target layer is chosen (Section II-C5, Table II). */
+enum class TargetChoice
+{
+    kLastSpatial, ///< Last layer before any non-spatial layer.
+    kEarly,       ///< First pooling layer (Table II's early target).
+    kExplicit,    ///< Caller supplies the index.
+};
+
+/** Whether predicted frames warp or merely reuse the activation. */
+enum class MotionMode
+{
+    kCompensation, ///< Warp by the estimated motion (detection nets).
+    kMemoization,  ///< Reuse unchanged (classification, Section IV-E1).
+};
+
+/** Pipeline configuration. */
+struct AmcOptions
+{
+    TargetChoice target_choice = TargetChoice::kLastSpatial;
+    i64 explicit_target = -1;
+    InterpMode interp = InterpMode::kBilinear;
+    MotionMode motion_mode = MotionMode::kCompensation;
+    i64 search_radius = 28; ///< RFBME search radius in pixels.
+    /**
+     * RFBME search step in pixels. 2 keeps the match-error floor (and
+     * the warp's vector quantization) well below the adaptive
+     * policies' useful threshold range; the hardware's parallel adder
+     * trees make the finer search cheap (Section III-A1).
+     */
+    i64 search_stride = 2;
+    /**
+     * Store the key activation through the Q8.8 RLE codec, as the
+     * hardware does; disable to isolate algorithmic error from
+     * quantization in experiments.
+     */
+    bool quantize_storage = true;
+    /**
+     * Near-zero pruning for storage, as a fraction of the target
+     * activation's RMS: values at or below this magnitude encode as
+     * zeros (Section II-C2 — near-zero values "can be safely ignored
+     * without a significant impact on output accuracy"). Pruning is
+     * what pushes RLE storage savings well past the dense baseline.
+     */
+    double storage_prune_rel = 0.12;
+};
+
+/** Outcome of processing one frame. */
+struct AmcFrameResult
+{
+    bool is_key = false;
+    Tensor output;            ///< Final network output for the frame.
+    Tensor target_activation; ///< Target-layer activation (stored or
+                              ///< predicted), for activation-space
+                              ///< read-outs such as detection.
+    FrameFeatures features;   ///< Motion features seen by the policy.
+    i64 me_add_ops = 0;       ///< RFBME arithmetic ops for this frame.
+};
+
+/** Running counters over a stream. */
+struct AmcStats
+{
+    i64 frames = 0;
+    i64 key_frames = 0;
+
+    i64 predicted_frames() const { return frames - key_frames; }
+
+    double
+    key_fraction() const
+    {
+        return frames == 0 ? 0.0
+                           : static_cast<double>(key_frames) /
+                                 static_cast<double>(frames);
+    }
+};
+
+/** Stateful per-stream AMC executor over one network. */
+class AmcPipeline
+{
+  public:
+    /**
+     * @param net    The network to accelerate (borrowed; must outlive
+     *               the pipeline).
+     * @param policy Key-frame policy (owned). Null selects a
+     *               static every-frame policy (all key frames).
+     * @param opts   Pipeline options.
+     */
+    AmcPipeline(const Network &net, std::unique_ptr<KeyFramePolicy> policy,
+                AmcOptions opts = {});
+
+    /** Process the next frame of the stream (policy-driven). */
+    AmcFrameResult process(const Tensor &frame);
+
+    /** Force-run a key frame (controlled experiments). */
+    Tensor run_key(const Tensor &frame);
+
+    /** Force-run a predicted frame; requires a stored key frame. */
+    AmcFrameResult run_predicted(const Tensor &frame);
+
+    /**
+     * Produce only the warped target activation for a frame (no
+     * suffix execution); requires a stored key frame.
+     */
+    Tensor predicted_activation(const Tensor &frame);
+
+    /** Drop stored state and counters for a new stream. */
+    void reset();
+
+    i64 target_layer() const { return target_layer_; }
+    ReceptiveField target_rf() const { return target_rf_; }
+    const RfbmeConfig &rfbme_config() const { return rfbme_config_; }
+    const AmcStats &stats() const { return stats_; }
+    const Network &network() const { return *net_; }
+
+    /** Stored key activation (decoded); requires a stored key frame. */
+    const Tensor &stored_activation() const;
+
+    /** Encoded size of the stored key activation, in bytes. */
+    i64 stored_activation_bytes() const;
+
+    /** Resolve a target layer index for a network and choice. */
+    static i64 resolve_target(const Network &net, TargetChoice choice,
+                              i64 explicit_target);
+
+  private:
+    AmcFrameResult key_frame_path(const Tensor &frame);
+    AmcFrameResult predicted_frame_path(const RfbmeResult &me);
+
+    const Network *net_;
+    std::unique_ptr<KeyFramePolicy> policy_;
+    AmcOptions opts_;
+    i64 target_layer_;
+    ReceptiveField target_rf_;
+    RfbmeConfig rfbme_config_;
+
+    bool has_key_ = false;
+    Tensor key_pixels_;
+    Tensor key_activation_;
+    RleActivation key_activation_rle_;
+    i64 frames_since_key_ = 0;
+    AmcStats stats_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_CORE_AMC_PIPELINE_H

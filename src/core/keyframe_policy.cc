@@ -1,0 +1,64 @@
+#include "core/keyframe_policy.h"
+
+namespace eva2 {
+
+StaticRatePolicy::StaticRatePolicy(i64 interval) : interval_(interval)
+{
+    require(interval >= 1, "static policy: interval must be >= 1");
+}
+
+bool
+StaticRatePolicy::is_key_frame(const FrameFeatures &features)
+{
+    return features.frames_since_key >= interval_;
+}
+
+std::string
+StaticRatePolicy::name() const
+{
+    return "static(" + std::to_string(interval_) + ")";
+}
+
+BlockErrorPolicy::BlockErrorPolicy(double threshold, i64 max_gap)
+    : threshold_(threshold), max_gap_(max_gap)
+{
+    require(threshold >= 0.0, "block error policy: negative threshold");
+}
+
+bool
+BlockErrorPolicy::is_key_frame(const FrameFeatures &features)
+{
+    if (max_gap_ > 0 && features.frames_since_key >= max_gap_) {
+        return true;
+    }
+    return features.match_error > threshold_;
+}
+
+std::string
+BlockErrorPolicy::name() const
+{
+    return "block-error(" + std::to_string(threshold_) + ")";
+}
+
+MotionMagnitudePolicy::MotionMagnitudePolicy(double threshold, i64 max_gap)
+    : threshold_(threshold), max_gap_(max_gap)
+{
+    require(threshold >= 0.0, "motion policy: negative threshold");
+}
+
+bool
+MotionMagnitudePolicy::is_key_frame(const FrameFeatures &features)
+{
+    if (max_gap_ > 0 && features.frames_since_key >= max_gap_) {
+        return true;
+    }
+    return features.motion_magnitude > threshold_;
+}
+
+std::string
+MotionMagnitudePolicy::name() const
+{
+    return "motion-magnitude(" + std::to_string(threshold_) + ")";
+}
+
+} // namespace eva2

@@ -1,0 +1,65 @@
+#include "core/warp.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace eva2 {
+
+MotionField
+fit_field(const MotionField &field, i64 h, i64 w)
+{
+    if (field.height() == h && field.width() == w) {
+        return field;
+    }
+    require(field.height() > 0 && field.width() > 0,
+            "fit_field: empty source field");
+    MotionField out(h, w);
+    for (i64 y = 0; y < h; ++y) {
+        const i64 sy = std::min(y, field.height() - 1);
+        for (i64 x = 0; x < w; ++x) {
+            const i64 sx = std::min(x, field.width() - 1);
+            out.at(y, x) = field.at(sy, sx);
+        }
+    }
+    return out;
+}
+
+Tensor
+warp_activation(const Tensor &key_activation, const MotionField &field,
+                i64 rf_stride, InterpMode mode)
+{
+    require(field.height() == key_activation.height() &&
+                field.width() == key_activation.width(),
+            "warp_activation: field grid does not match activation");
+    require(rf_stride > 0, "warp_activation: stride must be positive");
+
+    const i64 c_count = key_activation.channels();
+    const i64 h = key_activation.height();
+    const i64 w = key_activation.width();
+    const double inv_stride = 1.0 / static_cast<double>(rf_stride);
+    Tensor out(key_activation.shape());
+
+    for (i64 y = 0; y < h; ++y) {
+        for (i64 x = 0; x < w; ++x) {
+            const Vec2 v = field.at(y, x);
+            const double sy = static_cast<double>(y) + v.dy * inv_stride;
+            const double sx = static_cast<double>(x) + v.dx * inv_stride;
+            if (mode == InterpMode::kNearest) {
+                const i64 ny = static_cast<i64>(std::lround(sy));
+                const i64 nx = static_cast<i64>(std::lround(sx));
+                for (i64 c = 0; c < c_count; ++c) {
+                    out.at(c, y, x) = key_activation.at_padded(c, ny, nx);
+                }
+            } else {
+                for (i64 c = 0; c < c_count; ++c) {
+                    out.at(c, y, x) =
+                        bilinear_sample(key_activation, c, sy, sx);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace eva2

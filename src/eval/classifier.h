@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A classification read-out for untrained networks: per-class
+ * prototypes of globally pooled target-layer activations, computed
+ * from calibration scenes. Global average pooling gives the decision
+ * the translation stability real trained classifiers have (and that
+ * the paper's Section IV-D observation — "frame classification
+ * results change slowly over time" — depends on), so memoized or
+ * warped activations classify like precise ones unless the scene
+ * content actually changes. As with the detector, the read-out is
+ * fixed across execution strategies so accuracy differences isolate
+ * AMC's effects.
+ */
+#ifndef EVA2_EVAL_CLASSIFIER_H
+#define EVA2_EVAL_CLASSIFIER_H
+
+#include <vector>
+
+#include "cnn/network.h"
+
+namespace eva2 {
+
+/** Calibrated nearest-prototype classifier over pooled activations. */
+class PrototypeClassifier
+{
+  public:
+    /**
+     * Render a few stationary single-object scenes per class, run the
+     * network prefix to its designated AMC target layer, and average
+     * the pooled activations into unit-norm prototypes.
+     */
+    static PrototypeClassifier calibrate(const Network &net, u64 seed = 11);
+
+    /**
+     * Classify a target-layer activation (cosine nearest prototype on
+     * its globally pooled channel features). The activation's channel
+     * count must match the calibration network's target layer.
+     */
+    i64 classify(const Tensor &target_activation) const;
+
+    i64 num_classes() const { return static_cast<i64>(protos_.size()); }
+
+  private:
+    PrototypeClassifier() = default;
+
+    std::vector<std::vector<double>> protos_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_EVAL_CLASSIFIER_H

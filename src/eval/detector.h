@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A detection read-out for untrained feature extractors.
+ *
+ * The paper evaluates trained Faster R-CNN heads; we cannot ship
+ * trained weights, so detection quality is measured with a calibrated
+ * read-out over the AMC target activation (see DESIGN.md,
+ * substitutions): a per-cell linear classifier (object classes plus
+ * background) is trained once on labelled calibration scenes —
+ * structurally the same operation as Faster R-CNN's 1x1-convolution
+ * RPN classifier — and detection thresholds cell probabilities,
+ * groups object cells into connected components, and maps components
+ * to pixel boxes through the target layer's receptive-field geometry.
+ * The read-out is *fixed* across execution strategies, so mAP
+ * differences isolate the quality of the predicted activations.
+ */
+#ifndef EVA2_EVAL_DETECTOR_H
+#define EVA2_EVAL_DETECTOR_H
+
+#include "cnn/network.h"
+#include "cnn/receptive_field.h"
+#include "eval/metrics.h"
+#include "eval/retrain.h"
+
+namespace eva2 {
+
+/** Calibrated activation-space detector. */
+class ActivationDetector
+{
+  public:
+    /**
+     * Train the per-cell classifier from labelled calibration scenes:
+     * moving single-object clips of every class plus empty scenes,
+     * with cells labelled by the ground-truth boxes.
+     *
+     * @param net          The (scaled) detection network.
+     * @param target_layer AMC target layer index; activations at this
+     *                     layer are what detect() consumes.
+     * @param seed         Calibration scene seed.
+     */
+    static ActivationDetector calibrate(const Network &net,
+                                        i64 target_layer, u64 seed = 7);
+
+    /**
+     * Decode detections from a target-layer activation.
+     *
+     * @param activation Target-layer activation (any provenance: full
+     *                   execution, warped, or stale).
+     * @param frame_id   Tag copied to the emitted detections.
+     */
+    std::vector<Detection> detect(const Tensor &activation,
+                                  i64 frame_id) const;
+
+    /** Per-cell class decision (background = num_classes). Exposed
+     * for tests. */
+    i64 classify_cell(const Tensor &activation, i64 y, i64 x) const;
+
+    i64 num_classes() const { return num_classes_; }
+    const ReceptiveField &rf() const { return rf_; }
+
+    /** Pixel-space centre of an activation cell coordinate. */
+    double cell_center(i64 u) const;
+
+  private:
+    ActivationDetector() = default;
+
+    std::vector<float> cell_features(const Tensor &activation, i64 y,
+                                     i64 x) const;
+
+    std::unique_ptr<LinearHead> head_;
+    i64 num_classes_ = 0;
+    /**
+     * Minimum (spatially smoothed) class probability for a cell to
+     * count as an object. The 3x3 smoothing pass in detect() already
+     * suppresses isolated noise, so the threshold is set for recall.
+     */
+    double confidence_threshold_ = 0.35;
+    ReceptiveField rf_;
+    i64 image_h_ = 0;
+    i64 image_w_ = 0;
+};
+
+} // namespace eva2
+
+#endif // EVA2_EVAL_DETECTOR_H

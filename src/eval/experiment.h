@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Experiment harnesses behind the paper's evaluation tables/figures:
+ * fixed-gap prediction quality under different motion estimators
+ * (Figure 14, Table II), adaptive key-frame policy sweeps (Figure 15,
+ * Table I), and end-to-end accuracy/efficiency points.
+ */
+#ifndef EVA2_EVAL_EXPERIMENT_H
+#define EVA2_EVAL_EXPERIMENT_H
+
+#include <functional>
+#include <memory>
+
+#include "core/amc_pipeline.h"
+#include "eval/classifier.h"
+#include "eval/detector.h"
+#include "video/frame.h"
+
+namespace eva2 {
+
+/** How the predicted frame's activation is produced (Figure 14). */
+enum class MotionSource
+{
+    kNewKey,      ///< Oracle: full CNN execution on the new frame.
+    kRfbme,       ///< The paper's RFBME + warp.
+    kLucasKanade, ///< Dense Lucas-Kanade flow + warp.
+    kDenseFlow,   ///< Dense variational flow (FlowNet2-s substitute).
+    kOldKey,      ///< Stale key activation, no update (memoization).
+    /**
+     * Exact generator motion + warp: the upper bound for externally
+     * supplied motion (Section VI's codec-vector proposal). Only
+     * available through the LabeledFrame-based experiment paths.
+     */
+    kOracleMotion,
+};
+
+/** Printable label matching the paper's Figure 14 x-axis. */
+const char *motion_source_name(MotionSource source);
+
+/**
+ * Produce the target-layer activation for `current` given a key frame,
+ * under the chosen motion source. This is the controlled-experiment
+ * core shared by the Figure 14 and Table II benches.
+ */
+Tensor predict_target_activation(const Network &net, i64 target_layer,
+                                 const Tensor &key_frame,
+                                 const Tensor &current_frame,
+                                 MotionSource source,
+                                 InterpMode interp = InterpMode::kBilinear,
+                                 i64 search_radius = 28,
+                                 i64 search_stride = 2);
+
+/**
+ * LabeledFrame overload: like the Tensor version, and additionally
+ * supports MotionSource::kOracleMotion via the frames' generator
+ * states.
+ */
+Tensor predict_target_activation(const Network &net, i64 target_layer,
+                                 const LabeledFrame &key_frame,
+                                 const LabeledFrame &current_frame,
+                                 MotionSource source,
+                                 InterpMode interp = InterpMode::kBilinear,
+                                 i64 search_radius = 28,
+                                 i64 search_stride = 2);
+
+/** Accuracy results of a fixed-gap detection experiment. */
+struct GapDetectionResult
+{
+    double map = 0.0;        ///< mAP vs. synthetic ground truth.
+    double map_oracle = 0.0; ///< mAP vs. full-execution detections.
+    i64 evaluated_frames = 0;
+};
+
+/**
+ * Fixed-gap detection quality: for key frames spaced through each
+ * sequence, predict the frame `gap_frames` later and score its
+ * detections.
+ *
+ * @param step Distance between successive key anchors (controls cost).
+ */
+GapDetectionResult detection_at_gap(
+    const Network &net, const ActivationDetector &detector,
+    const std::vector<Sequence> &sequences, i64 gap_frames,
+    MotionSource source, InterpMode interp = InterpMode::kBilinear,
+    i64 target_layer = -1, i64 step = 4, i64 search_radius = 28,
+    i64 search_stride = 2);
+
+/** Fixed-gap classification accuracy (AlexNet-style workloads). */
+struct GapClassificationResult
+{
+    double accuracy = 0.0;        ///< vs. ground-truth dominant class.
+    double oracle_agreement = 0.0; ///< vs. full execution's label.
+    i64 evaluated_frames = 0;
+};
+
+GapClassificationResult classification_at_gap(
+    const Network &net, const PrototypeClassifier &classifier,
+    const std::vector<Sequence> &sequences, i64 gap_frames,
+    MotionSource source, i64 target_layer = -1, i64 step = 4);
+
+/** Outcome of an adaptive end-to-end run over a sequence set. */
+struct AdaptiveRunResult
+{
+    double accuracy = 0.0; ///< Task metric (mAP or top-1) vs. truth.
+    double key_fraction = 0.0;
+    i64 frames = 0;
+    i64 key_frames = 0;
+};
+
+/** Factory so each sequence gets a fresh policy instance. */
+using PolicyFactory = std::function<std::unique_ptr<KeyFramePolicy>()>;
+
+/** Run the full AMC pipeline with a policy over detection sequences. */
+AdaptiveRunResult run_adaptive_detection(
+    const Network &net, const ActivationDetector &detector,
+    const std::vector<Sequence> &sequences, const PolicyFactory &policy,
+    AmcOptions options = {});
+
+/** Run the full AMC pipeline over classification sequences. */
+AdaptiveRunResult run_adaptive_classification(
+    const Network &net, const PrototypeClassifier &classifier,
+    const std::vector<Sequence> &sequences, const PolicyFactory &policy,
+    AmcOptions options = {});
+
+/** Baseline (every frame precise) detection mAP over a set. */
+double baseline_detection_map(const Network &net,
+                              const ActivationDetector &detector,
+                              const std::vector<Sequence> &sequences,
+                              i64 target_layer = -1);
+
+/** Baseline classification accuracy over a set. */
+double baseline_classification_accuracy(
+    const Network &net, const PrototypeClassifier &classifier,
+    const std::vector<Sequence> &sequences);
+
+} // namespace eva2
+
+#endif // EVA2_EVAL_EXPERIMENT_H

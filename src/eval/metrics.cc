@@ -1,0 +1,165 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace eva2 {
+
+namespace {
+
+/** Average precision for one class from matched detection flags. */
+double
+average_precision(std::vector<std::pair<double, bool>> &scored,
+                  i64 num_truths)
+{
+    if (num_truths == 0) {
+        return 0.0;
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    std::vector<double> precision;
+    std::vector<double> recall;
+    i64 tp = 0;
+    i64 fp = 0;
+    for (const auto &[score, is_tp] : scored) {
+        (void)score;
+        if (is_tp) {
+            ++tp;
+        } else {
+            ++fp;
+        }
+        precision.push_back(static_cast<double>(tp) /
+                            static_cast<double>(tp + fp));
+        recall.push_back(static_cast<double>(tp) /
+                         static_cast<double>(num_truths));
+    }
+    // All-point interpolation: integrate precision envelope over
+    // recall.
+    double ap = 0.0;
+    double prev_recall = 0.0;
+    for (size_t i = 0; i < precision.size(); ++i) {
+        double max_prec = 0.0;
+        for (size_t j = i; j < precision.size(); ++j) {
+            max_prec = std::max(max_prec, precision[j]);
+        }
+        ap += max_prec * (recall[i] - prev_recall);
+        prev_recall = recall[i];
+    }
+    return ap;
+}
+
+} // namespace
+
+double
+mean_average_precision(const std::vector<Detection> &detections,
+                       const std::vector<GtBox> &truths,
+                       double iou_threshold)
+{
+    // Group ground truth by class.
+    std::map<i64, std::vector<GtBox>> gt_by_class;
+    for (const GtBox &gt : truths) {
+        gt_by_class[gt.box.cls].push_back(gt);
+    }
+    if (gt_by_class.empty()) {
+        return 0.0;
+    }
+
+    double ap_sum = 0.0;
+    i64 classes_counted = 0;
+    for (const auto &[cls, class_gts] : gt_by_class) {
+        // Split ground truth into scoreable and "difficult" boxes.
+        std::vector<GtBox> real_gts;
+        std::vector<GtBox> difficult_gts;
+        for (const GtBox &g : class_gts) {
+            (g.box.difficult ? difficult_gts : real_gts).push_back(g);
+        }
+        if (real_gts.empty()) {
+            continue;
+        }
+        ++classes_counted;
+
+        // Detections of this class, sorted by score.
+        std::vector<Detection> class_dets;
+        for (const Detection &d : detections) {
+            if (d.box.cls == cls) {
+                class_dets.push_back(d);
+            }
+        }
+        std::sort(class_dets.begin(), class_dets.end(),
+                  [](const Detection &a, const Detection &b) {
+                      return a.score > b.score;
+                  });
+
+        std::vector<bool> gt_used(real_gts.size(), false);
+        std::vector<std::pair<double, bool>> scored;
+        scored.reserve(class_dets.size());
+        for (const Detection &d : class_dets) {
+            double best_iou = 0.0;
+            i64 best_gt = -1;
+            for (size_t g = 0; g < real_gts.size(); ++g) {
+                if (gt_used[g] || real_gts[g].frame != d.frame) {
+                    continue;
+                }
+                const double iou = d.box.iou(real_gts[g].box);
+                if (iou > best_iou) {
+                    best_iou = iou;
+                    best_gt = static_cast<i64>(g);
+                }
+            }
+            if (best_gt >= 0 && best_iou >= iou_threshold) {
+                gt_used[static_cast<size_t>(best_gt)] = true;
+                scored.emplace_back(d.score, true);
+                continue;
+            }
+            // A detection overlapping a difficult box is ignored
+            // entirely (Pascal VOC semantics).
+            bool ignored = false;
+            for (const GtBox &g : difficult_gts) {
+                if (g.frame == d.frame &&
+                    d.box.iou(g.box) >= iou_threshold * 0.5) {
+                    ignored = true;
+                    break;
+                }
+            }
+            if (!ignored) {
+                scored.emplace_back(d.score, false);
+            }
+        }
+        ap_sum += average_precision(scored,
+                                    static_cast<i64>(real_gts.size()));
+    }
+    return classes_counted > 0
+               ? ap_sum / static_cast<double>(classes_counted)
+               : 0.0;
+}
+
+i64
+top1(const Tensor &logits)
+{
+    require(logits.size() > 0, "top1: empty tensor");
+    i64 best = 0;
+    for (i64 i = 1; i < logits.size(); ++i) {
+        if (logits[i] > logits[best]) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+agreement(const std::vector<i64> &a, const std::vector<i64> &b)
+{
+    require(a.size() == b.size(), "agreement: size mismatch");
+    if (a.empty()) {
+        return 0.0;
+    }
+    i64 same = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == b[i]) {
+            ++same;
+        }
+    }
+    return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+} // namespace eva2

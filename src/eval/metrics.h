@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Vision quality metrics: top-1 accuracy for classification and mean
+ * average precision (mAP) for detection, the two metrics the paper
+ * reports (Section IV-B). Detections are matched to ground truth
+ * greedily by IoU, and AP is the area under the all-point
+ * interpolated precision-recall curve, averaged over classes.
+ */
+#ifndef EVA2_EVAL_METRICS_H
+#define EVA2_EVAL_METRICS_H
+
+#include <vector>
+
+#include "video/frame.h"
+
+namespace eva2 {
+
+/** A scored detection emitted by a detector for one frame. */
+struct Detection
+{
+    BoundingBox box;
+    double score = 0.0;
+    i64 frame = 0; ///< Frame identifier for cross-frame aggregation.
+};
+
+/** Ground-truth box tagged with its frame. */
+struct GtBox
+{
+    BoundingBox box;
+    i64 frame = 0;
+};
+
+/**
+ * Mean average precision over classes.
+ *
+ * @param detections  All detections over the evaluation set.
+ * @param truths      All ground-truth boxes over the set.
+ * @param iou_threshold Match threshold (the activation grid of the
+ *                     scaled networks quantizes boxes to the
+ *                     receptive-field stride, so the default is looser
+ *                     than the 0.5 used with full-resolution outputs).
+ * @return mAP in [0, 1]; classes with no ground truth are skipped.
+ */
+double mean_average_precision(const std::vector<Detection> &detections,
+                              const std::vector<GtBox> &truths,
+                              double iou_threshold = 0.2);
+
+/** Argmax index of a flat tensor (top-1 class). */
+i64 top1(const Tensor &logits);
+
+/** Fraction of equal entries in two label vectors. */
+double agreement(const std::vector<i64> &a, const std::vector<i64> &b);
+
+} // namespace eva2
+
+#endif // EVA2_EVAL_METRICS_H

@@ -1,0 +1,79 @@
+#include "eval/oracle_motion.h"
+
+#include <cmath>
+
+namespace eva2 {
+
+namespace {
+
+/** Topmost sprite containing (y, x), or nullptr. */
+const SpriteState *
+sprite_at(const SceneState &state, double y, double x)
+{
+    // Later sprites draw over earlier ones; scan back to front.
+    for (auto it = state.sprites.rbegin(); it != state.sprites.rend();
+         ++it) {
+        const double ny = (y - it->cy) / it->half_h;
+        const double nx = (x - it->cx) / it->half_w;
+        const bool inside = it->ellipse
+                                ? (ny * ny + nx * nx <= 1.0)
+                                : (std::fabs(ny) <= 1.0 &&
+                                   std::fabs(nx) <= 1.0);
+        if (inside) {
+            return &*it;
+        }
+    }
+    return nullptr;
+}
+
+/** Sprite with the given id, or nullptr. */
+const SpriteState *
+sprite_by_id(const SceneState &state, i64 id)
+{
+    for (const SpriteState &s : state.sprites) {
+        if (s.id == id) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+MotionField
+oracle_backward_motion(const LabeledFrame &key, const LabeledFrame &cur)
+{
+    const i64 h = cur.image.height();
+    const i64 w = cur.image.width();
+    MotionField field(h, w);
+
+    // Background: content at y in cur sits at y - pan_cur in texture
+    // space, hence at y - pan_cur + pan_key in the key frame.
+    const Vec2 pan{key.state.pan_y - cur.state.pan_y,
+                   key.state.pan_x - cur.state.pan_x};
+    // A scene cut between the frames destroys all correspondence;
+    // report zero motion (the caller's match error will be huge).
+    const bool cut = key.state.after_cut != cur.state.after_cut;
+
+    for (i64 y = 0; y < h; ++y) {
+        for (i64 x = 0; x < w; ++x) {
+            if (cut) {
+                continue; // zero-initialized
+            }
+            const SpriteState *s =
+                sprite_at(cur.state, static_cast<double>(y),
+                          static_cast<double>(x));
+            const SpriteState *in_key =
+                s != nullptr ? sprite_by_id(key.state, s->id) : nullptr;
+            if (s != nullptr && in_key != nullptr) {
+                field.at(y, x) =
+                    Vec2{in_key->cy - s->cy, in_key->cx - s->cx};
+            } else {
+                field.at(y, x) = pan;
+            }
+        }
+    }
+    return field;
+}
+
+} // namespace eva2

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Oracle motion from generator kinematics.
+ *
+ * The paper's future-work discussion (Section VI) proposes replacing
+ * RFBME with the motion vectors a hardware video codec computes
+ * anyway. Real codec vectors are rate-distortion-optimized estimates;
+ * our synthetic substrate can do one better and expose the *exact*
+ * pixel motion between two frames of a scene, giving an upper bound
+ * for what any externally supplied motion source could achieve.
+ * The experiments use it as the `MotionSource::kOracleMotion` row.
+ */
+#ifndef EVA2_EVAL_ORACLE_MOTION_H
+#define EVA2_EVAL_ORACLE_MOTION_H
+
+#include "flow/motion_field.h"
+#include "video/frame.h"
+
+namespace eva2 {
+
+/**
+ * Dense per-pixel backward motion from `cur` to `key`, computed from
+ * the generator states: for every pixel of `cur`, the offset to add
+ * to reach the same content in `key`. Sprite-covered pixels follow
+ * their sprite; background follows the pan. Content revealed by a
+ * scene cut or by sprites absent from the key frame falls back to
+ * the background motion (there is no true correspondence).
+ */
+MotionField oracle_backward_motion(const LabeledFrame &key,
+                                   const LabeledFrame &cur);
+
+} // namespace eva2
+
+#endif // EVA2_EVAL_ORACLE_MOTION_H

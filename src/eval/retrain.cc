@@ -1,0 +1,157 @@
+#include "eval/retrain.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva2 {
+
+std::vector<float>
+pooled_features(const Tensor &activation)
+{
+    std::vector<float> out(static_cast<size_t>(activation.channels()));
+    const i64 plane = activation.height() * activation.width();
+    for (i64 c = 0; c < activation.channels(); ++c) {
+        double acc = 0.0;
+        for (float v : activation.channel(c)) {
+            acc += v;
+        }
+        out[static_cast<size_t>(c)] =
+            plane > 0 ? static_cast<float>(acc /
+                                           static_cast<double>(plane))
+                      : 0.0f;
+    }
+    return out;
+}
+
+LinearHead::LinearHead(i64 classes, i64 dim)
+    : classes_(classes),
+      dim_(dim),
+      weights_(static_cast<size_t>(classes * dim), 0.0),
+      biases_(static_cast<size_t>(classes), 0.0)
+{
+}
+
+LinearHead
+LinearHead::train(const std::vector<LabeledFeatures> &data, i64 classes,
+                  i64 epochs, double lr, u64 seed)
+{
+    require(!data.empty(), "linear head: no training data");
+    const i64 dim = static_cast<i64>(data.front().x.size());
+    LinearHead head(classes, dim);
+    Rng rng(seed);
+
+    std::vector<size_t> order(data.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+
+    std::vector<double> logits(static_cast<size_t>(classes));
+    for (i64 epoch = 0; epoch < epochs; ++epoch) {
+        // Fisher-Yates shuffle with the deterministic stream.
+        for (size_t i = order.size(); i > 1; --i) {
+            const size_t j = static_cast<size_t>(
+                rng.uniform_int(0, static_cast<i64>(i) - 1));
+            std::swap(order[i - 1], order[j]);
+        }
+        const double step = lr / (1.0 + 0.05 * static_cast<double>(epoch));
+        for (size_t idx : order) {
+            const LabeledFeatures &ex = data[idx];
+            // Forward: softmax over class logits.
+            double max_logit = -1e300;
+            for (i64 c = 0; c < classes; ++c) {
+                double z = head.biases_[static_cast<size_t>(c)];
+                const double *w =
+                    &head.weights_[static_cast<size_t>(c * dim)];
+                for (i64 d = 0; d < dim; ++d) {
+                    z += w[d] * ex.x[static_cast<size_t>(d)];
+                }
+                logits[static_cast<size_t>(c)] = z;
+                max_logit = std::max(max_logit, z);
+            }
+            double denom = 0.0;
+            for (i64 c = 0; c < classes; ++c) {
+                logits[static_cast<size_t>(c)] =
+                    std::exp(logits[static_cast<size_t>(c)] - max_logit);
+                denom += logits[static_cast<size_t>(c)];
+            }
+            // Backward: gradient of cross-entropy.
+            for (i64 c = 0; c < classes; ++c) {
+                const double p = logits[static_cast<size_t>(c)] / denom;
+                const double g =
+                    p - (c == ex.label ? 1.0 : 0.0);
+                double *w = &head.weights_[static_cast<size_t>(c * dim)];
+                for (i64 d = 0; d < dim; ++d) {
+                    w[d] -= step * g * ex.x[static_cast<size_t>(d)];
+                }
+                head.biases_[static_cast<size_t>(c)] -= step * g;
+            }
+        }
+    }
+    return head;
+}
+
+std::vector<double>
+LinearHead::probabilities(const std::vector<float> &x) const
+{
+    require(static_cast<i64>(x.size()) == dim_,
+            "linear head: feature dimension mismatch");
+    std::vector<double> logits(static_cast<size_t>(classes_));
+    double max_logit = -1e300;
+    for (i64 c = 0; c < classes_; ++c) {
+        double z = biases_[static_cast<size_t>(c)];
+        const double *w = &weights_[static_cast<size_t>(c * dim_)];
+        for (i64 d = 0; d < dim_; ++d) {
+            z += w[d] * x[static_cast<size_t>(d)];
+        }
+        logits[static_cast<size_t>(c)] = z;
+        max_logit = std::max(max_logit, z);
+    }
+    double denom = 0.0;
+    for (double &z : logits) {
+        z = std::exp(z - max_logit);
+        denom += z;
+    }
+    for (double &z : logits) {
+        z /= denom;
+    }
+    return logits;
+}
+
+i64
+LinearHead::predict(const std::vector<float> &x) const
+{
+    require(static_cast<i64>(x.size()) == dim_,
+            "linear head: feature dimension mismatch");
+    double best = -1e300;
+    i64 best_cls = 0;
+    for (i64 c = 0; c < classes_; ++c) {
+        double z = biases_[static_cast<size_t>(c)];
+        const double *w = &weights_[static_cast<size_t>(c * dim_)];
+        for (i64 d = 0; d < dim_; ++d) {
+            z += w[d] * x[static_cast<size_t>(d)];
+        }
+        if (z > best) {
+            best = z;
+            best_cls = c;
+        }
+    }
+    return best_cls;
+}
+
+double
+LinearHead::accuracy(const std::vector<LabeledFeatures> &data) const
+{
+    if (data.empty()) {
+        return 0.0;
+    }
+    i64 correct = 0;
+    for (const LabeledFeatures &ex : data) {
+        if (predict(ex.x) == ex.label) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+} // namespace eva2

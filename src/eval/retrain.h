@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Suffix retraining on warped activations (Table III).
+ *
+ * The paper asks whether fine-tuning the CNN suffix on AMC's warped
+ * activations recovers accuracy lost to warp artifacts, and finds the
+ * effect small or negative. We reproduce the experiment with a
+ * trainable linear (multinomial logistic) head over globally pooled
+ * target activations — any trainable suffix answers the question; a
+ * linear head keeps training deterministic and fast (see DESIGN.md).
+ */
+#ifndef EVA2_EVAL_RETRAIN_H
+#define EVA2_EVAL_RETRAIN_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace eva2 {
+
+/** One training/test example: pooled features plus a class label. */
+struct LabeledFeatures
+{
+    std::vector<float> x;
+    i64 label = 0;
+};
+
+/** Global average pooling per channel: the head's feature vector. */
+std::vector<float> pooled_features(const Tensor &activation);
+
+/** A trainable multinomial logistic regression head. */
+class LinearHead
+{
+  public:
+    /**
+     * Train with plain SGD + softmax cross-entropy.
+     *
+     * @param data    Training examples.
+     * @param classes Number of classes.
+     * @param epochs  Full passes over the data.
+     * @param lr      Learning rate.
+     * @param seed    Shuffling/init seed (deterministic).
+     */
+    static LinearHead train(const std::vector<LabeledFeatures> &data,
+                            i64 classes, i64 epochs = 60,
+                            double lr = 0.5, u64 seed = 3);
+
+    /** Predicted class for one feature vector. */
+    i64 predict(const std::vector<float> &x) const;
+
+    /** Softmax class probabilities for one feature vector. */
+    std::vector<double> probabilities(const std::vector<float> &x) const;
+
+    /** Top-1 accuracy over a labelled set. */
+    double accuracy(const std::vector<LabeledFeatures> &data) const;
+
+    i64 classes() const { return classes_; }
+    i64 dim() const { return dim_; }
+
+  private:
+    LinearHead(i64 classes, i64 dim);
+
+    i64 classes_;
+    i64 dim_;
+    std::vector<double> weights_; ///< [classes][dim].
+    std::vector<double> biases_;  ///< [classes].
+};
+
+} // namespace eva2
+
+#endif // EVA2_EVAL_RETRAIN_H

@@ -1,0 +1,71 @@
+#include "eval/tables.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace eva2 {
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+fmt_pct(double fraction, int precision)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    require(cells.size() == headers_.size(),
+            "table row width does not match headers");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &r : rows_) {
+        for (size_t c = 0; c < r.size(); ++c) {
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << "\n";
+    };
+    print_row(headers_);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        rule += std::string(widths[c], '-') + "  ";
+    }
+    os << rule << "\n";
+    for (const auto &r : rows_) {
+        print_row(r);
+    }
+}
+
+void
+banner(const std::string &title, std::ostream &os)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace eva2

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness output, so
+ * every bench prints rows directly comparable to the paper's tables
+ * and figure series.
+ */
+#ifndef EVA2_EVAL_TABLES_H
+#define EVA2_EVAL_TABLES_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/** Fixed-precision formatting of a double. */
+std::string fmt(double v, int precision = 2);
+
+/** Percentage formatting ("54.2%"). */
+std::string fmt_pct(double fraction, int precision = 1);
+
+/** Column-aligned text table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os = std::cout) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner for bench output. */
+void banner(const std::string &title, std::ostream &os = std::cout);
+
+} // namespace eva2
+
+#endif // EVA2_EVAL_TABLES_H

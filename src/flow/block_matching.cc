@@ -1,0 +1,201 @@
+#include "flow/block_matching.h"
+
+#include <cmath>
+#include <limits>
+
+namespace eva2 {
+
+double
+block_mad(const Tensor &key, const Tensor &current, i64 by, i64 bx,
+          i64 block, i64 dy, i64 dx)
+{
+    double acc = 0.0;
+    i64 n = 0;
+    const i64 h = key.height();
+    const i64 w = key.width();
+    for (i64 y = by; y < std::min(by + block, h); ++y) {
+        const i64 ky = y + dy;
+        if (ky < 0 || ky >= h) {
+            continue;
+        }
+        for (i64 x = bx; x < std::min(bx + block, w); ++x) {
+            const i64 kx = x + dx;
+            if (kx < 0 || kx >= w) {
+                continue;
+            }
+            acc += std::fabs(static_cast<double>(current.at(0, y, x)) -
+                             static_cast<double>(key.at(0, ky, kx)));
+            ++n;
+        }
+    }
+    if (n == 0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return acc / static_cast<double>(n);
+}
+
+MotionField
+exhaustive_block_match(const Tensor &key, const Tensor &current,
+                       const BlockMatchConfig &c)
+{
+    require(key.shape() == current.shape(),
+            "block match: frame shape mismatch");
+    require(c.block_size > 0 && c.search_radius >= 0 && c.search_stride > 0,
+            "block match: bad config");
+    const i64 bh = key.height() / c.block_size;
+    const i64 bw = key.width() / c.block_size;
+    MotionField field(bh, bw);
+    for (i64 by = 0; by < bh; ++by) {
+        for (i64 bx = 0; bx < bw; ++bx) {
+            double best = std::numeric_limits<double>::infinity();
+            Vec2 best_off{0.0, 0.0};
+            for (i64 dy = -c.search_radius; dy <= c.search_radius;
+                 dy += c.search_stride) {
+                for (i64 dx = -c.search_radius; dx <= c.search_radius;
+                     dx += c.search_stride) {
+                    const double err =
+                        block_mad(key, current, by * c.block_size,
+                                  bx * c.block_size, c.block_size, dy, dx);
+                    if (err < best) {
+                        best = err;
+                        best_off = Vec2{static_cast<double>(dy),
+                                        static_cast<double>(dx)};
+                    }
+                }
+            }
+            field.at(by, bx) = best_off;
+        }
+    }
+    return field;
+}
+
+MotionField
+three_step_search(const Tensor &key, const Tensor &current,
+                  const BlockMatchConfig &c)
+{
+    require(key.shape() == current.shape(),
+            "three step search: frame shape mismatch");
+    const i64 bh = key.height() / c.block_size;
+    const i64 bw = key.width() / c.block_size;
+    MotionField field(bh, bw);
+    for (i64 by = 0; by < bh; ++by) {
+        for (i64 bx = 0; bx < bw; ++bx) {
+            i64 cy = 0;
+            i64 cx = 0;
+            double best = block_mad(key, current, by * c.block_size,
+                                    bx * c.block_size, c.block_size, 0, 0);
+            i64 step = std::max<i64>(1, c.search_radius / 2);
+            while (step >= 1) {
+                i64 next_cy = cy;
+                i64 next_cx = cx;
+                for (i64 sy = -1; sy <= 1; ++sy) {
+                    for (i64 sx = -1; sx <= 1; ++sx) {
+                        if (sy == 0 && sx == 0) {
+                            continue;
+                        }
+                        const i64 dy = cy + sy * step;
+                        const i64 dx = cx + sx * step;
+                        if (std::abs(dy) > c.search_radius ||
+                            std::abs(dx) > c.search_radius) {
+                            continue;
+                        }
+                        const double err = block_mad(
+                            key, current, by * c.block_size,
+                            bx * c.block_size, c.block_size, dy, dx);
+                        if (err < best) {
+                            best = err;
+                            next_cy = dy;
+                            next_cx = dx;
+                        }
+                    }
+                }
+                cy = next_cy;
+                cx = next_cx;
+                step /= 2;
+            }
+            field.at(by, bx) = Vec2{static_cast<double>(cy),
+                                    static_cast<double>(cx)};
+        }
+    }
+    return field;
+}
+
+MotionField
+diamond_search(const Tensor &key, const Tensor &current,
+               const BlockMatchConfig &c)
+{
+    require(key.shape() == current.shape(),
+            "diamond search: frame shape mismatch");
+    require(c.block_size > 0 && c.search_radius >= 0,
+            "diamond search: bad config");
+    // Large diamond search pattern (LDSP): centre plus 8 points at
+    // Chebyshev/Manhattan distance 2; small pattern (SDSP): the 4
+    // direct neighbours (Zhu & Ma 1997).
+    static constexpr i64 kLdsp[8][2] = {{-2, 0}, {-1, -1}, {-1, 1},
+                                        {0, -2}, {0, 2},   {1, -1},
+                                        {1, 1},  {2, 0}};
+    static constexpr i64 kSdsp[4][2] = {{-1, 0}, {0, -1}, {0, 1}, {1, 0}};
+
+    const i64 bh = key.height() / c.block_size;
+    const i64 bw = key.width() / c.block_size;
+    MotionField field(bh, bw);
+    for (i64 by = 0; by < bh; ++by) {
+        for (i64 bx = 0; bx < bw; ++bx) {
+            const i64 oy = by * c.block_size;
+            const i64 ox = bx * c.block_size;
+            i64 cy = 0;
+            i64 cx = 0;
+            double best =
+                block_mad(key, current, oy, ox, c.block_size, 0, 0);
+
+            // LDSP until the centre wins (bounded by the search
+            // radius so pathological inputs terminate).
+            for (i64 iter = 0; iter <= 2 * c.search_radius; ++iter) {
+                i64 next_cy = cy;
+                i64 next_cx = cx;
+                for (const auto &d : kLdsp) {
+                    const i64 dy = cy + d[0];
+                    const i64 dx = cx + d[1];
+                    if (std::abs(dy) > c.search_radius ||
+                        std::abs(dx) > c.search_radius) {
+                        continue;
+                    }
+                    const double err = block_mad(key, current, oy, ox,
+                                                 c.block_size, dy, dx);
+                    if (err < best) {
+                        best = err;
+                        next_cy = dy;
+                        next_cx = dx;
+                    }
+                }
+                if (next_cy == cy && next_cx == cx) {
+                    break;
+                }
+                cy = next_cy;
+                cx = next_cx;
+            }
+
+            // Final SDSP refinement.
+            for (const auto &d : kSdsp) {
+                const i64 dy = cy + d[0];
+                const i64 dx = cx + d[1];
+                if (std::abs(dy) > c.search_radius ||
+                    std::abs(dx) > c.search_radius) {
+                    continue;
+                }
+                const double err = block_mad(key, current, oy, ox,
+                                             c.block_size, dy, dx);
+                if (err < best) {
+                    best = err;
+                    cy = dy;
+                    cx = dx;
+                }
+            }
+            field.at(by, bx) = Vec2{static_cast<double>(cy),
+                                    static_cast<double>(cx)};
+        }
+    }
+    return field;
+}
+
+} // namespace eva2

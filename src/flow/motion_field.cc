@@ -1,0 +1,37 @@
+#include "flow/motion_field.h"
+
+#include <algorithm>
+
+namespace eva2 {
+
+MotionField
+average_to_grid(const MotionField &dense, i64 out_h, i64 out_w, i64 size,
+                i64 stride, i64 pad)
+{
+    MotionField out(out_h, out_w);
+    for (i64 uy = 0; uy < out_h; ++uy) {
+        const i64 y_lo = std::max<i64>(0, uy * stride - pad);
+        const i64 y_hi =
+            std::min(dense.height(), uy * stride - pad + size);
+        for (i64 ux = 0; ux < out_w; ++ux) {
+            const i64 x_lo = std::max<i64>(0, ux * stride - pad);
+            const i64 x_hi =
+                std::min(dense.width(), ux * stride - pad + size);
+            Vec2 acc{0.0, 0.0};
+            i64 count = 0;
+            for (i64 y = y_lo; y < y_hi; ++y) {
+                for (i64 x = x_lo; x < x_hi; ++x) {
+                    acc = acc + dense.at(y, x);
+                    ++count;
+                }
+            }
+            if (count > 0) {
+                out.at(uy, ux) =
+                    acc * (1.0 / static_cast<double>(count));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace eva2

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Motion vector fields.
+ *
+ * Every motion estimator in this library produces a *backward* field of
+ * source offsets: for a grid position u in the new frame, v(u) is the
+ * relative position in the key frame the content at u came from, i.e.
+ *
+ *     new(u) ~= key(u + v(u)).
+ *
+ * This is exactly the quantity activation warping consumes: the
+ * predicted activation at u is read from the stored key activation at
+ * u + v(u) / stride (Section II-B). Block-matching offsets are
+ * backward by construction ("the location of the closest matching
+ * reference block"); the optical-flow estimators are run in the
+ * new-to-key direction to match.
+ */
+#ifndef EVA2_FLOW_MOTION_FIELD_H
+#define EVA2_FLOW_MOTION_FIELD_H
+
+#include <cmath>
+#include <vector>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/** A 2D displacement in (row, column) order. */
+struct Vec2
+{
+    double dy = 0.0;
+    double dx = 0.0;
+
+    double magnitude() const { return std::hypot(dy, dx); }
+
+    Vec2
+    operator+(const Vec2 &o) const
+    {
+        return {dy + o.dy, dx + o.dx};
+    }
+
+    Vec2
+    operator*(double s) const
+    {
+        return {dy * s, dx * s};
+    }
+
+    bool operator==(const Vec2 &o) const = default;
+};
+
+/** A dense grid of displacement vectors at some granularity. */
+class MotionField
+{
+  public:
+    MotionField() = default;
+
+    /** A zero field of the given grid size. */
+    MotionField(i64 h, i64 w)
+        : h_(h), w_(w),
+          v_(static_cast<size_t>(h * w))
+    {
+        require(h >= 0 && w >= 0, "motion field dims must be >= 0");
+    }
+
+    /** A constant field (every cell = vec). */
+    static MotionField
+    uniform(i64 h, i64 w, Vec2 vec)
+    {
+        MotionField f(h, w);
+        for (auto &cell : f.v_) {
+            cell = vec;
+        }
+        return f;
+    }
+
+    i64 height() const { return h_; }
+    i64 width() const { return w_; }
+    i64 size() const { return h_ * w_; }
+
+    Vec2 &
+    at(i64 y, i64 x)
+    {
+        return v_[static_cast<size_t>(y * w_ + x)];
+    }
+
+    const Vec2 &
+    at(i64 y, i64 x) const
+    {
+        return v_[static_cast<size_t>(y * w_ + x)];
+    }
+
+    /** Sum of vector magnitudes: the paper's "total motion magnitude"
+     * key-frame feature (Section II-C4). */
+    double
+    total_magnitude() const
+    {
+        double acc = 0.0;
+        for (const Vec2 &vec : v_) {
+            acc += vec.magnitude();
+        }
+        return acc;
+    }
+
+    /** Mean vector magnitude over the grid. */
+    double
+    mean_magnitude() const
+    {
+        return v_.empty()
+                   ? 0.0
+                   : total_magnitude() / static_cast<double>(v_.size());
+    }
+
+    /** Scale every vector by s (e.g. 1/stride for activation space). */
+    MotionField
+    scaled(double s) const
+    {
+        MotionField out(h_, w_);
+        for (size_t i = 0; i < v_.size(); ++i) {
+            out.v_[i] = v_[i] * s;
+        }
+        return out;
+    }
+
+  private:
+    i64 h_ = 0;
+    i64 w_ = 0;
+    std::vector<Vec2> v_;
+};
+
+/**
+ * Reduce a dense per-pixel field to receptive-field granularity by
+ * averaging the vectors inside each receptive field's pixel window —
+ * the conversion the paper applies to the pixel-level baselines in
+ * its Figure 14 comparison.
+ *
+ * @param dense   Per-pixel field (h x w in image coordinates).
+ * @param out_h   Target grid height (activation rows).
+ * @param out_w   Target grid width (activation columns).
+ * @param size    Receptive-field extent in pixels.
+ * @param stride  Receptive-field stride in pixels.
+ * @param pad     Receptive-field padding in pixels.
+ */
+MotionField average_to_grid(const MotionField &dense, i64 out_h, i64 out_w,
+                            i64 size, i64 stride, i64 pad);
+
+} // namespace eva2
+
+#endif // EVA2_FLOW_MOTION_FIELD_H

@@ -1,0 +1,269 @@
+#include "flow/optical_flow.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace eva2 {
+
+namespace {
+
+/** Central-difference spatial gradients of a single-channel image. */
+void
+gradients(const Tensor &img, Tensor &gy, Tensor &gx)
+{
+    const i64 h = img.height();
+    const i64 w = img.width();
+    gy = Tensor(1, h, w);
+    gx = Tensor(1, h, w);
+    for (i64 y = 0; y < h; ++y) {
+        for (i64 x = 0; x < w; ++x) {
+            const float yp = img.at_padded(0, y + 1, x);
+            const float ym = img.at_padded(0, y - 1, x);
+            const float xp = img.at_padded(0, y, x + 1);
+            const float xm = img.at_padded(0, y, x - 1);
+            gy.at(0, y, x) = 0.5f * (yp - ym);
+            gx.at(0, y, x) = 0.5f * (xp - xm);
+        }
+    }
+}
+
+/** One Lucas-Kanade refinement pass at a single scale. */
+void
+lk_refine(const Tensor &from, const Tensor &to,
+          const LucasKanadeConfig &c, MotionField &flow)
+{
+    const i64 h = from.height();
+    const i64 w = from.width();
+    Tensor gy;
+    Tensor gx;
+    gradients(from, gy, gx);
+    const i64 half = c.window / 2;
+
+    for (i64 iter = 0; iter < c.iterations; ++iter) {
+        MotionField next = flow;
+        for (i64 y = 0; y < h; ++y) {
+            for (i64 x = 0; x < w; ++x) {
+                const Vec2 cur = flow.at(y, x);
+                double a11 = 0.0;
+                double a12 = 0.0;
+                double a22 = 0.0;
+                double b1 = 0.0;
+                double b2 = 0.0;
+                for (i64 wy = -half; wy <= half; ++wy) {
+                    const i64 py = y + wy;
+                    if (py < 0 || py >= h) {
+                        continue;
+                    }
+                    for (i64 wx = -half; wx <= half; ++wx) {
+                        const i64 px = x + wx;
+                        if (px < 0 || px >= w) {
+                            continue;
+                        }
+                        const double iy = gy.at(0, py, px);
+                        const double ix = gx.at(0, py, px);
+                        // Temporal difference with the current warp.
+                        const double warped = bilinear_sample(
+                            to, 0, static_cast<double>(py) + cur.dy,
+                            static_cast<double>(px) + cur.dx);
+                        const double it =
+                            warped - static_cast<double>(
+                                         from.at(0, py, px));
+                        a11 += iy * iy;
+                        a12 += iy * ix;
+                        a22 += ix * ix;
+                        b1 += iy * it;
+                        b2 += ix * it;
+                    }
+                }
+                const double det = a11 * a22 - a12 * a12;
+                if (std::fabs(det) < 1e-9) {
+                    continue;
+                }
+                const double ddy = (-a22 * b1 + a12 * b2) / det;
+                const double ddx = (a12 * b1 - a11 * b2) / det;
+                // Damped update keeps the iteration stable on the
+                // strongly textured synthetic inputs.
+                next.at(y, x) =
+                    Vec2{cur.dy + 0.8 * ddy, cur.dx + 0.8 * ddx};
+            }
+        }
+        flow = next;
+    }
+}
+
+/** Bilinearly upsample a flow field to a larger grid, scaling x2. */
+MotionField
+upsample_flow(const MotionField &coarse, i64 out_h, i64 out_w)
+{
+    MotionField fine(out_h, out_w);
+    for (i64 y = 0; y < out_h; ++y) {
+        for (i64 x = 0; x < out_w; ++x) {
+            const double sy = std::min(
+                static_cast<double>(coarse.height() - 1),
+                static_cast<double>(y) / 2.0);
+            const double sx = std::min(
+                static_cast<double>(coarse.width() - 1),
+                static_cast<double>(x) / 2.0);
+            const i64 y0 = static_cast<i64>(std::floor(sy));
+            const i64 x0 = static_cast<i64>(std::floor(sx));
+            const i64 y1 = std::min(coarse.height() - 1, y0 + 1);
+            const i64 x1 = std::min(coarse.width() - 1, x0 + 1);
+            const double fy = sy - static_cast<double>(y0);
+            const double fx = sx - static_cast<double>(x0);
+            const Vec2 v00 = coarse.at(y0, x0);
+            const Vec2 v01 = coarse.at(y0, x1);
+            const Vec2 v10 = coarse.at(y1, x0);
+            const Vec2 v11 = coarse.at(y1, x1);
+            Vec2 top = v00 * (1.0 - fx) + v01 * fx;
+            Vec2 bot = v10 * (1.0 - fx) + v11 * fx;
+            fine.at(y, x) = (top * (1.0 - fy) + bot * fy) * 2.0;
+        }
+    }
+    return fine;
+}
+
+} // namespace
+
+Tensor
+downsample2(const Tensor &t)
+{
+    const i64 h = std::max<i64>(1, t.height() / 2);
+    const i64 w = std::max<i64>(1, t.width() / 2);
+    Tensor out(t.channels(), h, w);
+    for (i64 c = 0; c < t.channels(); ++c) {
+        for (i64 y = 0; y < h; ++y) {
+            for (i64 x = 0; x < w; ++x) {
+                float acc = 0.0f;
+                int n = 0;
+                for (i64 sy = 2 * y; sy < std::min(t.height(), 2 * y + 2);
+                     ++sy) {
+                    for (i64 sx = 2 * x;
+                         sx < std::min(t.width(), 2 * x + 2); ++sx) {
+                        acc += t.at(c, sy, sx);
+                        ++n;
+                    }
+                }
+                out.at(c, y, x) = acc / static_cast<float>(n);
+            }
+        }
+    }
+    return out;
+}
+
+MotionField
+lucas_kanade(const Tensor &from, const Tensor &to,
+             const LucasKanadeConfig &config)
+{
+    require(from.shape() == to.shape(), "lucas_kanade: shape mismatch");
+    require(from.channels() == 1, "lucas_kanade: single-channel only");
+
+    // Build pyramids.
+    std::vector<Tensor> pyr_from{from};
+    std::vector<Tensor> pyr_to{to};
+    for (i64 l = 1; l < config.pyramid_levels; ++l) {
+        if (pyr_from.back().height() < 16 ||
+            pyr_from.back().width() < 16) {
+            break;
+        }
+        pyr_from.push_back(downsample2(pyr_from.back()));
+        pyr_to.push_back(downsample2(pyr_to.back()));
+    }
+
+    MotionField flow(pyr_from.back().height(), pyr_from.back().width());
+    for (i64 l = static_cast<i64>(pyr_from.size()) - 1; l >= 0; --l) {
+        if (l != static_cast<i64>(pyr_from.size()) - 1) {
+            flow = upsample_flow(flow, pyr_from[static_cast<size_t>(l)]
+                                           .height(),
+                                 pyr_from[static_cast<size_t>(l)].width());
+        }
+        lk_refine(pyr_from[static_cast<size_t>(l)],
+                  pyr_to[static_cast<size_t>(l)], config, flow);
+    }
+    return flow;
+}
+
+MotionField
+horn_schunck(const Tensor &from, const Tensor &to,
+             const HornSchunckConfig &config)
+{
+    require(from.shape() == to.shape(), "horn_schunck: shape mismatch");
+    require(from.channels() == 1, "horn_schunck: single-channel only");
+    const i64 h = from.height();
+    const i64 w = from.width();
+
+    // Gradients of the average image plus the temporal difference.
+    Tensor gy;
+    Tensor gx;
+    Tensor avg(1, h, w);
+    for (i64 i = 0; i < avg.size(); ++i) {
+        avg[i] = 0.5f * (from[i] + to[i]);
+    }
+    gradients(avg, gy, gx);
+    Tensor gt(1, h, w);
+    for (i64 i = 0; i < gt.size(); ++i) {
+        gt[i] = to[i] - from[i];
+    }
+
+    // Normalize the brightness scale so the data term's weight is
+    // independent of the input's dynamic range ([0,1] frames would
+    // otherwise be swamped by any fixed alpha).
+    double mean = 0.0;
+    for (i64 i = 0; i < avg.size(); ++i) {
+        mean += avg[i];
+    }
+    mean /= static_cast<double>(avg.size());
+    double var = 0.0;
+    for (i64 i = 0; i < avg.size(); ++i) {
+        const double d = avg[i] - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(avg.size());
+    const double stddev = std::sqrt(var);
+    if (stddev > 1e-9) {
+        const float inv = static_cast<float>(1.0 / stddev);
+        for (i64 i = 0; i < gy.size(); ++i) {
+            gy[i] *= inv;
+            gx[i] *= inv;
+            gt[i] *= inv;
+        }
+    }
+
+    MotionField flow(h, w);
+    const double alpha2 = config.alpha * config.alpha;
+    for (i64 iter = 0; iter < config.iterations; ++iter) {
+        MotionField next(h, w);
+        for (i64 y = 0; y < h; ++y) {
+            for (i64 x = 0; x < w; ++x) {
+                // 4-neighbour average of the current field (Jacobi).
+                Vec2 bar{0.0, 0.0};
+                int n = 0;
+                const i64 ny[4] = {y - 1, y + 1, y, y};
+                const i64 nx[4] = {x, x, x - 1, x + 1};
+                for (int k = 0; k < 4; ++k) {
+                    if (ny[k] < 0 || ny[k] >= h || nx[k] < 0 ||
+                        nx[k] >= w) {
+                        continue;
+                    }
+                    bar = bar + flow.at(ny[k], nx[k]);
+                    ++n;
+                }
+                if (n > 0) {
+                    bar = bar * (1.0 / static_cast<double>(n));
+                }
+                const double iy = gy.at(0, y, x);
+                const double ix = gx.at(0, y, x);
+                const double it = gt.at(0, y, x);
+                const double denom = alpha2 + iy * iy + ix * ix;
+                const double common =
+                    (iy * bar.dy + ix * bar.dx + it) / denom;
+                next.at(y, x) =
+                    Vec2{bar.dy - iy * common, bar.dx - ix * common};
+            }
+        }
+        flow = next;
+    }
+    return flow;
+}
+
+} // namespace eva2

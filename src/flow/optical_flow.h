@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dense pixel-level optical flow baselines for the Figure 14
+ * comparison: classic Lucas-Kanade (iterative, pyramidal) and
+ * Horn-Schunck (variational). Horn-Schunck stands in for the paper's
+ * FlowNet2-s baseline — we cannot ship trained CNN flow weights, and
+ * H-S plays the same role: a dense, smooth, sub-pixel flow field that
+ * is far more expensive than RFBME (see DESIGN.md, substitutions).
+ *
+ * Both estimators are invoked in the new-to-key direction so their
+ * output is a backward source-offset field (see motion_field.h).
+ */
+#ifndef EVA2_FLOW_OPTICAL_FLOW_H
+#define EVA2_FLOW_OPTICAL_FLOW_H
+
+#include "flow/motion_field.h"
+#include "tensor/tensor.h"
+
+namespace eva2 {
+
+/** Lucas-Kanade parameters. */
+struct LucasKanadeConfig
+{
+    i64 window = 9;         ///< Square aggregation window.
+    i64 iterations = 3;     ///< Warp-refine iterations per level.
+    i64 pyramid_levels = 3; ///< Coarse-to-fine levels.
+};
+
+/** Horn-Schunck parameters. */
+struct HornSchunckConfig
+{
+    /**
+     * Smoothness weight, relative to unit-variance brightness (the
+     * solver normalizes gradients by the input's standard deviation).
+     */
+    double alpha = 1.0;
+    i64 iterations = 200; ///< Jacobi relaxation iterations.
+};
+
+/**
+ * Dense Lucas-Kanade flow from `from` to `to`: returns a per-pixel
+ * field d with to(u + d(u)) ~= from(u). Call with from = new frame,
+ * to = key frame to get the backward field AMC consumes.
+ */
+MotionField lucas_kanade(const Tensor &from, const Tensor &to,
+                         const LucasKanadeConfig &config = {});
+
+/** Dense Horn-Schunck flow, same conventions as lucas_kanade(). */
+MotionField horn_schunck(const Tensor &from, const Tensor &to,
+                         const HornSchunckConfig &config = {});
+
+/** Box-filtered 2x downsample used by the pyramid (exposed for tests). */
+Tensor downsample2(const Tensor &t);
+
+} // namespace eva2
+
+#endif // EVA2_FLOW_OPTICAL_FLOW_H

@@ -1,0 +1,310 @@
+#include "flow/rfbme.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/math_util.h"
+
+namespace eva2 {
+
+namespace {
+
+/** Floor division that is correct for negative numerators. */
+i64
+floor_div(i64 a, i64 b)
+{
+    i64 q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) {
+        --q;
+    }
+    return q;
+}
+
+/** Ceiling division that is correct for negative numerators. */
+i64
+ceil_div_signed(i64 a, i64 b)
+{
+    return -floor_div(-a, b);
+}
+
+/** The grid of candidate offsets (always includes the zero offset). */
+std::vector<Vec2>
+make_offsets(const RfbmeConfig &c)
+{
+    std::vector<Vec2> offsets;
+    const i64 steps = c.search_radius / c.search_stride;
+    for (i64 dy = -steps; dy <= steps; ++dy) {
+        for (i64 dx = -steps; dx <= steps; ++dx) {
+            offsets.push_back(Vec2{
+                static_cast<double>(dy * c.search_stride),
+                static_cast<double>(dx * c.search_stride)});
+        }
+    }
+    return offsets;
+}
+
+/**
+ * Full-tile range [t_lo, t_hi) covered by receptive field coordinate u
+ * along one axis, clipped to the image's tile grid. A tile t covers
+ * pixels [t*s, (t+1)*s); it belongs to the receptive field only if it
+ * lies entirely within the field's window (partial tiles are ignored,
+ * Section III-A).
+ */
+void
+tile_range(i64 u, const RfbmeConfig &c, i64 tiles, i64 &t_lo, i64 &t_hi)
+{
+    const i64 s = c.rf_stride;
+    const i64 start = u * c.rf_stride - c.rf_pad;
+    t_lo = std::max<i64>(0, ceil_div_signed(start, s));
+    t_hi = std::min<i64>(tiles, floor_div(start + c.rf_size, s));
+}
+
+void
+validate(const Tensor &key, const Tensor &current, const RfbmeConfig &c)
+{
+    require(key.shape() == current.shape(),
+            "rfbme: frame shape mismatch");
+    require(key.channels() == 1, "rfbme: frames must be single-channel");
+    require(c.rf_size > 0 && c.rf_stride > 0 && c.rf_pad >= 0,
+            "rfbme: invalid receptive-field geometry");
+    require(c.search_radius >= 0 && c.search_stride > 0,
+            "rfbme: invalid search parameters");
+}
+
+} // namespace
+
+i64
+rfbme_out_size(i64 image_extent, const RfbmeConfig &config)
+{
+    return conv_out_size(image_extent, config.rf_size, config.rf_stride,
+                         config.rf_pad);
+}
+
+RfbmeResult
+rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
+{
+    validate(key, current, config);
+    const i64 h = key.height();
+    const i64 w = key.width();
+    const i64 s = config.rf_stride;
+    const i64 tiles_y = h / s;
+    const i64 tiles_x = w / s;
+    const i64 out_h = rfbme_out_size(h, config);
+    const i64 out_w = rfbme_out_size(w, config);
+    const std::vector<Vec2> offsets = make_offsets(config);
+
+    RfbmeResult result;
+    result.field = MotionField(out_h, out_w);
+    result.rf_errors.assign(static_cast<size_t>(out_h * out_w),
+                            std::numeric_limits<double>::infinity());
+
+    // Per-offset tile difference and valid-pixel-count planes, plus
+    // their 2D prefix sums for O(1) receptive-field aggregation (the
+    // software analogue of the diff tile consumer's rolling sums).
+    const size_t plane = static_cast<size_t>((tiles_y + 1) * (tiles_x + 1));
+    std::vector<double> prefix_diff(plane);
+    std::vector<double> prefix_count(plane);
+    std::vector<double> tile_diff(static_cast<size_t>(tiles_y * tiles_x));
+    std::vector<double> tile_count(static_cast<size_t>(tiles_y * tiles_x));
+
+    std::vector<double> best(static_cast<size_t>(out_h * out_w),
+                             std::numeric_limits<double>::infinity());
+
+    for (const Vec2 &off : offsets) {
+        const i64 dy = static_cast<i64>(off.dy);
+        const i64 dx = static_cast<i64>(off.dx);
+
+        // Diff tile producer: absolute pixel differences per tile.
+        for (i64 ty = 0; ty < tiles_y; ++ty) {
+            for (i64 tx = 0; tx < tiles_x; ++tx) {
+                double d = 0.0;
+                i64 n = 0;
+                for (i64 y = ty * s; y < (ty + 1) * s; ++y) {
+                    const i64 ky = y + dy;
+                    if (ky < 0 || ky >= h) {
+                        continue;
+                    }
+                    for (i64 x = tx * s; x < (tx + 1) * s; ++x) {
+                        const i64 kx = x + dx;
+                        if (kx < 0 || kx >= w) {
+                            continue;
+                        }
+                        d += std::fabs(
+                            static_cast<double>(current.at(0, y, x)) -
+                            static_cast<double>(key.at(0, ky, kx)));
+                        ++n;
+                    }
+                }
+                tile_diff[static_cast<size_t>(ty * tiles_x + tx)] = d;
+                tile_count[static_cast<size_t>(ty * tiles_x + tx)] =
+                    static_cast<double>(n);
+                result.add_ops += n;
+            }
+        }
+
+        // Prefix sums over the tile grid.
+        for (i64 ty = 0; ty <= tiles_y; ++ty) {
+            for (i64 tx = 0; tx <= tiles_x; ++tx) {
+                const size_t idx =
+                    static_cast<size_t>(ty * (tiles_x + 1) + tx);
+                if (ty == 0 || tx == 0) {
+                    prefix_diff[idx] = 0.0;
+                    prefix_count[idx] = 0.0;
+                    continue;
+                }
+                const size_t up =
+                    static_cast<size_t>((ty - 1) * (tiles_x + 1) + tx);
+                const size_t left =
+                    static_cast<size_t>(ty * (tiles_x + 1) + tx - 1);
+                const size_t diag =
+                    static_cast<size_t>((ty - 1) * (tiles_x + 1) + tx - 1);
+                const size_t cell =
+                    static_cast<size_t>((ty - 1) * tiles_x + tx - 1);
+                prefix_diff[idx] = tile_diff[cell] + prefix_diff[up] +
+                                   prefix_diff[left] - prefix_diff[diag];
+                prefix_count[idx] = tile_count[cell] + prefix_count[up] +
+                                    prefix_count[left] -
+                                    prefix_count[diag];
+                result.add_ops += 6;
+            }
+        }
+
+        // Diff tile consumer: aggregate tiles per receptive field and
+        // track the running minimum (min-check register).
+        for (i64 uy = 0; uy < out_h; ++uy) {
+            i64 ty_lo;
+            i64 ty_hi;
+            tile_range(uy, config, tiles_y, ty_lo, ty_hi);
+            if (ty_lo >= ty_hi) {
+                continue;
+            }
+            for (i64 ux = 0; ux < out_w; ++ux) {
+                i64 tx_lo;
+                i64 tx_hi;
+                tile_range(ux, config, tiles_x, tx_lo, tx_hi);
+                if (tx_lo >= tx_hi) {
+                    continue;
+                }
+                auto rect = [&](const std::vector<double> &p) {
+                    return p[static_cast<size_t>(ty_hi * (tiles_x + 1) +
+                                                 tx_hi)] -
+                           p[static_cast<size_t>(ty_lo * (tiles_x + 1) +
+                                                 tx_hi)] -
+                           p[static_cast<size_t>(ty_hi * (tiles_x + 1) +
+                                                 tx_lo)] +
+                           p[static_cast<size_t>(ty_lo * (tiles_x + 1) +
+                                                 tx_lo)];
+                };
+                const double count = rect(prefix_count);
+                result.add_ops += 6;
+                if (count <= 0.0) {
+                    continue;
+                }
+                const double err = rect(prefix_diff) / count;
+                const size_t idx = static_cast<size_t>(uy * out_w + ux);
+                if (err < best[idx]) {
+                    best[idx] = err;
+                    result.field.at(uy, ux) = off;
+                    result.rf_errors[idx] = err;
+                }
+            }
+        }
+    }
+
+    result.total_error = 0.0;
+    for (double &e : result.rf_errors) {
+        if (std::isinf(e)) {
+            e = 0.0;
+        }
+        result.total_error += e;
+    }
+    result.mean_error =
+        result.rf_errors.empty()
+            ? 0.0
+            : result.total_error /
+                  static_cast<double>(result.rf_errors.size());
+    return result;
+}
+
+RfbmeResult
+rfbme_naive(const Tensor &key, const Tensor &current,
+            const RfbmeConfig &config)
+{
+    validate(key, current, config);
+    const i64 h = key.height();
+    const i64 w = key.width();
+    const i64 s = config.rf_stride;
+    const i64 tiles_y = h / s;
+    const i64 tiles_x = w / s;
+    const i64 out_h = rfbme_out_size(h, config);
+    const i64 out_w = rfbme_out_size(w, config);
+    const std::vector<Vec2> offsets = make_offsets(config);
+
+    RfbmeResult result;
+    result.field = MotionField(out_h, out_w);
+    result.rf_errors.assign(static_cast<size_t>(out_h * out_w), 0.0);
+
+    for (i64 uy = 0; uy < out_h; ++uy) {
+        i64 ty_lo;
+        i64 ty_hi;
+        tile_range(uy, config, tiles_y, ty_lo, ty_hi);
+        for (i64 ux = 0; ux < out_w; ++ux) {
+            i64 tx_lo;
+            i64 tx_hi;
+            tile_range(ux, config, tiles_x, tx_lo, tx_hi);
+            if (ty_lo >= ty_hi || tx_lo >= tx_hi) {
+                continue;
+            }
+            double best_err = std::numeric_limits<double>::infinity();
+            Vec2 best_off{0.0, 0.0};
+            for (const Vec2 &off : offsets) {
+                const i64 dy = static_cast<i64>(off.dy);
+                const i64 dx = static_cast<i64>(off.dx);
+                double d = 0.0;
+                i64 n = 0;
+                for (i64 y = ty_lo * s; y < ty_hi * s; ++y) {
+                    const i64 ky = y + dy;
+                    if (ky < 0 || ky >= h) {
+                        continue;
+                    }
+                    for (i64 x = tx_lo * s; x < tx_hi * s; ++x) {
+                        const i64 kx = x + dx;
+                        if (kx < 0 || kx >= w) {
+                            continue;
+                        }
+                        d += std::fabs(
+                            static_cast<double>(current.at(0, y, x)) -
+                            static_cast<double>(key.at(0, ky, kx)));
+                        ++n;
+                    }
+                }
+                result.add_ops += n;
+                if (n == 0) {
+                    continue;
+                }
+                const double err = d / static_cast<double>(n);
+                if (err < best_err) {
+                    best_err = err;
+                    best_off = off;
+                }
+            }
+            if (!std::isinf(best_err)) {
+                result.field.at(uy, ux) = best_off;
+                result.rf_errors[static_cast<size_t>(uy * out_w + ux)] =
+                    best_err;
+            }
+        }
+    }
+
+    for (double e : result.rf_errors) {
+        result.total_error += e;
+    }
+    result.mean_error =
+        result.rf_errors.empty()
+            ? 0.0
+            : result.total_error /
+                  static_cast<double>(result.rf_errors.size());
+    return result;
+}
+
+} // namespace eva2

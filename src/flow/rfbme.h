@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Receptive field block motion estimation (RFBME), the paper's new
+ * motion estimation algorithm (Sections II-C1 and III-A).
+ *
+ * RFBME estimates one motion vector per *receptive field* of the AMC
+ * target layer, exactly the granularity activation warping can use.
+ * It exploits two properties of receptive fields: (1) nearby fields
+ * overlap heavily, so their absolute-difference sums share tile-level
+ * partial sums (tiles are s x s squares where s is the receptive-field
+ * stride), and (2) padding places part of border fields outside the
+ * image, where comparisons are unnecessary.
+ *
+ * `rfbme()` is the optimized functional algorithm (tile reuse via
+ * summed-area tables, the software analogue of the hardware's rolling
+ * adds/subtracts); `rfbme_naive()` recomputes every receptive field
+ * from scratch and exists to validate the optimized path and to
+ * measure the op-count gap the paper quantifies in Section IV-A.
+ */
+#ifndef EVA2_FLOW_RFBME_H
+#define EVA2_FLOW_RFBME_H
+
+#include <vector>
+
+#include "flow/motion_field.h"
+#include "tensor/tensor.h"
+
+namespace eva2 {
+
+/** Parameters of an RFBME run. */
+struct RfbmeConfig
+{
+    i64 rf_size = 6;   ///< Receptive-field extent in pixels.
+    i64 rf_stride = 2; ///< Receptive-field stride in pixels.
+    i64 rf_pad = 2;    ///< Receptive-field padding in pixels.
+    i64 search_radius = 12; ///< Max offset searched, in pixels.
+    i64 search_stride = 2;  ///< Offset grid step, in pixels.
+};
+
+/** Output of an RFBME run. */
+struct RfbmeResult
+{
+    /**
+     * Backward source offsets (pixel units) on the activation grid:
+     * activation(u) should be read from key activation at
+     * u + field(u)/rf_stride.
+     */
+    MotionField field;
+
+    /**
+     * Per-receptive-field minimum mean absolute pixel difference, the
+     * block "match error" reused by the adaptive key-frame policy.
+     * Row-major, aligned with `field`.
+     */
+    std::vector<double> rf_errors;
+
+    /** Sum of rf_errors: the aggregate match-quality feature. */
+    double total_error = 0.0;
+
+    /** Mean of rf_errors. */
+    double mean_error = 0.0;
+
+    /** Arithmetic (add/subtract) operations actually performed. */
+    i64 add_ops = 0;
+};
+
+/**
+ * Run optimized RFBME between a stored key frame and the current
+ * frame. Both frames must be single-channel and the same size.
+ */
+RfbmeResult rfbme(const Tensor &key, const Tensor &current,
+                  const RfbmeConfig &config);
+
+/**
+ * Reference implementation without tile reuse: every receptive field
+ * difference is recomputed pixel by pixel. Must produce identical
+ * vectors and errors to rfbme().
+ */
+RfbmeResult rfbme_naive(const Tensor &key, const Tensor &current,
+                        const RfbmeConfig &config);
+
+/** Activation-grid height RFBME produces for an image height. */
+i64 rfbme_out_size(i64 image_extent, const RfbmeConfig &config);
+
+} // namespace eva2
+
+#endif // EVA2_FLOW_RFBME_H

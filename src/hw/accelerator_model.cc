@@ -1,0 +1,96 @@
+#include "hw/accelerator_model.h"
+
+namespace eva2 {
+
+namespace {
+
+/** Published-aggregate calibration anchors (see class comment). */
+constexpr double kAlexConvMacs = 0.666e9;
+constexpr double kAlexConvMs = 115.3;
+constexpr double kAlexConvMj = 31.9;
+
+constexpr double kVggConvMacs = 15.35e9;
+constexpr double kVggConvMs = 4309.5;
+constexpr double kVggConvMj = 1028.0;
+
+/** EIE 45 nm -> 65 nm linear scaling factor. */
+constexpr double kEieScale = 65.0 / 45.0;
+
+} // namespace
+
+EyerissModel::EyerissModel(Family family)
+{
+    if (family == Family::kAlexNetLike) {
+        macs_per_second_ = kAlexConvMacs / (kAlexConvMs * 1e-3);
+        energy_pj_per_mac_ = kAlexConvMj * 1e9 / kAlexConvMacs;
+    } else {
+        macs_per_second_ = kVggConvMacs / (kVggConvMs * 1e-3);
+        energy_pj_per_mac_ = kVggConvMj * 1e9 / kVggConvMacs;
+    }
+}
+
+EyerissModel::Family
+EyerissModel::family_for(const NetworkSpec &spec)
+{
+    // AlexNet and CNN-M share the large-kernel, LRN-bearing "medium"
+    // topology; VGG-derived networks are deep 3x3 stacks.
+    if (spec.name == "AlexNet") {
+        return Family::kAlexNetLike;
+    }
+    return Family::kVggLike;
+}
+
+HwCost
+EyerissModel::conv_cost(i64 macs) const
+{
+    HwCost cost;
+    cost.latency_ms =
+        static_cast<double>(macs) / macs_per_second_ * 1e3;
+    cost.energy_mj =
+        static_cast<double>(macs) * energy_pj_per_mac_ * 1e-9;
+    return cost;
+}
+
+EieModel::EieModel()
+{
+    // EIE processes compressed FC layers at an effective dense-
+    // equivalent rate of ~0.59 TMAC/s (102 GOP/s on weights at ~11%
+    // density); power 0.59 W at 45 nm. Scale both to 65 nm.
+    macs_per_second_ = 0.59e12 / kEieScale;
+    power_w_ = 0.59 * kEieScale;
+}
+
+HwCost
+EieModel::fc_cost(i64 macs) const
+{
+    HwCost cost;
+    const double seconds = static_cast<double>(macs) / macs_per_second_;
+    cost.latency_ms = seconds * 1e3;
+    cost.energy_mj = seconds * power_w_ * 1e3;
+    return cost;
+}
+
+HwCost
+baseline_cost(const std::vector<LayerCost> &costs,
+              const EyerissModel &eyeriss, const EieModel &eie, i64 begin,
+              i64 end)
+{
+    if (end < 0) {
+        end = static_cast<i64>(costs.size());
+    }
+    require(begin >= 0 && begin <= end &&
+                end <= static_cast<i64>(costs.size()),
+            "baseline_cost: bad layer range");
+    HwCost total;
+    for (i64 i = begin; i < end; ++i) {
+        const LayerCost &layer = costs[static_cast<size_t>(i)];
+        if (layer.kind == LayerKind::kConv) {
+            total = total + eyeriss.conv_cost(layer.macs);
+        } else if (layer.kind == LayerKind::kFc) {
+            total = total + eie.fc_cost(layer.macs);
+        }
+    }
+    return total;
+}
+
+} // namespace eva2

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cost models of the baseline deep-learning accelerators EVA2 plugs
+ * into: Eyeriss for convolutional layers and EIE for fully-connected
+ * layers (Section IV-B, Figure 5).
+ *
+ * Methodology mirrors the paper: per-layer costs are derived from the
+ * published results for AlexNet and VGG-16 and other layers are scaled
+ * by their multiply-accumulate counts, "which we find to correlate
+ * closely with cost in both accelerators". EIE numbers are scaled
+ * from its 45 nm process to 65 nm (linear in delay/power, quadratic
+ * in area).
+ */
+#ifndef EVA2_HW_ACCELERATOR_MODEL_H
+#define EVA2_HW_ACCELERATOR_MODEL_H
+
+#include <vector>
+
+#include "cnn/model_zoo.h"
+
+namespace eva2 {
+
+/** Latency/energy for some piece of work on one accelerator. */
+struct HwCost
+{
+    double latency_ms = 0.0;
+    double energy_mj = 0.0;
+
+    HwCost
+    operator+(const HwCost &o) const
+    {
+        return {latency_ms + o.latency_ms, energy_mj + o.energy_mj};
+    }
+
+    HwCost
+    operator*(double s) const
+    {
+        return {latency_ms * s, energy_mj * s};
+    }
+};
+
+/**
+ * Eyeriss conv-layer model. Calibration anchors (published totals):
+ * the AlexNet conv stack (0.666 GMAC) at 115.3 ms / 31.9 mJ and the
+ * VGG-16 conv stack (15.35 GMAC) at 4309.5 ms / 1028 mJ. AlexNet's
+ * layer shapes run more efficiently on the row-stationary dataflow,
+ * hence the two operating points; other networks use the family whose
+ * layer shapes they resemble.
+ */
+class EyerissModel
+{
+  public:
+    /** Rough layer-shape family for calibration selection. */
+    enum class Family
+    {
+        kAlexNetLike, ///< Large early kernels, grouped convs.
+        kVggLike,     ///< Deep 3x3 stacks.
+    };
+
+    explicit EyerissModel(Family family = Family::kVggLike);
+
+    /** Cost of `macs` conv multiply-accumulates. */
+    HwCost conv_cost(i64 macs) const;
+
+    /** Reported Eyeriss area at 65 nm, mm^2. */
+    static constexpr double area_mm2 = 12.2;
+
+    /** Pick the calibration family for a network spec by name. */
+    static Family family_for(const NetworkSpec &spec);
+
+    double macs_per_second() const { return macs_per_second_; }
+    double energy_pj_per_mac() const { return energy_pj_per_mac_; }
+
+  private:
+    double macs_per_second_;
+    double energy_pj_per_mac_;
+};
+
+/**
+ * EIE fully-connected model: latency from its published effective
+ * throughput on compressed FC layers, energy from total design power,
+ * both scaled from 45 nm to 65 nm.
+ */
+class EieModel
+{
+  public:
+    EieModel();
+
+    /** Cost of `macs` dense-equivalent FC multiply-accumulates. */
+    HwCost fc_cost(i64 macs) const;
+
+    /** EIE area scaled to 65 nm, mm^2 (40.8 mm^2 at 45 nm). */
+    static constexpr double area_mm2 = 58.9;
+
+  private:
+    double macs_per_second_;
+    double power_w_;
+};
+
+/**
+ * Sum baseline-accelerator costs over a range of analyzed layers:
+ * conv layers on Eyeriss, FC layers on EIE, pointwise layers free.
+ *
+ * @param costs  Output of analyze()/analyze_at().
+ * @param eyeriss Conv model.
+ * @param eie     FC model.
+ * @param begin   First layer index (inclusive).
+ * @param end     Last layer index (exclusive); -1 means all.
+ */
+HwCost baseline_cost(const std::vector<LayerCost> &costs,
+                     const EyerissModel &eyeriss, const EieModel &eie,
+                     i64 begin = 0, i64 end = -1);
+
+} // namespace eva2
+
+#endif // EVA2_HW_ACCELERATOR_MODEL_H

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * First-order cost and area model of the EVA2 unit itself: the diff
+ * tile producer/consumer (RFBME), the warp engine, and the pixel /
+ * key-activation buffers (Sections III and IV-A/B).
+ */
+#ifndef EVA2_HW_EVA2_MODEL_H
+#define EVA2_HW_EVA2_MODEL_H
+
+#include "cnn/model_zoo.h"
+#include "cnn/receptive_field.h"
+#include "hw/accelerator_model.h"
+#include "hw/memory_model.h"
+
+namespace eva2 {
+
+/**
+ * Analytic operation counts for motion estimation, following the
+ * paper's Section IV-A formulas exactly.
+ */
+struct RfbmeOpModel
+{
+    i64 layer_h = 0; ///< Target activation rows.
+    i64 layer_w = 0; ///< Target activation columns.
+    i64 rf_size = 0;
+    i64 rf_stride = 1;
+    i64 search_radius = 24;
+    i64 search_stride = 8;
+
+    /** Ops for exhaustive per-receptive-field matching (no reuse). */
+    i64
+    unoptimized_ops() const
+    {
+        const i64 positions = layer_h * layer_w;
+        const i64 offsets_1d = 2 * search_radius / search_stride;
+        return positions * offsets_1d * offsets_1d * rf_size * rf_size;
+    }
+
+    /** Ops with RFBME's tile-level reuse. */
+    i64
+    rfbme_ops() const
+    {
+        const i64 positions = layer_h * layer_w;
+        const i64 tiles_per_rf = rf_size / rf_stride;
+        return unoptimized_ops() / (rf_stride * rf_stride) +
+               positions * tiles_per_rf * tiles_per_rf;
+    }
+};
+
+/** Area breakdown of the EVA2 unit (Figure 12 discussion). */
+struct Eva2Area
+{
+    MemoryMacro pixel_buffer_a;
+    MemoryMacro pixel_buffer_b;
+    MemoryMacro activation_buffer;
+    double logic_mm2 = 0.0;
+
+    double total_mm2(const TechParams &tech = default_tech()) const;
+    double pixel_buffer_fraction(const TechParams &tech =
+                                     default_tech()) const;
+    double activation_buffer_fraction(const TechParams &tech =
+                                          default_tech()) const;
+
+    /** EVA2's share of a VPU that also has Eyeriss and EIE. */
+    double vpu_fraction(const TechParams &tech = default_tech()) const;
+};
+
+/** Configuration of the EVA2 unit for one deployment. */
+struct Eva2Config
+{
+    i64 image_h = 0; ///< Video frame rows (pixel buffer sizing).
+    i64 image_w = 0; ///< Video frame columns.
+    i64 act_c = 0;   ///< Target activation channels.
+    i64 act_h = 0;   ///< Target activation rows.
+    i64 act_w = 0;   ///< Target activation columns.
+    i64 rf_size = 0;
+    i64 rf_stride = 1;
+    i64 search_radius = 24;
+    i64 search_stride = 8;
+    /**
+     * Fraction of target activation values that are zero. Compressed
+     * storage is derived from this through the RLE entry width (24-bit
+     * gap+value entries vs a 16-bit dense baseline), so at the
+     * sparsity of trained networks (~0.87-0.91) the model reproduces
+     * the paper's 80-87% storage savings.
+     */
+    double activation_sparsity = 0.87;
+    /** Adds the diff-tile adder trees retire per cycle. */
+    i64 me_adds_per_cycle = 256;
+    /** Pixels the input path writes to the pixel buffer per cycle. */
+    i64 pixel_write_per_cycle = 8;
+    /** Whether predicted frames warp (false = memoization only). */
+    bool motion_compensation = true;
+};
+
+/** Per-frame costs of the EVA2 unit itself. */
+class Eva2Model
+{
+  public:
+    explicit Eva2Model(Eva2Config config,
+                       TechParams tech = default_tech());
+
+    const Eva2Config &config() const { return config_; }
+
+    /** Analytic op model for this deployment. */
+    RfbmeOpModel op_model() const;
+
+    /** Motion estimation (diff tile producer + consumer). */
+    HwCost motion_estimation_cost() const;
+
+    /** Warp engine (sparsity decode + bilinear interpolation). */
+    HwCost warp_cost() const;
+
+    /** Writing the incoming frame into a pixel buffer. */
+    HwCost frame_admission_cost() const;
+
+    /** RLE-encoding and storing the key activation. */
+    HwCost activation_store_cost() const;
+
+    /** Total EVA2-side cost of a predicted frame. */
+    HwCost predicted_frame_cost() const;
+
+    /** Total EVA2-side overhead added to a key frame. */
+    HwCost key_frame_cost() const;
+
+    /** Area breakdown for this deployment. */
+    Eva2Area area() const;
+
+    /** Values in the target activation. */
+    i64 act_values() const { return config_.act_c * config_.act_h *
+                                    config_.act_w; }
+
+    /** Dense 16-bit storage footprint of the target activation. */
+    i64 dense_act_bytes() const { return act_values() * 2; }
+
+    /**
+     * RLE storage footprint at the configured sparsity (3-byte
+     * entries per non-zero value, capped at the dense size).
+     */
+    i64 compressed_act_bytes() const;
+
+  private:
+    Eva2Config config_;
+    TechParams tech_;
+};
+
+/**
+ * Derive an Eva2Config from a network spec and a target layer name,
+ * sizing buffers for the video input resolution and motion estimation
+ * for the target's receptive field.
+ *
+ * @param spec        The network.
+ * @param target_name Target layer (defaults to spec.late_target when
+ *                    empty).
+ * @param input       Input size basis; {0,0,0} uses spec.cost_input.
+ */
+Eva2Config eva2_config_for(const NetworkSpec &spec,
+                           const std::string &target_name = "",
+                           Shape input = Shape{0, 0, 0});
+
+/** Receptive field of a named layer computed from a spec. */
+ReceptiveField spec_receptive_field(const NetworkSpec &spec,
+                                    const std::string &target_name);
+
+} // namespace eva2
+
+#endif // EVA2_HW_EVA2_MODEL_H

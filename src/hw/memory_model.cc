@@ -1,0 +1,25 @@
+#include "hw/memory_model.h"
+
+namespace eva2 {
+
+double
+MemoryMacro::area_mm2(const TechParams &tech) const
+{
+    const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    const double density = kind == MemKind::kEdram
+                               ? tech.edram_mm2_per_mib
+                               : tech.sram_mm2_per_mib;
+    // Small macros pay a fixed periphery overhead.
+    return 0.01 + mib * density;
+}
+
+double
+MemoryMacro::access_energy_pj(i64 n, const TechParams &tech) const
+{
+    const double per_byte = kind == MemKind::kEdram
+                                ? tech.edram_pj_per_byte
+                                : tech.sram_pj_per_byte;
+    return static_cast<double>(n) * per_byte;
+}
+
+} // namespace eva2

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A CACTI-flavoured memory model: area and per-access energy for the
+ * SRAM and eDRAM buffers EVA2 instantiates (two pixel buffers, the
+ * RLE-compressed key activation buffer, and the small motion-
+ * estimation scratch memories). The paper sizes the three large
+ * buffers in eDRAM and the small ones in SRAM (Section IV-B).
+ */
+#ifndef EVA2_HW_MEMORY_MODEL_H
+#define EVA2_HW_MEMORY_MODEL_H
+
+#include <string>
+
+#include "hw/tech_params.h"
+
+namespace eva2 {
+
+/** Memory macro flavour. */
+enum class MemKind
+{
+    kSram,
+    kEdram,
+};
+
+/** One on-chip memory instance. */
+struct MemoryMacro
+{
+    std::string name;
+    MemKind kind = MemKind::kSram;
+    i64 bytes = 0;
+
+    /** Area in mm^2 under the given technology. */
+    double area_mm2(const TechParams &tech = default_tech()) const;
+
+    /** Energy to read or write `n` bytes, in pJ. */
+    double access_energy_pj(i64 n,
+                            const TechParams &tech = default_tech()) const;
+};
+
+} // namespace eva2
+
+#endif // EVA2_HW_MEMORY_MODEL_H

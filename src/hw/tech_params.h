@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Technology constants for the 65 nm process the paper synthesizes
+ * EVA2 in (TSMC 65 nm, Synopsys flow, CACTI 6.5 memories). The values
+ * are first-order per-operation energies at the scale architecture
+ * papers of that era report; the evaluation depends on their relative
+ * magnitudes (MAC >> add; DRAM >> eDRAM >> SRAM), not their third
+ * significant digit.
+ */
+#ifndef EVA2_HW_TECH_PARAMS_H
+#define EVA2_HW_TECH_PARAMS_H
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/** 65 nm process and EVA2 clock parameters. */
+struct TechParams
+{
+    /** EVA2 meets timing at a 7 ns cycle (Section IV-B). */
+    double clock_period_ns = 7.0;
+
+    /** Energy of one 16-bit add/subtract, pJ. */
+    double add_energy_pj = 0.1;
+
+    /** Energy of one 16-bit multiply(+accumulate), pJ. */
+    double mac_energy_pj = 1.0;
+
+    /** SRAM access energy per byte, pJ. */
+    double sram_pj_per_byte = 1.0;
+
+    /** eDRAM access energy per byte, pJ (denser, slightly costlier). */
+    double edram_pj_per_byte = 2.0;
+
+    /** Off-chip DRAM access energy per byte, pJ. */
+    double dram_pj_per_byte = 100.0;
+
+    /** eDRAM density at 65 nm, mm^2 per MiB (calibrated so the pixel
+     * buffers land at the paper's 54.5% of EVA2's 2.6 mm^2). */
+    double edram_mm2_per_mib = 1.26;
+
+    /** SRAM density at 65 nm, mm^2 per MiB. */
+    double sram_mm2_per_mib = 4.0;
+
+    double clock_hz() const { return 1e9 / clock_period_ns; }
+};
+
+/** The default 65 nm parameter set used across the hardware models. */
+inline const TechParams &
+default_tech()
+{
+    static const TechParams params;
+    return params;
+}
+
+} // namespace eva2
+
+#endif // EVA2_HW_TECH_PARAMS_H

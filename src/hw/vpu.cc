@@ -1,0 +1,82 @@
+#include "hw/vpu.h"
+
+namespace eva2 {
+
+namespace {
+
+/** Index of the named layer in a spec; ConfigError when missing. */
+i64
+spec_layer_index(const NetworkSpec &spec, const std::string &name)
+{
+    for (size_t i = 0; i < spec.layers.size(); ++i) {
+        if (spec.layers[i].name == name) {
+            return static_cast<i64>(i);
+        }
+    }
+    throw ConfigError("layer '" + name + "' not found in " + spec.name);
+}
+
+} // namespace
+
+VpuReport
+vpu_report(const NetworkSpec &spec, const VpuOptions &options)
+{
+    const std::string target =
+        options.target_layer.empty() ? spec.late_target
+                                     : options.target_layer;
+    const i64 target_idx = spec_layer_index(spec, target);
+
+    const EyerissModel eyeriss(EyerissModel::family_for(spec));
+    const EieModel eie;
+    const std::vector<LayerCost> costs = analyze(spec);
+
+    Eva2Config eva2_cfg = eva2_config_for(spec, target);
+    eva2_cfg.activation_sparsity = options.activation_sparsity;
+    const Eva2Model eva2(eva2_cfg);
+
+    VpuReport report;
+    report.network = spec.name;
+    report.target_layer = target;
+
+    // Baseline: the whole network on Eyeriss + EIE, no EVA2.
+    for (size_t i = 0; i < costs.size(); ++i) {
+        const LayerCost &layer = costs[i];
+        if (layer.kind == LayerKind::kConv) {
+            report.orig.eyeriss =
+                report.orig.eyeriss + eyeriss.conv_cost(layer.macs);
+        } else if (layer.kind == LayerKind::kFc) {
+            report.orig.eie = report.orig.eie + eie.fc_cost(layer.macs);
+        }
+    }
+
+    // Key frame: full network plus EVA2's admission/ME/store overhead.
+    report.key = report.orig;
+    report.key.eva2 = eva2.key_frame_cost();
+
+    // Predicted frame: EVA2 plus the suffix only.
+    for (size_t i = static_cast<size_t>(target_idx) + 1; i < costs.size();
+         ++i) {
+        const LayerCost &layer = costs[i];
+        if (layer.kind == LayerKind::kConv) {
+            report.pred.eyeriss =
+                report.pred.eyeriss + eyeriss.conv_cost(layer.macs);
+        } else if (layer.kind == LayerKind::kFc) {
+            report.pred.eie = report.pred.eie + eie.fc_cost(layer.macs);
+        }
+    }
+    report.pred.eva2 = eva2.predicted_frame_cost();
+    return report;
+}
+
+Eva2Area
+vpu_eva2_area(const NetworkSpec &spec, const VpuOptions &options)
+{
+    // Buffers are sized for the live video resolution (spec.input),
+    // which is what dominates EVA2's floorplan.
+    Eva2Config cfg =
+        eva2_config_for(spec, options.target_layer, spec.input);
+    cfg.activation_sparsity = options.activation_sparsity;
+    return Eva2Model(cfg).area();
+}
+
+} // namespace eva2

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The composite vision processing unit model (Figure 5): Eyeriss for
+ * conv layers, EIE for FC layers, EVA2 in front. Produces the
+ * per-frame cost stacks behind Figure 13 and Table I: `orig` (the
+ * baseline without EVA2), `key` (full CNN plus EVA2 overhead), `pred`
+ * (EVA2 plus the CNN suffix only), and weighted averages for a given
+ * key-frame fraction.
+ */
+#ifndef EVA2_HW_VPU_H
+#define EVA2_HW_VPU_H
+
+#include <string>
+
+#include "hw/eva2_model.h"
+
+namespace eva2 {
+
+/** Per-unit cost stack for one frame. */
+struct CostStack
+{
+    HwCost eyeriss;
+    HwCost eie;
+    HwCost eva2;
+
+    HwCost total() const { return eyeriss + eie + eva2; }
+
+    CostStack
+    operator+(const CostStack &o) const
+    {
+        return {eyeriss + o.eyeriss, eie + o.eie, eva2 + o.eva2};
+    }
+
+    CostStack
+    operator*(double s) const
+    {
+        return {eyeriss * s, eie * s, eva2 * s};
+    }
+};
+
+/** Frame-type cost stacks for one network deployment. */
+struct VpuReport
+{
+    std::string network;
+    std::string target_layer;
+    CostStack orig; ///< Baseline accelerator, EVA2 absent.
+    CostStack key;  ///< Key frame with EVA2 in the loop.
+    CostStack pred; ///< Predicted frame (EVA2 + suffix).
+
+    /** Mixture cost at a key-frame fraction (Table I's avg). */
+    CostStack
+    average(double key_fraction) const
+    {
+        return key * key_fraction + pred * (1.0 - key_fraction);
+    }
+
+    /** Energy of the mixture relative to the baseline. */
+    double
+    energy_savings(double key_fraction) const
+    {
+        const double base = orig.total().energy_mj;
+        return base <= 0.0
+                   ? 0.0
+                   : 1.0 - average(key_fraction).total().energy_mj / base;
+    }
+};
+
+/** VPU model options. */
+struct VpuOptions
+{
+    std::string target_layer; ///< Empty = spec.late_target.
+    /**
+     * Target activation sparsity; storage compression follows from it
+     * (see Eva2Config::activation_sparsity). 0.87 reproduces the
+     * paper's 80%+ RLE savings.
+     */
+    double activation_sparsity = 0.87;
+};
+
+/** Build the per-frame cost report for a network spec. */
+VpuReport vpu_report(const NetworkSpec &spec,
+                     const VpuOptions &options = {});
+
+/** EVA2 area breakdown for a deployment (Figure 12). */
+Eva2Area vpu_eva2_area(const NetworkSpec &spec,
+                       const VpuOptions &options = {});
+
+} // namespace eva2
+
+#endif // EVA2_HW_VPU_H

@@ -1,0 +1,109 @@
+#include "hw/warp_engine_sim.h"
+
+#include <cmath>
+
+namespace eva2 {
+
+i16
+interpolate_q88(i16 v00, i16 v01, i16 v10, i16 v11, i32 fu, i32 fv)
+{
+    invariant(fu >= 0 && fu <= 256 && fv >= 0 && fv <= 256,
+              "interpolate_q88: fraction out of range");
+    // Weighting units: each computes value * wu * wv with 8-bit
+    // weight factors; products are accumulated wide (Figure 11's
+    // "wide intermediate values").
+    const i64 w00 = static_cast<i64>(256 - fu) * (256 - fv);
+    const i64 w01 = static_cast<i64>(256 - fu) * fv;
+    const i64 w10 = static_cast<i64>(fu) * (256 - fv);
+    const i64 w11 = static_cast<i64>(fu) * fv;
+    i64 acc = static_cast<i64>(v00) * w00 + static_cast<i64>(v01) * w01 +
+              static_cast<i64>(v10) * w10 + static_cast<i64>(v11) * w11;
+    // Shift back to Q8.8 with round-to-nearest.
+    acc += i64{1} << 15;
+    acc >>= 16;
+    if (acc > 32767) {
+        acc = 32767;
+    }
+    if (acc < -32768) {
+        acc = -32768;
+    }
+    return static_cast<i16>(acc);
+}
+
+WarpEngineResult
+simulate_warp_engine(const RleActivation &key_activation,
+                     const MotionField &field, i64 rf_stride)
+{
+    const Shape shape = key_activation.shape;
+    require(field.height() == shape.h && field.width() == shape.w,
+            "warp engine: field grid does not match activation");
+    require(rf_stride > 0, "warp engine: stride must be positive");
+
+    // Decode the stored activation into a dense Q8.8 plane set; the
+    // lanes' zero-skipping is modelled in the cycle accounting below.
+    const Tensor dense = rle_decode(key_activation);
+
+    WarpEngineResult result;
+    result.output = Tensor(shape);
+
+    auto raw_at = [&](i64 c, i64 y, i64 x) -> i16 {
+        if (y < 0 || y >= shape.h || x < 0 || x >= shape.w) {
+            return 0;
+        }
+        return static_cast<i16>(
+            Q88::from_double(dense.at(c, y, x)).raw());
+    };
+
+    const double inv_stride = 1.0 / static_cast<double>(rf_stride);
+    for (i64 y = 0; y < shape.h; ++y) {
+        for (i64 x = 0; x < shape.w; ++x) {
+            const Vec2 v = field.at(y, x);
+            double sy = static_cast<double>(y) + v.dy * inv_stride;
+            double sx = static_cast<double>(x) + v.dx * inv_stride;
+            i64 y0 = static_cast<i64>(std::floor(sy));
+            i64 x0 = static_cast<i64>(std::floor(sx));
+            // 8-bit fractional part of the motion vector (the "(u,v)"
+            // input of Figure 9), with carry when rounding hits 256.
+            i32 fu = static_cast<i32>(
+                std::lround((sy - static_cast<double>(y0)) * 256.0));
+            i32 fv = static_cast<i32>(
+                std::lround((sx - static_cast<double>(x0)) * 256.0));
+            if (fu == 256) {
+                fu = 0;
+                ++y0;
+            }
+            if (fv == 256) {
+                fv = 0;
+                ++x0;
+            }
+
+            // All channels at this spatial location share the lane
+            // fetch; model the per-channel pipeline.
+            i64 nonzero_channels = 0;
+            for (i64 c = 0; c < shape.c; ++c) {
+                const i16 v00 = raw_at(c, y0, x0);
+                const i16 v01 = raw_at(c, y0, x0 + 1);
+                const i16 v10 = raw_at(c, y0 + 1, x0);
+                const i16 v11 = raw_at(c, y0 + 1, x0 + 1);
+                if (v00 == 0 && v01 == 0 && v10 == 0 && v11 == 0) {
+                    continue;
+                }
+                ++nonzero_channels;
+                const i16 out =
+                    interpolate_q88(v00, v01, v10, v11, fu, fv);
+                result.output.at(c, y, x) = static_cast<float>(
+                    Q88::from_raw(out).to_double());
+            }
+            // One interpolator issue per non-zero neighbourhood; the
+            // min unit jumps over shared zero runs 16 values per
+            // cycle.
+            result.interpolations += nonzero_channels;
+            const i64 skipped = shape.c - nonzero_channels;
+            result.zero_skips += skipped;
+            result.cycles += nonzero_channels + (skipped + 15) / 16;
+        }
+    }
+    return result;
+}
+
+} // namespace eva2

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simulation of EVA2's warp engine (Section III-B, Figures 9-11):
+ * four sparsity decoder lanes feed a two-stage fixed-point bilinear
+ * interpolator; a min unit lets all four lanes skip shared zero runs.
+ *
+ * The simulator reproduces the datapath's arithmetic exactly — 16-bit
+ * Q8.8 activations, 8-bit motion-vector fractions, wide intermediate
+ * products shifted back to 16 bits — and counts cycles with the
+ * zero-skipping behaviour that makes motion compensation cost
+ * proportional to activation density.
+ */
+#ifndef EVA2_HW_WARP_ENGINE_SIM_H
+#define EVA2_HW_WARP_ENGINE_SIM_H
+
+#include "flow/motion_field.h"
+#include "sparse/rle.h"
+
+namespace eva2 {
+
+/** Result of one warp engine pass. */
+struct WarpEngineResult
+{
+    Tensor output;          ///< Warped activation, Q8.8-quantized.
+    i64 cycles = 0;         ///< Pipeline cycles consumed.
+    i64 interpolations = 0; ///< Outputs that needed the interpolator.
+    i64 zero_skips = 0;     ///< Outputs skipped as all-zero.
+
+    double
+    latency_ms(double clock_period_ns = 7.0) const
+    {
+        return static_cast<double>(cycles) * clock_period_ns * 1e-6;
+    }
+};
+
+/**
+ * Fixed-point bilinear interpolation of one 2x2 neighbourhood, the
+ * exact weighting-unit arithmetic: fu/fv are 8-bit fractions (0-256),
+ * values are Q8.8 raw; the weighted sum is computed wide and shifted
+ * back. Exposed for unit testing against the float reference.
+ */
+i16 interpolate_q88(i16 v00, i16 v01, i16 v10, i16 v11, i32 fu, i32 fv);
+
+/**
+ * Run the warp engine over a stored (RLE-encoded) key activation.
+ *
+ * @param key_activation Encoded target activation from the key frame.
+ * @param field          Backward source offsets in pixel units on the
+ *                       activation grid (same convention as
+ *                       warp_activation()).
+ * @param rf_stride      Cumulative receptive-field stride.
+ */
+WarpEngineResult simulate_warp_engine(const RleActivation &key_activation,
+                                      const MotionField &field,
+                                      i64 rf_stride);
+
+} // namespace eva2
+
+#endif // EVA2_HW_WARP_ENGINE_SIM_H

@@ -1,0 +1,118 @@
+#include "sparse/rle.h"
+
+#include <cmath>
+
+namespace eva2 {
+
+i64
+RleActivation::num_entries() const
+{
+    i64 n = 0;
+    for (const RleChannel &ch : channels) {
+        n += static_cast<i64>(ch.entries.size());
+    }
+    return n;
+}
+
+i64
+RleActivation::encoded_bytes() const
+{
+    // Round the per-entry bit width up to whole bytes per entry.
+    const i64 entry_bytes = (params.bits_per_entry() + 7) / 8;
+    return num_entries() * entry_bytes;
+}
+
+i64
+RleActivation::dense_bytes() const
+{
+    return shape.size() * 2; // 16-bit dense baseline
+}
+
+double
+RleActivation::storage_savings() const
+{
+    const i64 dense = dense_bytes();
+    if (dense == 0) {
+        return 0.0;
+    }
+    return 1.0 - static_cast<double>(encoded_bytes()) /
+                     static_cast<double>(dense);
+}
+
+RleActivation
+rle_encode(const Tensor &activation, const RleParams &params)
+{
+    RleActivation out;
+    out.shape = activation.shape();
+    out.params = params;
+    out.channels.resize(static_cast<size_t>(activation.channels()));
+
+    for (i64 c = 0; c < activation.channels(); ++c) {
+        RleChannel &ch = out.channels[static_cast<size_t>(c)];
+        std::span<const float> plane = activation.channel(c);
+        ch.dense_length = static_cast<i64>(plane.size());
+        i64 gap = 0;
+        for (float v : plane) {
+            const i16 raw = static_cast<i16>(
+                std::fabs(v) <= params.zero_threshold
+                    ? 0
+                    : Q88::from_double(v).raw());
+            if (raw == 0) {
+                ++gap;
+                continue;
+            }
+            // Flush the accumulated run: placeholder entries each
+            // stand for max_zero_gap zeros (their zero value occupies
+            // no decoded slot), then the value with the remainder gap.
+            while (gap > params.max_zero_gap) {
+                ch.entries.push_back(RleEntry{params.max_zero_gap, 0});
+                gap -= params.max_zero_gap;
+            }
+            ch.entries.push_back(
+                RleEntry{static_cast<u16>(gap), raw});
+            gap = 0;
+        }
+        // Trailing zeros need no entry: the decoder pads to
+        // dense_length.
+    }
+    return out;
+}
+
+Tensor
+rle_decode(const RleActivation &encoded)
+{
+    Tensor out(encoded.shape);
+    const i64 plane = encoded.shape.h * encoded.shape.w;
+    for (i64 c = 0; c < encoded.shape.c; ++c) {
+        const RleChannel &ch = encoded.channels[static_cast<size_t>(c)];
+        invariant(ch.dense_length == plane,
+                  "rle_decode: channel length mismatch");
+        i64 pos = 0;
+        for (const RleEntry &e : ch.entries) {
+            pos += e.zero_gap;
+            // Placeholder entries (value 0) carry only their gap; a
+            // real value additionally occupies one decoded slot.
+            if (e.value_raw != 0) {
+                invariant(pos < plane,
+                          "rle_decode: entry past plane end");
+                out.at(c, pos / encoded.shape.w, pos % encoded.shape.w) =
+                    static_cast<float>(
+                        Q88::from_raw(e.value_raw).to_double());
+                ++pos;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+quantize_q88(const Tensor &t)
+{
+    Tensor out(t.shape());
+    for (i64 i = 0; i < t.size(); ++i) {
+        out[i] = static_cast<float>(Q88::from_double(t[i]).to_double());
+    }
+    return out;
+}
+
+} // namespace eva2

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Run-length (zero-gap) encoding of CNN activations.
+ *
+ * EVA2 stores the key frame's target activation on chip; naively that
+ * is megabytes, so the paper's design keeps it run-length encoded
+ * (Section III-B: "RLE is critical to enabling on-chip activation
+ * storage ... sparse storage reduces memory requirements by more than
+ * 80%"). The encoding matches the hardware's sparsity decoder lanes:
+ * per channel, a stream of (zero_gap, value) pairs where zero_gap
+ * counts skipped zeros and value is a 16-bit Q8.8 fixed-point
+ * activation. Gaps saturate at the width of the hardware gap field;
+ * longer runs emit a placeholder pair with value 0.
+ */
+#ifndef EVA2_SPARSE_RLE_H
+#define EVA2_SPARSE_RLE_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/fixed_point.h"
+
+namespace eva2 {
+
+/** One (zero gap, value) pair of the encoded stream. */
+struct RleEntry
+{
+    u16 zero_gap = 0;  ///< Zeros preceding this value.
+    i16 value_raw = 0; ///< Q8.8 fixed-point activation value.
+
+    bool operator==(const RleEntry &o) const = default;
+};
+
+/** Hardware-facing parameters of the encoding. */
+struct RleParams
+{
+    /** Maximum gap representable; longer runs split (8-bit field). */
+    u16 max_zero_gap = 255;
+    /** Magnitudes at or below this encode as zero. */
+    float zero_threshold = 0.0f;
+
+    /** Bits per encoded entry: the gap field plus a 16-bit value. */
+    i64 bits_per_entry() const { return 8 + 16; }
+};
+
+/** The run-length encoded form of one channel plane. */
+struct RleChannel
+{
+    std::vector<RleEntry> entries;
+    i64 dense_length = 0; ///< Elements in the decoded plane.
+};
+
+/** A complete encoded activation. */
+struct RleActivation
+{
+    Shape shape;
+    RleParams params;
+    std::vector<RleChannel> channels;
+
+    /** Encoded size in bytes (entries x entry width). */
+    i64 encoded_bytes() const;
+
+    /** Dense 16-bit baseline size in bytes. */
+    i64 dense_bytes() const;
+
+    /** Fraction of dense storage saved, in [0, 1). */
+    double storage_savings() const;
+
+    /** Total number of encoded entries across channels. */
+    i64 num_entries() const;
+};
+
+/** Encode a float activation tensor (values quantized to Q8.8). */
+RleActivation rle_encode(const Tensor &activation,
+                         const RleParams &params = {});
+
+/** Decode back to a dense tensor of Q8.8-quantized values. */
+Tensor rle_decode(const RleActivation &encoded);
+
+/**
+ * Quantize a tensor through Q8.8 without encoding: the identity an
+ * encode/decode round trip applies to a dense tensor. Useful for
+ * separating quantization error from codec bugs in tests.
+ */
+Tensor quantize_q88(const Tensor &t);
+
+} // namespace eva2
+
+#endif // EVA2_SPARSE_RLE_H

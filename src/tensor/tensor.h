@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A minimal dense tensor library used throughout the reproduction.
+ *
+ * CNN activations are stored channel-major (CHW): all of channel 0's
+ * rows, then channel 1's, and so on. This matches the layout EVA2's
+ * run-length encoder walks (zero gaps within a channel, Section III-B)
+ * and keeps the inner convolution loops contiguous.
+ */
+#ifndef EVA2_TENSOR_TENSOR_H
+#define EVA2_TENSOR_TENSOR_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/** Dimensions of a CHW tensor. */
+struct Shape
+{
+    i64 c = 0; ///< Channels.
+    i64 h = 0; ///< Rows.
+    i64 w = 0; ///< Columns.
+
+    /** Total number of elements. */
+    i64 size() const { return c * h * w; }
+
+    bool operator==(const Shape &o) const = default;
+
+    /** Human-readable "CxHxW" form for error messages. */
+    std::string
+    str() const
+    {
+        return std::to_string(c) + "x" + std::to_string(h) + "x" +
+               std::to_string(w);
+    }
+};
+
+/**
+ * A dense CHW float tensor. Single-precision float is the reference
+ * numeric type; the hardware models quantize to 16-bit fixed point
+ * where the paper's datapaths do.
+ */
+class Tensor
+{
+  public:
+    /** An empty (0x0x0) tensor. */
+    Tensor() = default;
+
+    /** A zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape)
+        : shape_(shape),
+          data_(static_cast<size_t>(shape.size()), 0.0f)
+    {
+        require(shape.c >= 0 && shape.h >= 0 && shape.w >= 0,
+                "tensor dimensions must be non-negative");
+    }
+
+    /** Convenience constructor from explicit dimensions. */
+    Tensor(i64 c, i64 h, i64 w) : Tensor(Shape{c, h, w}) {}
+
+    const Shape &shape() const { return shape_; }
+    i64 channels() const { return shape_.c; }
+    i64 height() const { return shape_.h; }
+    i64 width() const { return shape_.w; }
+    i64 size() const { return shape_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Mutable element access (no bounds check in release loops). */
+    float &
+    at(i64 c, i64 y, i64 x)
+    {
+        return data_[static_cast<size_t>((c * shape_.h + y) * shape_.w + x)];
+    }
+
+    /** Const element access. */
+    float
+    at(i64 c, i64 y, i64 x) const
+    {
+        return data_[static_cast<size_t>((c * shape_.h + y) * shape_.w + x)];
+    }
+
+    /**
+     * Element access that returns 0 for out-of-bounds coordinates, the
+     * semantics of zero padding in convolutional layers.
+     */
+    float
+    at_padded(i64 c, i64 y, i64 x) const
+    {
+        if (y < 0 || y >= shape_.h || x < 0 || x >= shape_.w) {
+            return 0.0f;
+        }
+        return at(c, y, x);
+    }
+
+    /** Flat element access by linear CHW index. */
+    float &operator[](i64 i) { return data_[static_cast<size_t>(i)]; }
+    float operator[](i64 i) const { return data_[static_cast<size_t>(i)]; }
+
+    /** Raw storage view. */
+    std::span<const float> data() const { return data_; }
+    std::span<float> data() { return data_; }
+
+    /** Set every element to v. */
+    void
+    fill(float v)
+    {
+        std::fill(data_.begin(), data_.end(), v);
+    }
+
+    /** View of one channel plane (h*w contiguous floats). */
+    std::span<const float>
+    channel(i64 c) const
+    {
+        size_t plane = static_cast<size_t>(shape_.h * shape_.w);
+        return std::span<const float>(data_.data() + c * plane, plane);
+    }
+
+    bool
+    operator==(const Tensor &o) const
+    {
+        return shape_ == o.shape_ && data_ == o.data_;
+    }
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_TENSOR_TENSOR_H

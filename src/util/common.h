@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Common definitions shared across the EVA2 reproduction: fundamental
+ * integer typedefs, assertion macros, and small helpers that every
+ * module may use.
+ */
+#ifndef EVA2_UTIL_COMMON_H
+#define EVA2_UTIL_COMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace eva2 {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/**
+ * Thrown when a user-facing configuration is invalid (the analogue of
+ * gem5's fatal()): the library cannot proceed but the condition is the
+ * caller's responsibility, not an internal bug.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : std::runtime_error("eva2 config error: " + msg)
+    {
+    }
+};
+
+/**
+ * Thrown for internal invariant violations (the analogue of gem5's
+ * panic()): if this fires, the library itself is broken.
+ */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error("eva2 internal error: " + msg)
+    {
+    }
+};
+
+/**
+ * Check a caller-supplied condition; throw ConfigError when violated.
+ *
+ * @param cond The condition that must hold.
+ * @param msg  Human-readable description of the requirement.
+ */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond) {
+        throw ConfigError(msg);
+    }
+}
+
+/**
+ * Check an internal invariant; throw InternalError when violated.
+ *
+ * @param cond The invariant that must hold.
+ * @param msg  Human-readable description of the invariant.
+ */
+inline void
+invariant(bool cond, const std::string &msg)
+{
+    if (!cond) {
+        throw InternalError(msg);
+    }
+}
+
+} // namespace eva2
+
+#endif // EVA2_UTIL_COMMON_H

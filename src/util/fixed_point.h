@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Q-format fixed-point arithmetic.
+ *
+ * EVA2's warp engine computes bilinear interpolation in 16-bit
+ * fixed-point (Section III-B of the paper: "The interpolator computes
+ * wide intermediate values and then shifts the final result back to a
+ * 16-bit fixed-point representation"). This header provides a small
+ * Q-format value type used by the warp-engine microarchitecture model
+ * so that the datapath's rounding behaviour can be simulated and tested
+ * against the floating-point reference.
+ */
+#ifndef EVA2_UTIL_FIXED_POINT_H
+#define EVA2_UTIL_FIXED_POINT_H
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/**
+ * A fixed-point number with IntBits integer bits and FracBits fractional
+ * bits stored in a signed 32-bit raw value, saturating on overflow.
+ * EVA2's activations use Fixed<8, 8> (Q8.8, 16 bits total); its motion
+ * vector fractions use Fixed<1, 8>.
+ */
+template <int IntBits, int FracBits>
+class Fixed
+{
+  public:
+    static_assert(IntBits >= 1 && FracBits >= 0, "invalid Q format");
+    static_assert(IntBits + FracBits <= 24, "raw value must fit in i32");
+
+    static constexpr int int_bits = IntBits;
+    static constexpr int frac_bits = FracBits;
+    static constexpr i32 one_raw = i32{1} << FracBits;
+    static constexpr i32 max_raw = (i32{1} << (IntBits + FracBits - 1)) - 1;
+    static constexpr i32 min_raw = -(i32{1} << (IntBits + FracBits - 1));
+
+    constexpr Fixed() = default;
+
+    /** Quantize a double to the nearest representable value. */
+    static Fixed
+    from_double(double v)
+    {
+        double scaled = std::round(v * static_cast<double>(one_raw));
+        scaled = std::clamp(scaled, static_cast<double>(min_raw),
+                            static_cast<double>(max_raw));
+        return from_raw(static_cast<i32>(scaled));
+    }
+
+    /** Wrap an existing raw (already scaled) integer value. */
+    static Fixed
+    from_raw(i32 raw)
+    {
+        Fixed f;
+        f.raw_ = saturate(raw);
+        return f;
+    }
+
+    /** Convert back to double. */
+    double
+    to_double() const
+    {
+        return static_cast<double>(raw_) / static_cast<double>(one_raw);
+    }
+
+    /** Raw scaled integer value. */
+    i32 raw() const { return raw_; }
+
+    /** Largest representable value of this format. */
+    static Fixed max_value() { return from_raw(max_raw); }
+
+    /** Smallest (most negative) representable value. */
+    static Fixed min_value() { return from_raw(min_raw); }
+
+    /** Smallest positive increment. */
+    static double resolution() { return 1.0 / static_cast<double>(one_raw); }
+
+    Fixed
+    operator+(Fixed o) const
+    {
+        return from_raw(raw_ + o.raw_);
+    }
+
+    Fixed
+    operator-(Fixed o) const
+    {
+        return from_raw(raw_ - o.raw_);
+    }
+
+    /** Full-width multiply then shift back, round-to-nearest. */
+    Fixed
+    operator*(Fixed o) const
+    {
+        i64 wide = static_cast<i64>(raw_) * static_cast<i64>(o.raw_);
+        wide += i64{1} << (FracBits - 1); // round half up
+        return from_raw(static_cast<i32>(wide >> FracBits));
+    }
+
+    bool operator==(const Fixed &o) const { return raw_ == o.raw_; }
+    bool operator!=(const Fixed &o) const { return raw_ != o.raw_; }
+    bool operator<(const Fixed &o) const { return raw_ < o.raw_; }
+
+  private:
+    static i32
+    saturate(i64 raw)
+    {
+        return static_cast<i32>(
+            std::clamp<i64>(raw, min_raw, max_raw));
+    }
+
+    i32 raw_ = 0;
+};
+
+/** EVA2's 16-bit activation format. */
+using Q88 = Fixed<8, 8>;
+
+/** Fractional motion-vector component in [0, 1) with 8-bit precision. */
+using QFrac = Fixed<2, 8>;
+
+} // namespace eva2
+
+#endif // EVA2_UTIL_FIXED_POINT_H

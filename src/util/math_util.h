@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small numeric helpers shared across modules: integer ceiling division,
+ * clamping, conv output-size arithmetic, and simple statistics over
+ * float spans.
+ */
+#ifndef EVA2_UTIL_MATH_UTIL_H
+#define EVA2_UTIL_MATH_UTIL_H
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/** Ceiling division for non-negative integers. */
+constexpr i64
+ceil_div(i64 a, i64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Output extent of a convolution/pooling window sweep.
+ *
+ * @param in     Input extent (height or width).
+ * @param kernel Window extent.
+ * @param stride Step between window placements.
+ * @param pad    Zero padding added to both sides.
+ * @return Number of window placements along the axis.
+ */
+constexpr i64
+conv_out_size(i64 in, i64 kernel, i64 stride, i64 pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/** Mean of a span; 0 for an empty span. */
+inline double
+mean(std::span<const float> xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double acc = 0.0;
+    for (float x : xs) {
+        acc += x;
+    }
+    return acc / static_cast<double>(xs.size());
+}
+
+/** Max absolute value of a span; 0 for an empty span. */
+inline double
+max_abs(std::span<const float> xs)
+{
+    double m = 0.0;
+    for (float x : xs) {
+        m = std::max(m, static_cast<double>(std::fabs(x)));
+    }
+    return m;
+}
+
+/** Root-mean-square difference between two equal-length spans. */
+inline double
+rms_diff(std::span<const float> a, std::span<const float> b)
+{
+    invariant(a.size() == b.size(), "rms_diff: size mismatch");
+    if (a.empty()) {
+        return 0.0;
+    }
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+/** Fraction of entries whose magnitude is at or below a threshold. */
+inline double
+sparsity(std::span<const float> xs, float threshold = 0.0f)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    size_t zeros = 0;
+    for (float x : xs) {
+        if (std::fabs(x) <= threshold) {
+            ++zeros;
+        }
+    }
+    return static_cast<double>(zeros) / static_cast<double>(xs.size());
+}
+
+} // namespace eva2
+
+#endif // EVA2_UTIL_MATH_UTIL_H

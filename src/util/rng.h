@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the reproduction (synthetic video content,
+ * weight initialization, noise injection) draws from these generators so
+ * that experiments are bit-reproducible across runs and platforms. We
+ * deliberately avoid std::mt19937 + std::*_distribution because the
+ * distributions are not guaranteed identical across standard library
+ * implementations.
+ */
+#ifndef EVA2_UTIL_RNG_H
+#define EVA2_UTIL_RNG_H
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/**
+ * SplitMix64 generator. Tiny state, excellent statistical quality for
+ * non-cryptographic use, and trivially seedable. Used both directly and
+ * to seed derived streams.
+ */
+class Rng
+{
+  public:
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next_u64()
+    {
+        u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Next 32-bit value. */
+    u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform_f(float lo, float hi)
+    {
+        return static_cast<float>(uniform(lo, hi));
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    i64
+    uniform_int(i64 lo, i64 hi)
+    {
+        invariant(hi >= lo, "uniform_int: hi < lo");
+        u64 span = static_cast<u64>(hi - lo) + 1;
+        return lo + static_cast<i64>(next_u64() % span);
+    }
+
+    /** Standard normal via Box-Muller (deterministic, portable). */
+    double
+    normal()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-12) {
+            u1 = uniform();
+        }
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * M_PI * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Derive an independent child stream. Used to give each subsystem
+     * (e.g. each CNN layer's weights) its own stream so adding draws in
+     * one place does not perturb another.
+     *
+     * @param tag Distinguishes sibling streams derived from one parent.
+     */
+    Rng
+    fork(u64 tag)
+    {
+        Rng parent_copy(state_ ^ (0xa0761d6478bd642full * (tag + 1)));
+        return Rng(parent_copy.next_u64());
+    }
+
+  private:
+    u64 state_;
+    bool have_cached_ = false;
+    double cached_ = 0.0;
+};
+
+} // namespace eva2
+
+#endif // EVA2_UTIL_RNG_H

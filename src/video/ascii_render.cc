@@ -1,0 +1,108 @@
+#include "video/ascii_render.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva2 {
+
+namespace {
+
+/** Ten-step brightness ramp, dark to light. */
+constexpr const char *kRamp = "@%#*+=-:. ";
+
+/** Average image intensity over a pixel box. */
+float
+box_mean(const Tensor &img, i64 y0, i64 y1, i64 x0, i64 x1)
+{
+    double acc = 0.0;
+    i64 n = 0;
+    for (i64 y = y0; y < y1; ++y) {
+        for (i64 x = x0; x < x1; ++x) {
+            acc += img.at(0, y, x);
+            ++n;
+        }
+    }
+    return n > 0 ? static_cast<float>(acc / static_cast<double>(n))
+                 : 0.0f;
+}
+
+} // namespace
+
+std::string
+ascii_frame(const Tensor &image, const AsciiOptions &opts)
+{
+    return ascii_frame_with_boxes(image, {}, opts);
+}
+
+std::string
+ascii_frame_with_boxes(const Tensor &image,
+                       const std::vector<BoundingBox> &boxes,
+                       const AsciiOptions &opts)
+{
+    require(image.channels() == 1, "ascii_frame: grayscale only");
+    const i64 w = image.width();
+    const i64 h = image.height();
+    const i64 cols = std::min(opts.max_cols, w);
+    // Terminal glyphs are roughly twice as tall as wide.
+    const double sx = static_cast<double>(w) / static_cast<double>(cols);
+    const double sy = 2.0 * sx;
+    const i64 rows = std::max<i64>(
+        1, static_cast<i64>(std::ceil(static_cast<double>(h) / sy)));
+
+    std::vector<std::string> canvas(
+        static_cast<size_t>(rows),
+        std::string(static_cast<size_t>(cols), ' '));
+    for (i64 r = 0; r < rows; ++r) {
+        for (i64 c = 0; c < cols; ++c) {
+            const i64 y0 = static_cast<i64>(r * sy);
+            const i64 y1 = std::min(h, static_cast<i64>((r + 1) * sy));
+            const i64 x0 = static_cast<i64>(c * sx);
+            const i64 x1 = std::min(w, static_cast<i64>((c + 1) * sx));
+            const float v =
+                std::clamp(box_mean(image, y0, std::max(y0 + 1, y1), x0,
+                                    std::max(x0 + 1, x1)),
+                           0.0f, 1.0f);
+            const size_t idx = static_cast<size_t>(
+                std::min<i64>(9, static_cast<i64>(v * 10.0f)));
+            canvas[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+                kRamp[idx];
+        }
+    }
+
+    if (opts.boxes) {
+        for (const BoundingBox &b : boxes) {
+            const char glyph = static_cast<char>(
+                '0' + static_cast<char>(b.cls % 10));
+            const i64 r0 = std::clamp<i64>(
+                static_cast<i64>(b.y0 / sy), 0, rows - 1);
+            const i64 r1 = std::clamp<i64>(
+                static_cast<i64>(b.y1 / sy), 0, rows - 1);
+            const i64 c0 = std::clamp<i64>(
+                static_cast<i64>(b.x0 / sx), 0, cols - 1);
+            const i64 c1 = std::clamp<i64>(
+                static_cast<i64>(b.x1 / sx), 0, cols - 1);
+            for (i64 c = c0; c <= c1; ++c) {
+                canvas[static_cast<size_t>(r0)][static_cast<size_t>(c)] =
+                    glyph;
+                canvas[static_cast<size_t>(r1)][static_cast<size_t>(c)] =
+                    glyph;
+            }
+            for (i64 r = r0; r <= r1; ++r) {
+                canvas[static_cast<size_t>(r)][static_cast<size_t>(c0)] =
+                    glyph;
+                canvas[static_cast<size_t>(r)][static_cast<size_t>(c1)] =
+                    glyph;
+            }
+        }
+    }
+
+    std::string out;
+    out.reserve(static_cast<size_t>(rows * (cols + 1)));
+    for (const std::string &line : canvas) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace eva2

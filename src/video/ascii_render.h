@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ASCII rendering of frames, boxes, and motion fields for terminal
+ * demos and debugging. Every example can show what the pipeline sees
+ * without any image I/O dependency.
+ */
+#ifndef EVA2_VIDEO_ASCII_RENDER_H
+#define EVA2_VIDEO_ASCII_RENDER_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "video/frame.h"
+
+namespace eva2 {
+
+/** ASCII rendering options. */
+struct AsciiOptions
+{
+    i64 max_cols = 72;  ///< Downsample so the art fits a terminal.
+    bool boxes = true;  ///< Overlay ground-truth/detection boxes.
+};
+
+/**
+ * Render a grayscale frame as ASCII art (darker pixels -> denser
+ * glyphs). Aspect ratio is corrected for ~2:1 terminal glyphs.
+ */
+std::string ascii_frame(const Tensor &image, const AsciiOptions &opts = {});
+
+/**
+ * Render a frame with labelled boxes drawn on top; each box's corners
+ * and edges use its class digit.
+ */
+std::string ascii_frame_with_boxes(const Tensor &image,
+                                   const std::vector<BoundingBox> &boxes,
+                                   const AsciiOptions &opts = {});
+
+} // namespace eva2
+
+#endif // EVA2_VIDEO_ASCII_RENDER_H

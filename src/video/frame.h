@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Frame and ground-truth types for the synthetic video substrate.
+ *
+ * The reproduction cannot ship the YouTube-BoundingBoxes dataset the
+ * paper trains and tests on, so sequences come from a deterministic
+ * procedural generator (see synthetic_video.h) that produces the same
+ * annotations YTBB provides: per-frame bounding boxes with classes for
+ * detection, and a dominant class for classification.
+ */
+#ifndef EVA2_VIDEO_FRAME_H
+#define EVA2_VIDEO_FRAME_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace eva2 {
+
+/** An axis-aligned box with a class label, in pixel coordinates. */
+struct BoundingBox
+{
+    double y0 = 0.0;
+    double x0 = 0.0;
+    double y1 = 0.0; ///< Exclusive bottom edge.
+    double x1 = 0.0; ///< Exclusive right edge.
+    i64 cls = 0;
+    /**
+     * Truncated/borderline object (mostly outside the frame or hugging
+     * its edge, where conv padding leaves no receptive-field
+     * coverage). Evaluated like Pascal VOC "difficult" boxes: not
+     * counted as ground truth, and detections matching one are
+     * ignored rather than scored as false positives.
+     */
+    bool difficult = false;
+
+    double
+    area() const
+    {
+        return std::max(0.0, y1 - y0) * std::max(0.0, x1 - x0);
+    }
+
+    /** Intersection-over-union with another box (labels ignored). */
+    double iou(const BoundingBox &o) const;
+};
+
+/** Per-frame annotations, mirroring what YTBB supplies. */
+struct GroundTruth
+{
+    std::vector<BoundingBox> boxes;
+    i64 dominant_class = -1; ///< Class of the largest visible object.
+};
+
+/** One sprite's kinematic state at a frame (for oracle motion). */
+struct SpriteState
+{
+    i64 id = -1;       ///< Stable sprite identity across frames.
+    double cy = 0.0;   ///< Center row.
+    double cx = 0.0;   ///< Center column.
+    double half_h = 0; ///< Half extents, for membership tests.
+    double half_w = 0;
+    bool ellipse = false;
+};
+
+/**
+ * The generator's kinematic state at a frame: enough to reconstruct
+ * the exact pixel motion between any two frames of the same scene.
+ * This is the synthetic stand-in for motion metadata a video codec
+ * would provide for free (Section VI suggests exploiting exactly
+ * that); experiments use it as an oracle motion source.
+ */
+struct SceneState
+{
+    double pan_y = 0.0; ///< Accumulated background content offset.
+    double pan_x = 0.0;
+    bool after_cut = false; ///< Content was re-seeded (scene cut).
+    std::vector<SpriteState> sprites; ///< Visible sprites, draw order.
+};
+
+/** One video frame (grayscale, 1xHxW tensor in [0,1]) plus labels. */
+struct LabeledFrame
+{
+    Tensor image;
+    GroundTruth truth;
+    SceneState state; ///< Generator kinematics (oracle motion).
+    i64 index = 0;
+    double time_ms = 0.0; ///< Presentation time at the sequence rate.
+};
+
+/** A labelled video clip. */
+struct Sequence
+{
+    std::string name;
+    std::vector<LabeledFrame> frames;
+
+    i64 size() const { return static_cast<i64>(frames.size()); }
+    const LabeledFrame &operator[](i64 i) const
+    {
+        return frames[static_cast<size_t>(i)];
+    }
+};
+
+/** Mean absolute pixel difference between two frames. */
+double frame_difference(const Tensor &a, const Tensor &b);
+
+} // namespace eva2
+
+#endif // EVA2_VIDEO_FRAME_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Named scene builders and dataset assembly.
+ *
+ * These scenarios span the difficulty axes that matter to AMC
+ * (Section II-B's sources of approximation): amount and kind of
+ * motion, occlusion/de-occlusion events, lighting change, and noise.
+ * Test sets mix the scenarios so aggregate accuracy numbers reflect a
+ * range of temporal redundancy, the way a YTBB sample would.
+ */
+#ifndef EVA2_VIDEO_SCENARIOS_H
+#define EVA2_VIDEO_SCENARIOS_H
+
+#include "video/synthetic_video.h"
+
+namespace eva2 {
+
+/** Nothing moves; the easiest possible input for AMC. */
+SceneConfig static_scene(u64 seed, i64 size = 128);
+
+/** Pure global pan: the background and all content translate. */
+SceneConfig panning_scene(u64 seed, double speed = 1.0,
+                          i64 size = 128);
+
+/**
+ * A few textured objects translating over a static background, the
+ * canonical detection workload.
+ *
+ * @param num_objects Sprite count.
+ * @param speed       Pixels per frame of object motion.
+ */
+SceneConfig object_scene(u64 seed, i64 num_objects = 3,
+                         double speed = 1.0, i64 size = 128);
+
+/**
+ * Objects that appear, pass in front of each other, and leave:
+ * exercises occlusion and de-occlusion ("new pixels").
+ */
+SceneConfig occlusion_scene(u64 seed, i64 size = 128);
+
+/**
+ * Fast pan plus fast objects plus lighting drift plus noise: the
+ * adversarial case where adaptive policies should fall back to key
+ * frames.
+ */
+SceneConfig chaotic_scene(u64 seed, i64 size = 128);
+
+/**
+ * A classification clip: one dominant foreground object of the given
+ * class, drifting slowly. The label changes rarely, mirroring the
+ * paper's observation that "frame classification results change
+ * slowly over time" (Section IV-D).
+ */
+SceneConfig classification_scene(u64 seed, i64 cls, double speed = 0.3,
+                                 i64 size = 128);
+
+/** Like classification_scene, with a hard subject change mid-clip. */
+SceneConfig class_change_scene(u64 seed, i64 cls_a, i64 cls_b,
+                               i64 change_frame, i64 size = 128);
+
+/**
+ * A mixed-difficulty detection test set: `num_sequences` clips cycling
+ * through the detection scenarios with varied speeds and seeds.
+ */
+/**
+ * @param speed_scale Multiplier on object/pan speeds; >1 stresses
+ *                    motion compensation (Figure 14 uses it so the
+ *                    198 ms gap spans multiple receptive-field
+ *                    strides, as real video does).
+ */
+std::vector<Sequence> detection_test_set(u64 seed, i64 num_sequences,
+                                         i64 frames_per_sequence,
+                                         i64 size = 192,
+                                         double speed_scale = 1.0);
+
+/** A mixed classification test set over all object classes. */
+std::vector<Sequence> classification_test_set(u64 seed, i64 num_sequences,
+                                              i64 frames_per_sequence,
+                                              i64 size = 128);
+
+} // namespace eva2
+
+#endif // EVA2_VIDEO_SCENARIOS_H

@@ -1,0 +1,283 @@
+#include "video/synthetic_video.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva2 {
+
+double
+BoundingBox::iou(const BoundingBox &o) const
+{
+    const double iy0 = std::max(y0, o.y0);
+    const double ix0 = std::max(x0, o.x0);
+    const double iy1 = std::min(y1, o.y1);
+    const double ix1 = std::min(x1, o.x1);
+    const double inter =
+        std::max(0.0, iy1 - iy0) * std::max(0.0, ix1 - ix0);
+    const double uni = area() + o.area() - inter;
+    return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double
+frame_difference(const Tensor &a, const Tensor &b)
+{
+    require(a.shape() == b.shape(), "frame_difference: shape mismatch");
+    double acc = 0.0;
+    for (i64 i = 0; i < a.size(); ++i) {
+        acc += std::fabs(static_cast<double>(a[i]) - b[i]);
+    }
+    return a.size() > 0 ? acc / static_cast<double>(a.size()) : 0.0;
+}
+
+namespace {
+
+/** Mix three integers into a uniform [0,1) double (SplitMix-style). */
+double
+hash01(u64 seed, i64 iy, i64 ix, u64 salt)
+{
+    u64 z = seed ^ (static_cast<u64>(iy) * 0x9e3779b97f4a7c15ull) ^
+            (static_cast<u64>(ix) * 0xbf58476d1ce4e5b9ull) ^
+            (salt * 0x94d049bb133111ebull);
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ull;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+/** Quintic smoothstep for C2-continuous noise interpolation. */
+double
+smooth(double t)
+{
+    return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+
+} // namespace
+
+ValueNoise::ValueNoise(u64 seed, double scale) : seed_(seed), scale_(scale)
+{
+    require(scale > 0.0, "value noise scale must be positive");
+}
+
+double
+ValueNoise::lattice(i64 iy, i64 ix, u64 salt) const
+{
+    return hash01(seed_, iy, ix, salt);
+}
+
+double
+ValueNoise::octave(double y, double x, double scale, u64 salt) const
+{
+    const double fy = y / scale;
+    const double fx = x / scale;
+    const i64 iy = static_cast<i64>(std::floor(fy));
+    const i64 ix = static_cast<i64>(std::floor(fx));
+    const double ty = smooth(fy - static_cast<double>(iy));
+    const double tx = smooth(fx - static_cast<double>(ix));
+    const double v00 = lattice(iy, ix, salt);
+    const double v01 = lattice(iy, ix + 1, salt);
+    const double v10 = lattice(iy + 1, ix, salt);
+    const double v11 = lattice(iy + 1, ix + 1, salt);
+    const double top = v00 * (1.0 - tx) + v01 * tx;
+    const double bot = v10 * (1.0 - tx) + v11 * tx;
+    return top * (1.0 - ty) + bot * ty;
+}
+
+double
+ValueNoise::sample(double y, double x) const
+{
+    const double base = octave(y, x, scale_, 1);
+    const double detail = octave(y, x, scale_ / 3.0, 2);
+    return (2.0 * base + detail) / 3.0;
+}
+
+SyntheticVideo::SyntheticVideo(SceneConfig config)
+    : config_(std::move(config)),
+      background_(config_.seed, config_.bg_scale),
+      background_after_cut_(config_.seed ^ 0xdeadbeefull, config_.bg_scale)
+{
+    require(config_.height > 0 && config_.width > 0,
+            "scene dimensions must be positive");
+    for (const SpriteConfig &s : config_.sprites) {
+        require(s.cls >= 0 && s.cls < kNumClasses,
+                "sprite class out of range");
+    }
+}
+
+void
+SyntheticVideo::sprite_center(const SpriteConfig &s, i64 t, double &cy,
+                              double &cx) const
+{
+    const double ft = static_cast<double>(t);
+    cy = s.cy + s.vy * ft;
+    cx = s.cx + s.vx * ft;
+    if (s.wobble_amp != 0.0) {
+        cy += s.wobble_amp * std::sin(2.0 * M_PI * ft / s.wobble_period);
+        cx += s.wobble_amp * std::cos(2.0 * M_PI * ft / s.wobble_period);
+    }
+}
+
+double
+SyntheticVideo::sprite_texture(const SpriteConfig &s, double ly,
+                               double lx) const
+{
+    // Class-specific stripes: eight orientations 22.5 degrees apart
+    // at a single spatial frequency whose wavelength (~7.7 px) sits in
+    // the passband of the first-layer Gabor banks of all three
+    // networks (7-11 px kernels). Orientation is the most robustly
+    // propagated texture statistic through the deep random stacks.
+    const double theta =
+        M_PI * static_cast<double>(s.cls) /
+            static_cast<double>(kNumClasses) +
+        M_PI / 16.0;
+    const double freq = 0.13; // cycles per pixel
+    const double u = lx * std::cos(theta) + ly * std::sin(theta);
+    const double stripes =
+        0.5 + 0.5 * std::sin(2.0 * M_PI * freq * u + s.phase);
+    // Blend toward a class-dependent base level for contrast variety.
+    const double base =
+        0.35 + 0.06 * static_cast<double>(s.cls % 5);
+    return 0.25 * base + 0.75 * stripes;
+}
+
+LabeledFrame
+SyntheticVideo::render(i64 frame_index) const
+{
+    const SceneConfig &c = config_;
+    LabeledFrame out;
+    out.index = frame_index;
+    out.time_ms = static_cast<double>(frame_index) * c.frame_period_ms;
+    out.image = Tensor(1, c.height, c.width);
+
+    const bool after_cut =
+        c.scene_cut_frame >= 0 && frame_index >= c.scene_cut_frame;
+    const ValueNoise &bg = after_cut ? background_after_cut_ : background_;
+    const double ft = static_cast<double>(
+        after_cut ? frame_index - c.scene_cut_frame : frame_index);
+
+    // Background with content pan: content moving by +v per frame
+    // means sampling the field at position - v*t.
+    for (i64 y = 0; y < c.height; ++y) {
+        for (i64 x = 0; x < c.width; ++x) {
+            const double sy = static_cast<double>(y) - c.pan_vy * ft;
+            const double sx = static_cast<double>(x) - c.pan_vx * ft;
+            out.image.at(0, y, x) =
+                static_cast<float>(0.15 + 0.55 * bg.sample(sy, sx));
+        }
+    }
+
+    // Generator kinematics for oracle-motion experiments.
+    out.state.pan_y = c.pan_vy * ft;
+    out.state.pan_x = c.pan_vx * ft;
+    out.state.after_cut = after_cut;
+
+    // Sprites, drawn in config order (later sprites occlude earlier).
+    i64 sprite_id = -1;
+    for (const SpriteConfig &s : c.sprites) {
+        ++sprite_id;
+        if (frame_index < s.appear_frame ||
+            frame_index >= s.disappear_frame) {
+            continue;
+        }
+        double cy;
+        double cx;
+        sprite_center(s, frame_index, cy, cx);
+        out.state.sprites.push_back(
+            SpriteState{sprite_id, cy, cx, s.half_h, s.half_w,
+                        s.ellipse});
+        const i64 y_lo = static_cast<i64>(std::floor(cy - s.half_h));
+        const i64 y_hi = static_cast<i64>(std::ceil(cy + s.half_h));
+        const i64 x_lo = static_cast<i64>(std::floor(cx - s.half_w));
+        const i64 x_hi = static_cast<i64>(std::ceil(cx + s.half_w));
+        for (i64 y = std::max<i64>(0, y_lo);
+             y <= std::min(c.height - 1, y_hi); ++y) {
+            for (i64 x = std::max<i64>(0, x_lo);
+                 x <= std::min(c.width - 1, x_hi); ++x) {
+                const double ly = static_cast<double>(y) - cy;
+                const double lx = static_cast<double>(x) - cx;
+                const double ny = ly / s.half_h;
+                const double nx = lx / s.half_w;
+                const bool inside =
+                    s.ellipse ? (ny * ny + nx * nx <= 1.0)
+                              : (std::fabs(ny) <= 1.0 &&
+                                 std::fabs(nx) <= 1.0);
+                if (inside) {
+                    out.image.at(0, y, x) = static_cast<float>(
+                        sprite_texture(s, ly, lx));
+                }
+            }
+        }
+
+        // Ground truth: the visible (clipped) extent.
+        BoundingBox box;
+        box.y0 = std::max(0.0, cy - s.half_h);
+        box.x0 = std::max(0.0, cx - s.half_w);
+        box.y1 = std::min(static_cast<double>(c.height), cy + s.half_h);
+        box.x1 = std::min(static_cast<double>(c.width), cx + s.half_w);
+        box.cls = s.cls;
+        const double full_area = 4.0 * s.half_h * s.half_w;
+        const double border_margin = 14.0;
+        const double bcy = 0.5 * (box.y0 + box.y1);
+        const double bcx = 0.5 * (box.x0 + box.x1);
+        box.difficult =
+            box.area() < 0.8 * full_area ||
+            bcy < border_margin ||
+            bcy > static_cast<double>(c.height) - border_margin ||
+            bcx < border_margin ||
+            bcx > static_cast<double>(c.width) - border_margin;
+        if (box.area() > 4.0) {
+            out.truth.boxes.push_back(box);
+        }
+    }
+
+    // Lighting drift (multiplicative brightness modulation).
+    if (c.lighting_drift != 0.0) {
+        const double gain =
+            1.0 + c.lighting_drift *
+                      std::sin(2.0 * M_PI *
+                               static_cast<double>(frame_index) /
+                               c.lighting_period);
+        for (i64 i = 0; i < out.image.size(); ++i) {
+            out.image[i] = static_cast<float>(out.image[i] * gain);
+        }
+    }
+
+    // Sensor noise, seeded per frame for reproducible random access.
+    if (c.noise_sigma > 0.0) {
+        Rng noise(c.seed ^ (0x5851f42d4c957f2dull *
+                            static_cast<u64>(frame_index + 1)));
+        for (i64 i = 0; i < out.image.size(); ++i) {
+            out.image[i] = static_cast<float>(
+                out.image[i] + noise.normal(0.0, c.noise_sigma));
+        }
+    }
+
+    for (i64 i = 0; i < out.image.size(); ++i) {
+        out.image[i] = std::clamp(out.image[i], 0.0f, 1.0f);
+    }
+
+    // Dominant class: largest visible box.
+    double best_area = 0.0;
+    for (const BoundingBox &b : out.truth.boxes) {
+        if (b.area() > best_area) {
+            best_area = b.area();
+            out.truth.dominant_class = b.cls;
+        }
+    }
+    return out;
+}
+
+Sequence
+SyntheticVideo::sequence(const std::string &name, i64 num_frames) const
+{
+    Sequence seq;
+    seq.name = name;
+    seq.frames.reserve(static_cast<size_t>(num_frames));
+    for (i64 t = 0; t < num_frames; ++t) {
+        seq.frames.push_back(render(t));
+    }
+    return seq;
+}
+
+} // namespace eva2

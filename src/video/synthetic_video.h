@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A deterministic procedural video generator.
+ *
+ * Scenes are composed of a pannable procedural background and textured
+ * sprites with scripted motion, appearance/disappearance (occlusion and
+ * de-occlusion — the paper's "new pixels", Figure 4c), global lighting
+ * drift, sensor noise, and optional hard scene cuts. Rendering is a
+ * pure function of (configuration, frame index), so sequences are
+ * bit-reproducible and frames can be generated in any order.
+ *
+ * Object classes are visually distinguishable without trained weights:
+ * each class renders a striped texture at a class-specific orientation
+ * and frequency, which the first-layer oriented-filter bank
+ * (cnn/weights.h) separates into different channels.
+ */
+#ifndef EVA2_VIDEO_SYNTHETIC_VIDEO_H
+#define EVA2_VIDEO_SYNTHETIC_VIDEO_H
+
+#include "util/rng.h"
+#include "video/frame.h"
+
+namespace eva2 {
+
+/**
+ * Smooth, infinite-extent 2D value noise: random values on an integer
+ * lattice, interpolated with a smoothstep kernel, summed over two
+ * octaves. Continuous in its arguments, so translating the sample
+ * coordinates translates the image content with sub-pixel precision.
+ */
+class ValueNoise
+{
+  public:
+    /**
+     * @param seed  Lattice seed.
+     * @param scale Feature size in pixels (distance between lattice
+     *              points of the base octave).
+     */
+    ValueNoise(u64 seed, double scale);
+
+    /** Sample the field at a (possibly fractional) position; [0,1]. */
+    double sample(double y, double x) const;
+
+  private:
+    double lattice(i64 iy, i64 ix, u64 salt) const;
+    double octave(double y, double x, double scale, u64 salt) const;
+
+    u64 seed_;
+    double scale_;
+};
+
+/** One moving object in a scene. */
+struct SpriteConfig
+{
+    i64 cls = 0;        ///< Object class in [0, kNumClasses).
+    double cy = 0.0;    ///< Center row at frame 0.
+    double cx = 0.0;    ///< Center column at frame 0.
+    double vy = 0.0;    ///< Rows per frame.
+    double vx = 0.0;    ///< Columns per frame.
+    double half_h = 12; ///< Half height in pixels.
+    double half_w = 12; ///< Half width in pixels.
+    bool ellipse = false;
+    double phase = 0.0; ///< Texture phase offset.
+    i64 appear_frame = 0;
+    i64 disappear_frame = 1 << 30;
+    /** Amplitude of sinusoidal wobble added to the linear path. */
+    double wobble_amp = 0.0;
+    double wobble_period = 40.0;
+};
+
+/** Full description of a synthetic scene. */
+struct SceneConfig
+{
+    i64 height = 128;
+    i64 width = 128;
+    u64 seed = 1;
+    double frame_period_ms = 33.0; ///< 30 fps, matching the paper.
+
+    double bg_scale = 24.0; ///< Background texture feature size.
+    double pan_vy = 0.0;    ///< Background content motion, rows/frame.
+    double pan_vx = 0.0;    ///< Background content motion, cols/frame.
+
+    double lighting_drift = 0.0; ///< Relative brightness amplitude.
+    double lighting_period = 90.0;
+    double noise_sigma = 0.0; ///< Per-pixel Gaussian sensor noise.
+
+    i64 scene_cut_frame = -1; ///< Background re-seeds at this frame.
+
+    std::vector<SpriteConfig> sprites;
+};
+
+/** Number of distinct object classes the generator produces. */
+constexpr i64 kNumClasses = 8;
+
+/** Renders frames of one scene. */
+class SyntheticVideo
+{
+  public:
+    explicit SyntheticVideo(SceneConfig config);
+
+    const SceneConfig &config() const { return config_; }
+    i64 height() const { return config_.height; }
+    i64 width() const { return config_.width; }
+
+    /** Render frame t with its ground-truth annotations. */
+    LabeledFrame render(i64 frame_index) const;
+
+    /** Render frames [0, n) into a Sequence. */
+    Sequence sequence(const std::string &name, i64 num_frames) const;
+
+  private:
+    /** Sprite center at a given frame (linear path plus wobble). */
+    void sprite_center(const SpriteConfig &s, i64 t, double &cy,
+                       double &cx) const;
+
+    /** Class texture value at sprite-local coordinates. */
+    double sprite_texture(const SpriteConfig &s, double ly, double lx) const;
+
+    SceneConfig config_;
+    ValueNoise background_;
+    ValueNoise background_after_cut_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_VIDEO_SYNTHETIC_VIDEO_H

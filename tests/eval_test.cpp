@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the evaluation module: metrics (top-1, agreement, mAP with
+ * difficult-box semantics), the trainable linear head, and the
+ * calibrated detector/classifier read-outs.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cnn/model_zoo.h"
+#include "eval/classifier.h"
+#include "eval/detector.h"
+#include "eval/experiment.h"
+#include "eval/oracle_motion.h"
+#include "eval/retrain.h"
+#include "video/scenarios.h"
+
+namespace eva2 {
+namespace {
+
+TEST(Metrics, Top1)
+{
+    Tensor t(4, 1, 1);
+    t[2] = 5.0f;
+    EXPECT_EQ(top1(t), 2);
+}
+
+TEST(Metrics, Agreement)
+{
+    EXPECT_DOUBLE_EQ(agreement({1, 2, 3, 4}, {1, 2, 0, 4}), 0.75);
+    EXPECT_DOUBLE_EQ(agreement({}, {}), 0.0);
+}
+
+TEST(Metrics, PerfectDetectionsGiveFullMap)
+{
+    std::vector<GtBox> truths{{BoundingBox{0, 0, 10, 10, 1}, 0},
+                              {BoundingBox{20, 20, 40, 40, 2}, 0}};
+    std::vector<Detection> dets{
+        {BoundingBox{0, 0, 10, 10, 1}, 0.9, 0},
+        {BoundingBox{20, 20, 40, 40, 2}, 0.8, 0}};
+    EXPECT_DOUBLE_EQ(mean_average_precision(dets, truths, 0.5), 1.0);
+}
+
+TEST(Metrics, MissedAndSpuriousDetections)
+{
+    std::vector<GtBox> truths{{BoundingBox{0, 0, 10, 10, 1}, 0}};
+    // No detections at all -> 0.
+    EXPECT_DOUBLE_EQ(mean_average_precision({}, truths), 0.0);
+    // A wrong-class detection does not match.
+    std::vector<Detection> wrong{{BoundingBox{0, 0, 10, 10, 2}, 0.9, 0}};
+    EXPECT_DOUBLE_EQ(mean_average_precision(wrong, truths), 0.0);
+}
+
+TEST(Metrics, FalsePositivesLowerPrecision)
+{
+    std::vector<GtBox> truths{{BoundingBox{0, 0, 10, 10, 1}, 0}};
+    std::vector<Detection> dets{
+        {BoundingBox{50, 50, 60, 60, 1}, 0.95, 0}, // FP ranked first
+        {BoundingBox{0, 0, 10, 10, 1}, 0.90, 0}};
+    const double ap = mean_average_precision(dets, truths, 0.5);
+    EXPECT_LT(ap, 1.0);
+    EXPECT_GT(ap, 0.0);
+}
+
+TEST(Metrics, DuplicateDetectionsCountOnce)
+{
+    // Two ground-truth boxes; the first is detected twice. The
+    // duplicate must count as a false positive, which drags down the
+    // precision of the lower-scored true positive on the second box.
+    // (A trailing FP past full recall would not move interpolated AP,
+    // so the duplicate is deliberately scored above the second TP.)
+    std::vector<GtBox> truths{{BoundingBox{0, 0, 10, 10, 1}, 0},
+                              {BoundingBox{30, 30, 40, 40, 1}, 0}};
+    std::vector<Detection> dets{
+        {BoundingBox{0, 0, 10, 10, 1}, 0.9, 0},
+        {BoundingBox{0, 0, 10, 10, 1}, 0.8, 0},
+        {BoundingBox{30, 30, 40, 40, 1}, 0.7, 0}};
+    const double ap = mean_average_precision(dets, truths, 0.5);
+    EXPECT_LT(ap, 1.0) << "second match of the same GT is a FP";
+    EXPECT_NEAR(ap, 0.5 + 0.5 * (2.0 / 3.0), 1e-9);
+}
+
+TEST(Metrics, FramesKeptSeparate)
+{
+    std::vector<GtBox> truths{{BoundingBox{0, 0, 10, 10, 1}, 0}};
+    // Same box but on a different frame: no match.
+    std::vector<Detection> dets{{BoundingBox{0, 0, 10, 10, 1}, 0.9, 7}};
+    EXPECT_DOUBLE_EQ(mean_average_precision(dets, truths), 0.0);
+}
+
+TEST(Metrics, DifficultBoxesIgnored)
+{
+    BoundingBox hard{0, 0, 10, 10, 1};
+    hard.difficult = true;
+    std::vector<GtBox> truths{{hard, 0},
+                              {BoundingBox{30, 30, 40, 40, 1}, 0}};
+    // One detection on the difficult box (ignored, not a FP) and one
+    // on the real box.
+    std::vector<Detection> dets{
+        {BoundingBox{0, 0, 10, 10, 1}, 0.95, 0},
+        {BoundingBox{30, 30, 40, 40, 1}, 0.9, 0}};
+    EXPECT_DOUBLE_EQ(mean_average_precision(dets, truths, 0.5), 1.0);
+}
+
+TEST(Metrics, OnlyDifficultGtSkipsClass)
+{
+    BoundingBox hard{0, 0, 10, 10, 1};
+    hard.difficult = true;
+    std::vector<GtBox> truths{{hard, 0},
+                              {BoundingBox{30, 30, 40, 40, 2}, 0}};
+    std::vector<Detection> dets{
+        {BoundingBox{30, 30, 40, 40, 2}, 0.9, 0}};
+    // Class 1 has only difficult GT -> skipped; class 2 perfect.
+    EXPECT_DOUBLE_EQ(mean_average_precision(dets, truths, 0.5), 1.0);
+}
+
+TEST(LinearHead, LearnsLinearlySeparableData)
+{
+    Rng rng(1);
+    std::vector<LabeledFeatures> data;
+    for (int i = 0; i < 300; ++i) {
+        LabeledFeatures ex;
+        const i64 cls = rng.uniform_int(0, 2);
+        ex.label = cls;
+        ex.x = {static_cast<float>(rng.normal(cls == 0 ? 2.0 : -1.0, 0.3)),
+                static_cast<float>(rng.normal(cls == 1 ? 2.0 : -1.0, 0.3)),
+                static_cast<float>(rng.normal(cls == 2 ? 2.0 : -1.0, 0.3))};
+        data.push_back(ex);
+    }
+    LinearHead head = LinearHead::train(data, 3, 40, 0.3, 2);
+    EXPECT_GT(head.accuracy(data), 0.97);
+    // Probabilities are a distribution.
+    auto p = head.probabilities(data[0].x);
+    double total = 0.0;
+    for (double v : p) {
+        total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LinearHead, DeterministicTraining)
+{
+    std::vector<LabeledFeatures> data;
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i) {
+        data.push_back(LabeledFeatures{
+            {rng.uniform_f(-1, 1), rng.uniform_f(-1, 1)},
+            rng.uniform_int(0, 1)});
+    }
+    LinearHead a = LinearHead::train(data, 2, 10, 0.2, 7);
+    LinearHead b = LinearHead::train(data, 2, 10, 0.2, 7);
+    for (const auto &ex : data) {
+        EXPECT_EQ(a.predict(ex.x), b.predict(ex.x));
+    }
+}
+
+TEST(PooledFeatures, AveragesPerChannel)
+{
+    Tensor act(2, 2, 2);
+    act.at(0, 0, 0) = 4.0f;
+    act.at(1, 1, 1) = 8.0f;
+    auto f = pooled_features(act);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_FLOAT_EQ(f[0], 1.0f);
+    EXPECT_FLOAT_EQ(f[1], 2.0f);
+}
+
+TEST(MotionSourceNames, MatchFigure14Labels)
+{
+    EXPECT_STREQ(motion_source_name(MotionSource::kRfbme), "RFBME");
+    EXPECT_STREQ(motion_source_name(MotionSource::kDenseFlow),
+                 "FlowNet2-s (sub)");
+    EXPECT_STREQ(motion_source_name(MotionSource::kOldKey),
+                 "old key frame");
+    EXPECT_STREQ(motion_source_name(MotionSource::kOracleMotion),
+                 "oracle motion");
+}
+
+TEST(OracleMotion, PureBackgroundPanIsExact)
+{
+    SceneConfig cfg;
+    cfg.height = 48;
+    cfg.width = 48;
+    cfg.seed = 5;
+    cfg.pan_vy = 1.0;
+    cfg.pan_vx = -2.0;
+    SyntheticVideo video(cfg);
+    const LabeledFrame key = video.render(0);
+    const LabeledFrame cur = video.render(3);
+    MotionField f = oracle_backward_motion(key, cur);
+    for (i64 y = 0; y < 48; ++y) {
+        for (i64 x = 0; x < 48; ++x) {
+            EXPECT_DOUBLE_EQ(f.at(y, x).dy, -3.0);
+            EXPECT_DOUBLE_EQ(f.at(y, x).dx, 6.0);
+        }
+    }
+}
+
+TEST(OracleMotion, SpritePixelsFollowSprite)
+{
+    SceneConfig cfg;
+    cfg.height = 64;
+    cfg.width = 64;
+    cfg.seed = 6;
+    SpriteConfig s;
+    s.cls = 2;
+    s.cy = 32.0;
+    s.cx = 32.0;
+    s.vy = 0.0;
+    s.vx = 3.0;
+    s.half_h = 10.0;
+    s.half_w = 10.0;
+    cfg.sprites.push_back(s);
+    SyntheticVideo video(cfg);
+    const LabeledFrame key = video.render(0);
+    const LabeledFrame cur = video.render(2);
+    MotionField f = oracle_backward_motion(key, cur);
+    // Center of the sprite at frame 2 sits at x = 38; its backward
+    // offset is -6. Background pixels have zero motion.
+    EXPECT_DOUBLE_EQ(f.at(32, 38).dx, -6.0);
+    EXPECT_DOUBLE_EQ(f.at(32, 38).dy, 0.0);
+    EXPECT_DOUBLE_EQ(f.at(4, 4).dx, 0.0);
+    EXPECT_DOUBLE_EQ(f.at(4, 4).dy, 0.0);
+}
+
+TEST(OracleMotion, SceneCutYieldsZeroField)
+{
+    SceneConfig cfg;
+    cfg.height = 32;
+    cfg.width = 32;
+    cfg.seed = 7;
+    cfg.pan_vx = 2.0;
+    cfg.scene_cut_frame = 2;
+    SyntheticVideo video(cfg);
+    MotionField f =
+        oracle_backward_motion(video.render(0), video.render(3));
+    EXPECT_DOUBLE_EQ(f.total_magnitude(), 0.0);
+}
+
+TEST(OracleMotion, OraclePredictionBeatsStaleOnPan)
+{
+    // Warping with exact motion must reconstruct the target
+    // activation better than reusing the stale key activation.
+    Network net = build_scaled(fasterm_spec());
+    const i64 target = net.default_target_index();
+    SceneConfig cfg = panning_scene(9, 2.0, 128);
+    SyntheticVideo video(cfg);
+    const LabeledFrame key = video.render(0);
+    const LabeledFrame cur = video.render(4);
+    const Tensor truth = net.forward_prefix(cur.image, target);
+    const Tensor oracle_pred = predict_target_activation(
+        net, target, key, cur, MotionSource::kOracleMotion);
+    const Tensor stale = predict_target_activation(
+        net, target, key, cur, MotionSource::kOldKey);
+    double oracle_err = 0.0;
+    double stale_err = 0.0;
+    for (i64 i = 0; i < truth.size(); ++i) {
+        oracle_err += std::fabs(
+            static_cast<double>(oracle_pred[i]) - truth[i]);
+        stale_err +=
+            std::fabs(static_cast<double>(stale[i]) - truth[i]);
+    }
+    EXPECT_LT(oracle_err, stale_err);
+}
+
+class ReadoutTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        spec_ = new NetworkSpec(fasterm_spec());
+        ScaledBuildOptions opts;
+        opts.input = Shape{1, 192, 192};
+        net_ = new Network(build_scaled(*spec_, opts));
+        target_ = net_->find_layer(spec_->late_target);
+        detector_ = new ActivationDetector(
+            ActivationDetector::calibrate(*net_, target_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete detector_;
+        delete net_;
+        delete spec_;
+        detector_ = nullptr;
+        net_ = nullptr;
+        spec_ = nullptr;
+    }
+
+    static NetworkSpec *spec_;
+    static Network *net_;
+    static i64 target_;
+    static ActivationDetector *detector_;
+};
+
+NetworkSpec *ReadoutTest::spec_ = nullptr;
+Network *ReadoutTest::net_ = nullptr;
+i64 ReadoutTest::target_ = -1;
+ActivationDetector *ReadoutTest::detector_ = nullptr;
+
+TEST_F(ReadoutTest, FindsCenteredObjectWithCorrectClass)
+{
+    // A large centred object of a held-out seed must be detected.
+    i64 correct = 0;
+    for (i64 cls = 0; cls < kNumClasses; ++cls) {
+        SceneConfig cfg =
+            classification_scene(4444 + static_cast<u64>(cls), cls, 0.0,
+                                 192);
+        SyntheticVideo video(cfg);
+        const LabeledFrame f = video.render(0);
+        Tensor act = net_->forward_prefix(f.image, target_);
+        for (const Detection &d : detector_->detect(act, 0)) {
+            if (d.box.cls == cls &&
+                d.box.iou(f.truth.boxes[0]) > 0.15) {
+                ++correct;
+                break;
+            }
+        }
+    }
+    EXPECT_GE(correct, 6) << "at least 6 of 8 classes must be found";
+}
+
+TEST_F(ReadoutTest, EmptySceneYieldsFewDetections)
+{
+    SceneConfig cfg;
+    cfg.height = 192;
+    cfg.width = 192;
+    cfg.seed = 999;
+    SyntheticVideo video(cfg);
+    Tensor act = net_->forward_prefix(video.render(0).image, target_);
+    EXPECT_LE(detector_->detect(act, 0).size(), 2u);
+}
+
+TEST_F(ReadoutTest, DetectionMovesWithObject)
+{
+    SceneConfig cfg = classification_scene(5555, 3, 0.0, 192);
+    cfg.sprites[0].vx = 4.0;
+    cfg.sprites[0].wobble_amp = 0.0;
+    SyntheticVideo video(cfg);
+    auto detect_center_x = [&](i64 t) {
+        Tensor act =
+            net_->forward_prefix(video.render(t).image, target_);
+        double best_score = -1.0;
+        double cx = -1.0;
+        for (const Detection &d : detector_->detect(act, 0)) {
+            if (d.score > best_score) {
+                best_score = d.score;
+                cx = 0.5 * (d.box.x0 + d.box.x1);
+            }
+        }
+        return cx;
+    };
+    const double x0 = detect_center_x(0);
+    const double x8 = detect_center_x(8);
+    ASSERT_GE(x0, 0.0);
+    ASSERT_GE(x8, 0.0);
+    EXPECT_GT(x8 - x0, 8.0) << "32px of motion must move the detection";
+}
+
+TEST(Classifier, CalibratedAccuracyOnEasyScenes)
+{
+    Network net = build_scaled(alexnet_spec());
+    PrototypeClassifier clf = PrototypeClassifier::calibrate(net);
+    i64 correct = 0;
+    for (i64 cls = 0; cls < kNumClasses; ++cls) {
+        // Held-out seeds, slow drift.
+        SceneConfig cfg =
+            classification_scene(31337 + static_cast<u64>(cls) * 7, cls,
+                                 0.2, 128);
+        SyntheticVideo video(cfg);
+        const Tensor act = net.forward_prefix(
+            video.render(3).image, net.default_target_index());
+        if (clf.classify(act) == cls) {
+            ++correct;
+        }
+    }
+    EXPECT_GE(correct, 6) << "classifier separates most classes";
+}
+
+TEST(Experiment, NewKeyIsPerfectOracleAgreement)
+{
+    NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    Network net = build_scaled(spec, opts);
+    const i64 target = net.find_layer(spec.late_target);
+    ActivationDetector det = ActivationDetector::calibrate(net, target);
+    auto seqs = detection_test_set(5, 2, 6, 192);
+    GapDetectionResult r = detection_at_gap(net, det, seqs, 2,
+                                            MotionSource::kNewKey,
+                                            InterpMode::kBilinear,
+                                            target, 3);
+    EXPECT_DOUBLE_EQ(r.map_oracle, 1.0);
+    EXPECT_GT(r.evaluated_frames, 0);
+}
+
+} // namespace
+} // namespace eva2

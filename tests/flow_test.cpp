@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the motion-estimation module: RFBME (functional and naive
+ * reference), classic block matching, optical flow baselines, and
+ * motion field utilities.
+ */
+#include <gtest/gtest.h>
+
+#include "flow/block_matching.h"
+#include "flow/optical_flow.h"
+#include "flow/rfbme.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "video/synthetic_video.h"
+
+namespace eva2 {
+namespace {
+
+/** A non-periodic textured test frame. */
+Tensor
+noise_frame(i64 h, i64 w, u64 seed, double scale = 10.0)
+{
+    ValueNoise noise(seed, scale);
+    Tensor t(1, h, w);
+    for (i64 y = 0; y < h; ++y) {
+        for (i64 x = 0; x < w; ++x) {
+            t.at(0, y, x) = static_cast<float>(
+                noise.sample(static_cast<double>(y),
+                             static_cast<double>(x)));
+        }
+    }
+    return t;
+}
+
+TEST(MotionField, UniformAndMagnitude)
+{
+    MotionField f = MotionField::uniform(3, 4, Vec2{3.0, 4.0});
+    EXPECT_EQ(f.height(), 3);
+    EXPECT_EQ(f.width(), 4);
+    EXPECT_DOUBLE_EQ(f.at(2, 3).magnitude(), 5.0);
+    EXPECT_DOUBLE_EQ(f.total_magnitude(), 12 * 5.0);
+    EXPECT_DOUBLE_EQ(f.mean_magnitude(), 5.0);
+}
+
+TEST(MotionField, Scaled)
+{
+    MotionField f = MotionField::uniform(2, 2, Vec2{8.0, -16.0});
+    MotionField s = f.scaled(1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(s.at(0, 0).dy, 0.5);
+    EXPECT_DOUBLE_EQ(s.at(0, 0).dx, -1.0);
+}
+
+TEST(MotionField, AverageToGrid)
+{
+    // An 8x8 dense field with constant vectors reduces to the same
+    // constant on any grid.
+    MotionField dense = MotionField::uniform(8, 8, Vec2{1.0, 2.0});
+    MotionField grid = average_to_grid(dense, 3, 3, 4, 2, 1);
+    for (i64 y = 0; y < 3; ++y) {
+        for (i64 x = 0; x < 3; ++x) {
+            EXPECT_DOUBLE_EQ(grid.at(y, x).dy, 1.0);
+            EXPECT_DOUBLE_EQ(grid.at(y, x).dx, 2.0);
+        }
+    }
+}
+
+TEST(Rfbme, RecoversExactTranslation)
+{
+    Tensor key = noise_frame(64, 64, 5);
+    RfbmeConfig cfg{24, 8, 0, 16, 4};
+    for (i64 d : {-8, -4, 0, 4, 8}) {
+        Tensor cur = translate(key, 0, d);
+        RfbmeResult r = rfbme(key, cur, cfg);
+        // Interior vectors must all equal the backward offset -d.
+        for (i64 y = 1; y + 1 < r.field.height(); ++y) {
+            for (i64 x = 1; x + 1 < r.field.width(); ++x) {
+                EXPECT_DOUBLE_EQ(r.field.at(y, x).dx,
+                                 static_cast<double>(-d))
+                    << "d=" << d << " cell " << y << "," << x;
+            }
+        }
+    }
+}
+
+TEST(Rfbme, ZeroErrorOnPerfectMatch)
+{
+    Tensor key = noise_frame(48, 48, 6);
+    RfbmeConfig cfg{16, 8, 0, 8, 4};
+    RfbmeResult r = rfbme(key, key, cfg);
+    EXPECT_NEAR(r.total_error, 0.0, 1e-9);
+    for (i64 y = 0; y < r.field.height(); ++y) {
+        for (i64 x = 0; x < r.field.width(); ++x) {
+            EXPECT_DOUBLE_EQ(r.field.at(y, x).magnitude(), 0.0);
+        }
+    }
+}
+
+TEST(Rfbme, ErrorGrowsWithSceneChange)
+{
+    Tensor key = noise_frame(48, 48, 7);
+    Tensor other = noise_frame(48, 48, 8); // unrelated content
+    Tensor shifted = translate(key, 0, 4);
+    RfbmeConfig cfg{16, 8, 0, 8, 4};
+    const double err_shift = rfbme(key, shifted, cfg).mean_error;
+    const double err_other = rfbme(key, other, cfg).mean_error;
+    EXPECT_LT(err_shift, err_other);
+}
+
+/** Parameterized equivalence sweep: optimized RFBME == naive RFBME. */
+struct RfbmeCase
+{
+    i64 h;
+    i64 w;
+    RfbmeConfig cfg;
+    u64 seed;
+};
+
+class RfbmeEquivalence : public ::testing::TestWithParam<RfbmeCase>
+{
+};
+
+TEST_P(RfbmeEquivalence, MatchesNaiveReference)
+{
+    const RfbmeCase &tc = GetParam();
+    Tensor key = noise_frame(tc.h, tc.w, tc.seed);
+    Rng rng(tc.seed * 31 + 1);
+    // A composite change: translation + noise.
+    Tensor cur = translate(key, 1, -2);
+    for (i64 i = 0; i < cur.size(); ++i) {
+        cur[i] += rng.uniform_f(-0.01f, 0.01f);
+    }
+    RfbmeResult fast = rfbme(key, cur, tc.cfg);
+    RfbmeResult naive = rfbme_naive(key, cur, tc.cfg);
+    ASSERT_EQ(fast.field.height(), naive.field.height());
+    ASSERT_EQ(fast.field.width(), naive.field.width());
+    for (i64 y = 0; y < fast.field.height(); ++y) {
+        for (i64 x = 0; x < fast.field.width(); ++x) {
+            const double fe =
+                fast.rf_errors[static_cast<size_t>(y * fast.field.width() +
+                                                   x)];
+            const double ne = naive.rf_errors[static_cast<size_t>(
+                y * naive.field.width() + x)];
+            EXPECT_NEAR(fe, ne, 1e-9) << y << "," << x;
+            // Vectors match unless two offsets tie to within rounding.
+            if (fast.field.at(y, x) != naive.field.at(y, x)) {
+                EXPECT_NEAR(fe, ne, 1e-9);
+            }
+        }
+    }
+    EXPECT_NEAR(fast.total_error, naive.total_error, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RfbmeEquivalence,
+    ::testing::Values(
+        RfbmeCase{40, 40, {16, 8, 0, 8, 4}, 1},
+        RfbmeCase{48, 40, {16, 8, 4, 8, 2}, 2},
+        RfbmeCase{64, 64, {24, 8, 8, 16, 4}, 3},
+        RfbmeCase{36, 36, {6, 2, 2, 4, 2}, 4},   // Figure 7 geometry
+        RfbmeCase{50, 42, {14, 7, 3, 7, 7}, 5},  // non-multiple sizes
+        RfbmeCase{64, 32, {32, 16, 16, 16, 8}, 6}));
+
+TEST(Rfbme, OptimizedUsesFarFewerOps)
+{
+    Tensor key = noise_frame(96, 96, 9);
+    Tensor cur = translate(key, 2, 2);
+    RfbmeConfig cfg{48, 16, 16, 16, 8};
+    RfbmeResult fast = rfbme(key, cur, cfg);
+    RfbmeResult naive = rfbme_naive(key, cur, cfg);
+    // Tile reuse should save roughly rf_stride^2; require at least 4x.
+    EXPECT_LT(fast.add_ops * 4, naive.add_ops);
+}
+
+TEST(Rfbme, OutSizeMatchesConvFormula)
+{
+    RfbmeConfig cfg{6, 2, 2, 4, 2};
+    EXPECT_EQ(rfbme_out_size(8, cfg), (8 + 2 * 2 - 6) / 2 + 1);
+}
+
+TEST(Rfbme, RejectsBadConfig)
+{
+    Tensor a = noise_frame(16, 16, 1);
+    RfbmeConfig bad{0, 2, 2, 4, 2};
+    EXPECT_THROW(rfbme(a, a, bad), ConfigError);
+    Tensor b = noise_frame(8, 16, 1);
+    RfbmeConfig ok{4, 2, 0, 2, 2};
+    EXPECT_THROW(rfbme(a, b, ok), ConfigError);
+}
+
+TEST(BlockMatch, RecoversTranslation)
+{
+    Tensor key = noise_frame(64, 64, 10);
+    Tensor cur = translate(key, 3, -5);
+    BlockMatchConfig cfg{8, 8, 1};
+    MotionField f = exhaustive_block_match(key, cur, cfg);
+    // Interior blocks should all point at the backward offset (-3, 5).
+    for (i64 y = 2; y + 2 < f.height(); ++y) {
+        for (i64 x = 2; x + 2 < f.width(); ++x) {
+            EXPECT_DOUBLE_EQ(f.at(y, x).dy, -3.0);
+            EXPECT_DOUBLE_EQ(f.at(y, x).dx, 5.0);
+        }
+    }
+}
+
+TEST(BlockMatch, ThreeStepCloseToExhaustive)
+{
+    Tensor key = noise_frame(64, 64, 11);
+    Tensor cur = translate(key, 4, 4);
+    BlockMatchConfig cfg{8, 8, 1};
+    MotionField ex = exhaustive_block_match(key, cur, cfg);
+    MotionField ts = three_step_search(key, cur, cfg);
+    double mean_dist = 0.0;
+    for (i64 y = 0; y < ex.height(); ++y) {
+        for (i64 x = 0; x < ex.width(); ++x) {
+            Vec2 d{ex.at(y, x).dy - ts.at(y, x).dy,
+                   ex.at(y, x).dx - ts.at(y, x).dx};
+            mean_dist += d.magnitude();
+        }
+    }
+    mean_dist /= static_cast<double>(ex.size());
+    EXPECT_LT(mean_dist, 2.0);
+}
+
+TEST(BlockMatch, MadOfIdenticalBlocksIsZero)
+{
+    Tensor key = noise_frame(32, 32, 12);
+    EXPECT_DOUBLE_EQ(block_mad(key, key, 8, 8, 8, 0, 0), 0.0);
+    EXPECT_GT(block_mad(key, key, 8, 8, 8, 3, 3), 0.0);
+}
+
+TEST(BlockMatch, DiamondRecoversSmallTranslation)
+{
+    Tensor key = noise_frame(64, 64, 13);
+    Tensor cur = translate(key, 2, -3);
+    BlockMatchConfig cfg{8, 8, 1};
+    MotionField f = diamond_search(key, cur, cfg);
+    for (i64 y = 2; y + 2 < f.height(); ++y) {
+        for (i64 x = 2; x + 2 < f.width(); ++x) {
+            EXPECT_DOUBLE_EQ(f.at(y, x).dy, -2.0);
+            EXPECT_DOUBLE_EQ(f.at(y, x).dx, 3.0);
+        }
+    }
+}
+
+TEST(BlockMatch, DiamondZeroOnIdenticalFrames)
+{
+    Tensor key = noise_frame(48, 48, 14);
+    BlockMatchConfig cfg{8, 12, 1};
+    MotionField f = diamond_search(key, key, cfg);
+    EXPECT_DOUBLE_EQ(f.total_magnitude(), 0.0);
+}
+
+TEST(BlockMatch, DiamondRespectsSearchRadius)
+{
+    Tensor key = noise_frame(64, 64, 15);
+    Tensor cur = translate(key, 0, 20); // beyond the radius
+    BlockMatchConfig cfg{8, 6, 1};
+    MotionField f = diamond_search(key, cur, cfg);
+    for (i64 y = 0; y < f.height(); ++y) {
+        for (i64 x = 0; x < f.width(); ++x) {
+            EXPECT_LE(std::abs(f.at(y, x).dy), 6.0);
+            EXPECT_LE(std::abs(f.at(y, x).dx), 6.0);
+        }
+    }
+}
+
+/** Property: all three fast searches stay within the radius and agree
+ * with exhaustive search on clean uniform translations within range. */
+class FastSearchSweep
+    : public ::testing::TestWithParam<std::pair<i64, i64>>
+{
+};
+
+TEST_P(FastSearchSweep, NearOptimalMatchError)
+{
+    // A fast search's contract is the codec criterion: find an
+    // offset whose match error is close to the global (exhaustive)
+    // minimum — not necessarily the true motion vector, since MAD
+    // landscapes on textured content have equivalent minima.
+    const auto [dy, dx] = GetParam();
+    Tensor key = noise_frame(64, 64, 16);
+    Tensor cur = translate(key, dy, dx);
+    BlockMatchConfig cfg{8, 8, 1};
+    MotionField ex = exhaustive_block_match(key, cur, cfg);
+    for (const MotionField &fast :
+         {three_step_search(key, cur, cfg),
+          diamond_search(key, cur, cfg)}) {
+        double excess_sum = 0.0;
+        for (i64 y = 0; y < ex.height(); ++y) {
+            for (i64 x = 0; x < ex.width(); ++x) {
+                const double optimal = block_mad(
+                    key, cur, y * cfg.block_size, x * cfg.block_size,
+                    cfg.block_size,
+                    static_cast<i64>(ex.at(y, x).dy),
+                    static_cast<i64>(ex.at(y, x).dx));
+                const double got = block_mad(
+                    key, cur, y * cfg.block_size, x * cfg.block_size,
+                    cfg.block_size,
+                    static_cast<i64>(fast.at(y, x).dy),
+                    static_cast<i64>(fast.at(y, x).dx));
+                EXPECT_GE(got, optimal - 1e-12);
+                // Any single block may sit in a poor local minimum
+                // (pixel values are in [0,1], so 0.2 is a bad match);
+                // the aggregate must stay near optimal.
+                EXPECT_LE(got, optimal + 0.2)
+                    << "dy=" << dy << " dx=" << dx << " cell " << y
+                    << "," << x;
+                excess_sum += got - optimal;
+            }
+        }
+        EXPECT_LT(excess_sum / static_cast<double>(ex.size()), 0.02)
+            << "dy=" << dy << " dx=" << dx;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Translations, FastSearchSweep,
+    ::testing::Values(std::pair<i64, i64>{0, 0},
+                      std::pair<i64, i64>{1, 1},
+                      std::pair<i64, i64>{-2, 4},
+                      std::pair<i64, i64>{4, -4},
+                      std::pair<i64, i64>{-5, 0}));
+
+TEST(OpticalFlow, Downsample2Shape)
+{
+    Tensor t = noise_frame(33, 64, 13);
+    Tensor d = downsample2(t);
+    EXPECT_EQ(d.height(), 16);
+    EXPECT_EQ(d.width(), 32);
+}
+
+TEST(OpticalFlow, LucasKanadeRecoversSmallShift)
+{
+    Tensor key = noise_frame(64, 64, 14, 8.0);
+    Tensor cur = translate(key, 0, 2);
+    // Backward field: lucas_kanade(new, key) ~ (0, -2) per pixel.
+    MotionField f = lucas_kanade(cur, key);
+    double mean_dx = 0.0;
+    i64 n = 0;
+    for (i64 y = 16; y < 48; ++y) {
+        for (i64 x = 16; x < 48; ++x) {
+            mean_dx += f.at(y, x).dx;
+            ++n;
+        }
+    }
+    mean_dx /= static_cast<double>(n);
+    EXPECT_NEAR(mean_dx, -2.0, 0.8);
+}
+
+TEST(OpticalFlow, HornSchunckRecoversSmallShift)
+{
+    Tensor key = noise_frame(64, 64, 15, 8.0);
+    Tensor cur = translate(key, 1, 0);
+    MotionField f = horn_schunck(cur, key);
+    double mean_dy = 0.0;
+    i64 n = 0;
+    for (i64 y = 16; y < 48; ++y) {
+        for (i64 x = 16; x < 48; ++x) {
+            mean_dy += f.at(y, x).dy;
+            ++n;
+        }
+    }
+    mean_dy /= static_cast<double>(n);
+    EXPECT_NEAR(mean_dy, -1.0, 0.5);
+}
+
+TEST(OpticalFlow, ZeroFlowOnIdenticalFrames)
+{
+    Tensor key = noise_frame(48, 48, 16);
+    MotionField lk = lucas_kanade(key, key);
+    MotionField hs = horn_schunck(key, key);
+    EXPECT_LT(lk.mean_magnitude(), 0.05);
+    EXPECT_LT(hs.mean_magnitude(), 0.05);
+}
+
+} // namespace
+} // namespace eva2

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the hardware models: the Section IV-A op-count formulas
+ * (checked against the paper's quoted numbers), the Figure 12 area
+ * story, the Eyeriss/EIE calibration, and the composite VPU report's
+ * consistency properties.
+ */
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "hw/stream_sim.h"
+#include "hw/vpu.h"
+#include "video/scenarios.h"
+
+namespace eva2 {
+namespace {
+
+TEST(RfbmeOpModel, PaperSectionIVANumbers)
+{
+    // Section IV-A quotes, for Faster16 at 1000x562 with the conv5_3
+    // receptive field: "an unoptimized version requires 3e9 add
+    // operations while RFBME requires 1.3e7".
+    NetworkSpec spec = faster16_spec();
+    Eva2Config cfg =
+        eva2_config_for(spec, "relu5_3", Shape{3, 562, 1000});
+    Eva2Model model(cfg);
+    RfbmeOpModel ops = model.op_model();
+    EXPECT_EQ(ops.rf_size, 196);
+    EXPECT_EQ(ops.rf_stride, 16);
+    EXPECT_NEAR(static_cast<double>(ops.unoptimized_ops()), 3e9, 0.35e9);
+    EXPECT_NEAR(static_cast<double>(ops.rfbme_ops()), 1.3e7, 0.3e7);
+}
+
+TEST(RfbmeOpModel, ReuseSavingsScaleWithStrideSquared)
+{
+    RfbmeOpModel m;
+    m.layer_h = 35;
+    m.layer_w = 62;
+    m.rf_size = 196;
+    m.rf_stride = 16;
+    m.search_radius = 24;
+    m.search_stride = 8;
+    const double ratio = static_cast<double>(m.unoptimized_ops()) /
+                         static_cast<double>(m.rfbme_ops());
+    // Close to rf_stride^2 = 256 (the second term is small).
+    EXPECT_GT(ratio, 150.0);
+    EXPECT_LT(ratio, 260.0);
+}
+
+TEST(MemoryModel, AreaScalesWithCapacity)
+{
+    MemoryMacro small{"s", MemKind::kEdram, 64 * 1024};
+    MemoryMacro big{"b", MemKind::kEdram, 1024 * 1024};
+    EXPECT_LT(small.area_mm2(), big.area_mm2());
+    MemoryMacro sram{"r", MemKind::kSram, 1024 * 1024};
+    EXPECT_GT(sram.area_mm2(), big.area_mm2())
+        << "SRAM is less dense than eDRAM";
+}
+
+TEST(Eva2Area, Figure12Story)
+{
+    // Figure 12 + Section IV-B: EVA2 occupies ~2.6 mm^2, about 3.5% of
+    // the three-unit VPU; pixel buffers ~54.5% of EVA2, activation
+    // buffer ~16%.
+    Eva2Area area = vpu_eva2_area(faster16_spec());
+    EXPECT_NEAR(area.total_mm2(), 2.6, 0.4);
+    EXPECT_NEAR(area.vpu_fraction(), 0.035, 0.007);
+    EXPECT_NEAR(area.pixel_buffer_fraction(), 0.545, 0.08);
+    EXPECT_NEAR(area.activation_buffer_fraction(), 0.16, 0.07);
+}
+
+TEST(EyerissModel, CalibrationAnchors)
+{
+    // AlexNet conv stack ~115 ms; VGG-16 conv stack ~4.3 s.
+    EyerissModel alex(EyerissModel::Family::kAlexNetLike);
+    const auto alex_costs = analyze(alexnet_spec());
+    HwCost alex_conv = alex.conv_cost(total_conv_macs(alex_costs));
+    EXPECT_NEAR(alex_conv.latency_ms, 115.3, 12.0);
+    EXPECT_NEAR(alex_conv.energy_mj, 31.9, 4.0);
+
+    EyerissModel vgg(EyerissModel::Family::kVggLike);
+    const auto vgg_costs = analyze(vgg16_spec());
+    HwCost vgg_conv = vgg.conv_cost(total_conv_macs(vgg_costs));
+    EXPECT_NEAR(vgg_conv.latency_ms, 4309.5, 200.0);
+    EXPECT_NEAR(vgg_conv.energy_mj, 1028.0, 60.0);
+}
+
+TEST(EieModel, FcLayersOrdersOfMagnitudeCheaperThanConv)
+{
+    // Section IV-C: "The energy and latency for the fully-connected
+    // layers are orders of magnitude smaller than for convolutional
+    // layers."
+    const auto costs = analyze(alexnet_spec());
+    EyerissModel eyeriss(EyerissModel::Family::kAlexNetLike);
+    EieModel eie;
+    HwCost conv = eyeriss.conv_cost(total_conv_macs(costs));
+    HwCost fc = eie.fc_cost(total_fc_macs(costs));
+    EXPECT_LT(fc.latency_ms * 100.0, conv.latency_ms);
+    EXPECT_LT(fc.energy_mj * 100.0, conv.energy_mj);
+}
+
+TEST(VpuReport, OrigMatchesPaperTableI)
+{
+    // Table I "orig" rows: AlexNet 115.4 ms / 32.2 mJ, Faster16
+    // 4370.1 ms / 1035.5 mJ, FasterM 492.3 ms / 116.7 mJ. Our model
+    // must land in the same regime (within ~15%).
+    struct Expectation
+    {
+        const char *name;
+        double ms;
+        double mj;
+    };
+    const Expectation expectations[] = {
+        {"AlexNet", 115.4, 32.2},
+        {"Faster16", 4370.1, 1035.5},
+        {"FasterM", 492.3, 116.7},
+    };
+    const auto specs = paper_network_specs();
+    for (size_t i = 0; i < specs.size(); ++i) {
+        VpuReport report = vpu_report(specs[i]);
+        EXPECT_NEAR(report.orig.total().latency_ms, expectations[i].ms,
+                    expectations[i].ms * 0.18)
+            << specs[i].name;
+        EXPECT_NEAR(report.orig.total().energy_mj, expectations[i].mj,
+                    expectations[i].mj * 0.18)
+            << specs[i].name;
+    }
+}
+
+TEST(VpuReport, PredictedFramesMuchCheaperThanKeyFrames)
+{
+    for (const NetworkSpec &spec : paper_network_specs()) {
+        VpuReport report = vpu_report(spec);
+        EXPECT_LT(report.pred.total().energy_mj * 2.0,
+                  report.orig.total().energy_mj)
+            << spec.name;
+        EXPECT_LT(report.pred.total().latency_ms * 2.0,
+                  report.orig.total().latency_ms)
+            << spec.name;
+    }
+}
+
+TEST(VpuReport, PaperHeadlineSavingsAtTableIKeyRates)
+{
+    // The abstract: energy per frame drops 54% (FasterM), 62%
+    // (Faster16), 87% (AlexNet) at the med key-frame rates of Table I
+    // (37%, 36%, and 11% keys respectively).
+    struct Case
+    {
+        NetworkSpec spec;
+        double key_fraction;
+        double expected_savings;
+    };
+    const Case cases[] = {
+        {fasterm_spec(), 0.37, 0.54},
+        {faster16_spec(), 0.36, 0.62},
+        {alexnet_spec(), 0.11, 0.87},
+    };
+    for (const Case &c : cases) {
+        VpuReport report = vpu_report(c.spec);
+        EXPECT_NEAR(report.energy_savings(c.key_fraction),
+                    c.expected_savings, 0.10)
+            << c.spec.name;
+    }
+}
+
+TEST(VpuReport, AverageInterpolatesBetweenKeyAndPred)
+{
+    VpuReport report = vpu_report(fasterm_spec());
+    const double e_key = report.key.total().energy_mj;
+    const double e_pred = report.pred.total().energy_mj;
+    const double e_mid = report.average(0.5).total().energy_mj;
+    EXPECT_NEAR(e_mid, 0.5 * (e_key + e_pred), 1e-9);
+    EXPECT_GT(report.average(1.0).total().energy_mj,
+              report.average(0.0).total().energy_mj);
+}
+
+TEST(VpuReport, SavingsMonotoneInKeyRate)
+{
+    VpuReport report = vpu_report(faster16_spec());
+    double prev = 1.0;
+    for (double key : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+        const double savings = report.energy_savings(key);
+        EXPECT_LT(savings, prev);
+        prev = savings;
+    }
+    // At 100% key frames EVA2 only adds overhead.
+    EXPECT_LE(report.energy_savings(1.0), 0.0);
+}
+
+TEST(VpuReport, MemoizationModeHasNoWarpCost)
+{
+    // AlexNet (classification) uses memoization: the EVA2 unit's
+    // predicted-frame cost excludes the warp engine.
+    Eva2Config with_warp = eva2_config_for(fasterm_spec());
+    Eva2Config without = eva2_config_for(alexnet_spec());
+    EXPECT_TRUE(with_warp.motion_compensation);
+    EXPECT_FALSE(without.motion_compensation);
+    Eva2Model m(with_warp);
+    Eva2Config no_warp_cfg = with_warp;
+    no_warp_cfg.motion_compensation = false;
+    Eva2Model m2(no_warp_cfg);
+    EXPECT_GT(m.predicted_frame_cost().energy_mj,
+              m2.predicted_frame_cost().energy_mj);
+}
+
+TEST(Eva2Model, CostsPositiveAndSmall)
+{
+    Eva2Model model(eva2_config_for(faster16_spec()));
+    const HwCost pred = model.predicted_frame_cost();
+    EXPECT_GT(pred.latency_ms, 0.0);
+    EXPECT_GT(pred.energy_mj, 0.0);
+    // EVA2 itself is tiny relative to full Faster16 execution.
+    VpuReport report = vpu_report(faster16_spec());
+    EXPECT_LT(pred.energy_mj * 20.0, report.orig.total().energy_mj);
+}
+
+TEST(Eva2Model, WarpCostScalesWithDensity)
+{
+    Eva2Config cfg = eva2_config_for(fasterm_spec());
+    cfg.activation_sparsity = 0.9;
+    const double sparse_e = Eva2Model(cfg).warp_cost().energy_mj;
+    cfg.activation_sparsity = 0.1;
+    const double dense_e = Eva2Model(cfg).warp_cost().energy_mj;
+    EXPECT_GT(dense_e, sparse_e * 3.0);
+}
+
+TEST(Eva2Model, CompressedBytesFollowSparsity)
+{
+    Eva2Config cfg = eva2_config_for(fasterm_spec());
+    Eva2Model model(cfg);
+    const i64 values = cfg.act_c * cfg.act_h * cfg.act_w;
+    // 3-byte entries per nonzero value at the configured sparsity.
+    const double nonzero = (1.0 - cfg.activation_sparsity) *
+                           static_cast<double>(values);
+    EXPECT_NEAR(static_cast<double>(model.compressed_act_bytes()),
+                3.0 * nonzero, 2.0);
+    // At the paper's 0.87 sparsity, savings land in the 80-87% band.
+    const double savings =
+        1.0 - static_cast<double>(model.compressed_act_bytes()) /
+                  static_cast<double>(model.dense_act_bytes());
+    EXPECT_GT(savings, 0.78);
+    EXPECT_LT(savings, 0.88);
+}
+
+TEST(Eva2Model, CompressedBytesNeverExceedDense)
+{
+    Eva2Config cfg = eva2_config_for(fasterm_spec());
+    cfg.activation_sparsity = 0.0; // fully dense
+    Eva2Model model(cfg);
+    EXPECT_EQ(model.compressed_act_bytes(), model.dense_act_bytes());
+}
+
+TEST(Eva2Model, StorageSavingsImproveWithSparsity)
+{
+    Eva2Config cfg = eva2_config_for(faster16_spec());
+    i64 prev = std::numeric_limits<i64>::max();
+    for (double sparsity : {0.5, 0.7, 0.87, 0.95}) {
+        cfg.activation_sparsity = sparsity;
+        const i64 bytes = Eva2Model(cfg).compressed_act_bytes();
+        EXPECT_LT(bytes, prev) << "sparsity=" << sparsity;
+        prev = bytes;
+    }
+}
+
+TEST(Eva2Model, InvalidConfigThrows)
+{
+    Eva2Config cfg;
+    EXPECT_THROW(Eva2Model{cfg}, ConfigError);
+}
+
+TEST(StreamSim, TimelineAccountingConsistent)
+{
+    const NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 128, 128};
+    Network net = build_scaled(spec, opts);
+    AmcPipeline pipeline(net, std::make_unique<StaticRatePolicy>(3));
+    StreamSimulator sim(spec);
+
+    SyntheticVideo video(panning_scene(13, 1.0, 128));
+    const StreamReport report =
+        sim.simulate(pipeline, video.sequence("pan", 9));
+
+    ASSERT_EQ(report.frame_count(), 9);
+    EXPECT_EQ(report.key_frames, 3); // frames 0, 3, 6
+    // Total equals the sum of per-frame traces.
+    HwCost sum;
+    i64 keys = 0;
+    for (const FrameTrace &f : report.frames) {
+        sum = sum + f.cost;
+        keys += f.is_key ? 1 : 0;
+    }
+    EXPECT_NEAR(sum.energy_mj, report.total.energy_mj, 1e-9);
+    EXPECT_EQ(keys, report.key_frames);
+    // The stream must beat the precise-every-frame baseline.
+    EXPECT_GT(report.energy_savings(), 0.3);
+    // Key frames cost more than predicted frames in the trace.
+    EXPECT_GT(report.frames[0].cost.energy_mj,
+              report.frames[1].cost.energy_mj * 2.0);
+}
+
+TEST(StreamSim, ResetBetweenSequences)
+{
+    const NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 128, 128};
+    Network net = build_scaled(spec, opts);
+    AmcPipeline pipeline(net, std::make_unique<StaticRatePolicy>(100));
+    StreamSimulator sim(spec);
+    SyntheticVideo video(static_scene(5, 128));
+    const Sequence seq = video.sequence("s", 4);
+    const StreamReport a = sim.simulate(pipeline, seq);
+    const StreamReport b = sim.simulate(pipeline, seq);
+    // Each simulation starts fresh: frame 0 is a key frame both times.
+    EXPECT_TRUE(a.frames[0].is_key);
+    EXPECT_TRUE(b.frames[0].is_key);
+    EXPECT_EQ(a.key_frames, b.key_frames);
+    EXPECT_NEAR(a.total.energy_mj, b.total.energy_mj, 1e-9);
+}
+
+TEST(Vpu, TargetLayerControlsSuffixCost)
+{
+    // An earlier target leaves a bigger suffix for predicted frames.
+    VpuOptions late;
+    VpuOptions early;
+    early.target_layer = "pool1";
+    const NetworkSpec spec = faster16_spec();
+    VpuReport late_report = vpu_report(spec, late);
+    VpuReport early_report = vpu_report(spec, early);
+    EXPECT_GT(early_report.pred.total().energy_mj,
+              late_report.pred.total().energy_mj);
+    EXPECT_THROW(vpu_report(spec, VpuOptions{"no_such_layer"}),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace eva2

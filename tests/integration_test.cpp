@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Cross-module integration tests: end-to-end AMC behaviour on scripted
+ * scenes, adaptive policy dynamics, and the qualitative orderings the
+ * paper's evaluation rests on.
+ */
+#include <gtest/gtest.h>
+
+#include "cnn/model_zoo.h"
+#include "eval/classifier.h"
+#include "eval/detector.h"
+#include "eval/experiment.h"
+#include "hw/vpu.h"
+#include "tensor/tensor_ops.h"
+#include "video/scenarios.h"
+
+namespace eva2 {
+namespace {
+
+TEST(Integration, ClassificationMemoizationDegradesGracefully)
+{
+    // Section IV-D: classification labels change slowly, so stale
+    // activations keep most of the accuracy.
+    Network net = build_scaled(alexnet_spec());
+    PrototypeClassifier clf = PrototypeClassifier::calibrate(net);
+    auto seqs = classification_test_set(21, 6, 12, 128);
+    const double base = baseline_classification_accuracy(net, clf, seqs);
+    GapClassificationResult stale = classification_at_gap(
+        net, clf, seqs, 6, MotionSource::kOldKey,
+        net.find_layer("pool5"), 4);
+    EXPECT_GT(base, 0.55);
+    EXPECT_GT(stale.oracle_agreement, 0.5)
+        << "most stale labels still match the oracle";
+}
+
+TEST(Integration, AdaptiveThresholdControlsKeyRate)
+{
+    // Looser thresholds must produce fewer key frames (the Table I /
+    // Figure 15 control knob).
+    NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    Network net = build_scaled(spec, opts);
+    ActivationDetector det = ActivationDetector::calibrate(
+        net, net.find_layer(spec.late_target));
+    auto seqs = detection_test_set(22, 3, 10, 192);
+
+    AmcOptions amc;
+    amc.target_choice = TargetChoice::kExplicit;
+    amc.explicit_target = net.find_layer(spec.late_target);
+
+    auto run_with_threshold = [&](double threshold) {
+        return run_adaptive_detection(
+            net, det, seqs,
+            [threshold] {
+                return std::make_unique<BlockErrorPolicy>(threshold);
+            },
+            amc);
+    };
+    AdaptiveRunResult tight = run_with_threshold(0.005);
+    AdaptiveRunResult loose = run_with_threshold(0.2);
+    EXPECT_GT(tight.key_fraction, loose.key_fraction);
+    EXPECT_GT(tight.key_fraction, 0.3);
+    EXPECT_LT(loose.key_fraction, 0.6);
+}
+
+TEST(Integration, StaticScenesNeedAlmostNoKeyFrames)
+{
+    NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    Network net = build_scaled(spec, opts);
+    AmcOptions amc;
+    amc.target_choice = TargetChoice::kExplicit;
+    amc.explicit_target = net.find_layer(spec.late_target);
+    AmcPipeline p(net, std::make_unique<BlockErrorPolicy>(0.03), amc);
+    SyntheticVideo video(static_scene(23, 192));
+    for (i64 t = 0; t < 8; ++t) {
+        p.process(video.render(t).image);
+    }
+    EXPECT_EQ(p.stats().key_frames, 1)
+        << "only the first frame of a static scene should be a key";
+}
+
+TEST(Integration, ChaoticScenesNeedMoreKeyFramesThanCalm)
+{
+    NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    Network net = build_scaled(spec, opts);
+    AmcOptions amc;
+    amc.target_choice = TargetChoice::kExplicit;
+    amc.explicit_target = net.find_layer(spec.late_target);
+
+    auto key_fraction_for = [&](const SceneConfig &cfg) {
+        AmcPipeline p(net, std::make_unique<BlockErrorPolicy>(0.02), amc);
+        SyntheticVideo video(cfg);
+        for (i64 t = 0; t < 10; ++t) {
+            p.process(video.render(t).image);
+        }
+        return p.stats().key_fraction();
+    };
+    const double calm = key_fraction_for(static_scene(24, 192));
+    const double chaos = key_fraction_for(chaotic_scene(24, 192));
+    EXPECT_GT(chaos, calm);
+}
+
+TEST(Integration, EnergyAccountingTracksMeasuredKeyRate)
+{
+    // The hw model consumes the key fraction the pipeline actually
+    // measured; the average must sit between pred and key costs.
+    NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    Network net = build_scaled(spec, opts);
+    ActivationDetector det = ActivationDetector::calibrate(
+        net, net.find_layer(spec.late_target));
+    auto seqs = detection_test_set(25, 2, 8, 192);
+    AmcOptions amc;
+    amc.target_choice = TargetChoice::kExplicit;
+    amc.explicit_target = net.find_layer(spec.late_target);
+    AdaptiveRunResult run = run_adaptive_detection(
+        net, det, seqs,
+        [] { return std::make_unique<BlockErrorPolicy>(0.05); }, amc);
+
+    VpuReport report = vpu_report(spec);
+    const double avg =
+        report.average(run.key_fraction).total().energy_mj;
+    EXPECT_GE(avg, report.pred.total().energy_mj);
+    EXPECT_LE(avg, report.key.total().energy_mj);
+    EXPECT_GT(report.energy_savings(run.key_fraction), 0.0);
+}
+
+TEST(Integration, WarpedOutputsFeedSuffixWithoutError)
+{
+    // Smoke across all three networks: a full adaptive run never
+    // throws and produces well-formed outputs.
+    for (const NetworkSpec &spec : paper_network_specs()) {
+        ScaledBuildOptions opts;
+        if (spec.task == VisionTask::kDetection) {
+            opts.input = Shape{1, 192, 192};
+        }
+        Network net = build_scaled(spec, opts);
+        AmcOptions amc;
+        amc.target_choice = TargetChoice::kExplicit;
+        amc.explicit_target = net.find_layer(spec.late_target);
+        amc.motion_mode = spec.task == VisionTask::kClassification
+                              ? MotionMode::kMemoization
+                              : MotionMode::kCompensation;
+        AmcPipeline p(net, std::make_unique<BlockErrorPolicy>(0.05, 8),
+                      amc);
+        SyntheticVideo video(
+            panning_scene(26, 1.5, net.input_shape().h));
+        for (i64 t = 0; t < 6; ++t) {
+            AmcFrameResult r = p.process(video.render(t).image);
+            EXPECT_GT(r.output.size(), 0) << spec.name;
+            EXPECT_GT(r.target_activation.size(), 0) << spec.name;
+        }
+        EXPECT_EQ(p.stats().frames, 6);
+    }
+}
+
+TEST(Integration, EarlyTargetSkipsLessThanLateTarget)
+{
+    // Table II context: the late target saves more prefix work.
+    NetworkSpec spec = faster16_spec();
+    Network net = build_scaled(spec);
+    const i64 early = net.find_layer(spec.early_target);
+    const i64 late = net.find_layer(spec.late_target);
+    ASSERT_LT(early, late);
+    EXPECT_LT(net.prefix_macs(early), net.prefix_macs(late));
+}
+
+TEST(Integration, InterpolationModesBothWork)
+{
+    // Section II-C3: bilinear vs nearest-neighbour. Both must produce
+    // valid predictions; bilinear generally closer on fractional
+    // motion.
+    NetworkSpec spec = fasterm_spec();
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    Network net = build_scaled(spec, opts);
+    const i64 target = net.find_layer(spec.late_target);
+    SceneConfig cfg;
+    cfg.height = 192;
+    cfg.width = 192;
+    cfg.seed = 27;
+    cfg.pan_vx = 1.5; // fractional cell motion at stride 16
+    SyntheticVideo video(cfg);
+    const Tensor key = video.render(0).image;
+    const Tensor cur = video.render(4).image;
+    const Tensor oracle = net.forward_prefix(cur, target);
+    const Tensor bilinear = predict_target_activation(
+        net, target, key, cur, MotionSource::kRfbme,
+        InterpMode::kBilinear);
+    const Tensor nearest = predict_target_activation(
+        net, target, key, cur, MotionSource::kRfbme,
+        InterpMode::kNearest);
+    EXPECT_GT(bilinear.size(), 0);
+    EXPECT_GT(nearest.size(), 0);
+    EXPECT_LT(mean_abs_diff(bilinear, oracle),
+              mean_abs_diff(nearest, oracle) * 1.5);
+}
+
+} // namespace
+} // namespace eva2

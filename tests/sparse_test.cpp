@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the run-length activation codec (Section III-B): round
+ * trips, gap saturation, storage accounting, and the sparsity/savings
+ * relationship the paper's on-chip buffer depends on.
+ */
+#include <gtest/gtest.h>
+
+#include "sparse/rle.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace eva2 {
+namespace {
+
+/** A tensor with an exact fraction of (Q8.8-representable) nonzeros. */
+Tensor
+sparse_tensor(Shape s, double density, u64 seed)
+{
+    Tensor t(s);
+    Rng rng(seed);
+    for (i64 i = 0; i < t.size(); ++i) {
+        if (rng.chance(density)) {
+            // Values on the Q8.8 grid so encode/decode is lossless.
+            t[i] = static_cast<float>(rng.uniform_int(1, 2000)) / 256.0f;
+        }
+    }
+    return t;
+}
+
+TEST(Rle, RoundTripLossless)
+{
+    Tensor t = sparse_tensor({4, 8, 8}, 0.3, 1);
+    Tensor back = rle_decode(rle_encode(t));
+    EXPECT_TRUE(all_close(back, t, 1e-6));
+}
+
+TEST(Rle, RoundTripQuantizesLikeQ88)
+{
+    Tensor t(2, 4, 4);
+    Rng rng(2);
+    for (i64 i = 0; i < t.size(); ++i) {
+        t[i] = rng.uniform_f(-3.0f, 3.0f);
+    }
+    Tensor back = rle_decode(rle_encode(t));
+    EXPECT_TRUE(all_close(back, quantize_q88(t), 1e-6));
+}
+
+TEST(Rle, AllZerosEncodeToNothing)
+{
+    Tensor t(3, 16, 16);
+    RleActivation enc = rle_encode(t);
+    EXPECT_EQ(enc.num_entries(), 0);
+    EXPECT_TRUE(all_close(rle_decode(enc), t, 0.0));
+    EXPECT_GT(enc.storage_savings(), 0.99);
+}
+
+TEST(Rle, DenseTensorHasNegativeSavings)
+{
+    Tensor t(1, 8, 8);
+    t.fill(1.0f);
+    RleActivation enc = rle_encode(t);
+    EXPECT_EQ(enc.num_entries(), 64);
+    // 3 bytes per entry vs 2 bytes dense: encoding costs more.
+    EXPECT_LT(enc.storage_savings(), 0.0);
+}
+
+TEST(Rle, GapSaturationSplitsLongRuns)
+{
+    RleParams params;
+    params.max_zero_gap = 4;
+    Tensor t(1, 1, 12);
+    t[10] = 1.0f; // 10 zeros then a value
+    RleActivation enc = rle_encode(t, params);
+    // Runs: 4 zeros (placeholder), 4 zeros (placeholder), 2 zeros +
+    // value.
+    ASSERT_EQ(enc.channels[0].entries.size(), 3u);
+    EXPECT_EQ(enc.channels[0].entries[0].zero_gap, 4);
+    EXPECT_EQ(enc.channels[0].entries[0].value_raw, 0);
+    EXPECT_EQ(enc.channels[0].entries[2].zero_gap, 2);
+    EXPECT_TRUE(all_close(rle_decode(enc), t, 1e-6));
+}
+
+TEST(Rle, ThresholdZeroesSmallValues)
+{
+    RleParams params;
+    params.zero_threshold = 0.1f;
+    Tensor t(1, 1, 3);
+    t[0] = 0.05f;
+    t[1] = 0.5f;
+    t[2] = -0.08f;
+    Tensor back = rle_decode(rle_encode(t, params));
+    EXPECT_EQ(back[0], 0.0f);
+    EXPECT_NEAR(back[1], 0.5f, 1e-6);
+    EXPECT_EQ(back[2], 0.0f);
+}
+
+TEST(Rle, StorageAccounting)
+{
+    Tensor t = sparse_tensor({2, 4, 4}, 0.5, 3);
+    RleActivation enc = rle_encode(t);
+    EXPECT_EQ(enc.dense_bytes(), t.size() * 2);
+    EXPECT_EQ(enc.encoded_bytes(), enc.num_entries() * 3);
+}
+
+TEST(Rle, PaperStorageClaimAtHighSparsity)
+{
+    // Section V: activation compression reduces intermediate data by
+    // 80-87%. At ~90% sparsity the codec must save more than 80%.
+    Tensor t = sparse_tensor({16, 16, 16}, 0.10, 4);
+    RleActivation enc = rle_encode(t);
+    EXPECT_GT(enc.storage_savings(), 0.80);
+}
+
+/** Property sweep: round trip at many sparsity levels. */
+class RleSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RleSweep, RoundTripAndMonotoneSavings)
+{
+    const double density = GetParam();
+    Tensor t = sparse_tensor({8, 12, 12}, density, 5);
+    RleActivation enc = rle_encode(t);
+    EXPECT_TRUE(all_close(rle_decode(enc), t, 1e-6));
+    // Savings approximately 1 - 1.5 * density (3-byte entries over
+    // 2-byte dense), modulo placeholder entries.
+    EXPECT_NEAR(enc.storage_savings(), 1.0 - 1.5 * density, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RleSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.3,
+                                           0.5));
+
+/** Property sweep: round trip must hold at any gap-field width, and
+ * narrower fields may only add placeholder entries, never lose data. */
+class GapWidthSweep : public ::testing::TestWithParam<u16>
+{
+};
+
+TEST_P(GapWidthSweep, RoundTripAndEntryMonotonicity)
+{
+    const u16 max_gap = GetParam();
+    Tensor t = sparse_tensor({4, 16, 16}, 0.05, 9);
+    RleParams params;
+    params.max_zero_gap = max_gap;
+    RleActivation enc = rle_encode(t, params);
+    EXPECT_TRUE(all_close(rle_decode(enc), t, 1e-6));
+    // Entries never exceed the widest-field encoding by more than the
+    // placeholders required to bridge the gaps.
+    RleActivation wide = rle_encode(t);
+    EXPECT_GE(enc.num_entries(), wide.num_entries());
+    for (const RleChannel &ch : enc.channels) {
+        for (const RleEntry &e : ch.entries) {
+            EXPECT_LE(e.zero_gap, max_gap);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GapWidths, GapWidthSweep,
+                         ::testing::Values(1, 3, 15, 63, 255, 4095));
+
+TEST(Rle, EmptyTensor)
+{
+    Tensor t(0, 0, 0);
+    RleActivation enc = rle_encode(t);
+    EXPECT_EQ(enc.num_entries(), 0);
+    Tensor back = rle_decode(enc);
+    EXPECT_EQ(back.size(), 0);
+}
+
+TEST(Rle, NegativeValuesSurvive)
+{
+    Tensor t(1, 1, 4);
+    t[1] = -2.5f;
+    t[3] = 1.25f;
+    Tensor back = rle_decode(rle_encode(t));
+    EXPECT_NEAR(back[1], -2.5f, 1e-6);
+    EXPECT_NEAR(back[3], 1.25f, 1e-6);
+}
+
+} // namespace
+} // namespace eva2

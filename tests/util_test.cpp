@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the util module: deterministic RNG, fixed-point
+ * arithmetic, and numeric helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "util/fixed_point.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace eva2 {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const i64 v = rng.uniform_int(0, 7);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 7);
+        saw_lo |= v == 0;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng root(5);
+    Rng a = root.fork(0);
+    Rng b = root.fork(1);
+    EXPECT_NE(a.next_u64(), b.next_u64());
+    // Forking again with the same tag from an identical root matches.
+    Rng root2(5);
+    Rng a2 = root2.fork(0);
+    Rng a3(5);
+    EXPECT_EQ(Rng(5).fork(0).next_u64(), a3.fork(0).next_u64());
+    (void)a2;
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.chance(0.25) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Fixed, RoundTripExactValues)
+{
+    for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 17.125, -100.0}) {
+        EXPECT_DOUBLE_EQ(Q88::from_double(v).to_double(), v);
+    }
+}
+
+TEST(Fixed, QuantizationWithinResolution)
+{
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(-100.0, 100.0);
+        const double q = Q88::from_double(v).to_double();
+        EXPECT_NEAR(q, v, Q88::resolution() / 2.0 + 1e-12);
+    }
+}
+
+TEST(Fixed, SaturatesAtLimits)
+{
+    EXPECT_EQ(Q88::from_double(1e9).raw(), Q88::max_raw);
+    EXPECT_EQ(Q88::from_double(-1e9).raw(), Q88::min_raw);
+}
+
+TEST(Fixed, AdditionMatchesDouble)
+{
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-50.0, 50.0);
+        const double b = rng.uniform(-50.0, 50.0);
+        const double got =
+            (Q88::from_double(a) + Q88::from_double(b)).to_double();
+        EXPECT_NEAR(got, a + b, 2.0 * Q88::resolution());
+    }
+}
+
+TEST(Fixed, MultiplicationMatchesDouble)
+{
+    Rng rng(6);
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-8.0, 8.0);
+        const double b = rng.uniform(-8.0, 8.0);
+        const double got =
+            (Q88::from_double(a) * Q88::from_double(b)).to_double();
+        EXPECT_NEAR(got, a * b, 0.1);
+    }
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(10, 5), 2);
+    EXPECT_EQ(ceil_div(11, 5), 3);
+    EXPECT_EQ(ceil_div(0, 5), 0);
+    EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(MathUtil, ConvOutSize)
+{
+    // AlexNet conv1: 227x227, k=11, s=4, p=0 -> 55.
+    EXPECT_EQ(conv_out_size(227, 11, 4, 0), 55);
+    // VGG conv: 224, k=3, s=1, p=1 -> 224.
+    EXPECT_EQ(conv_out_size(224, 3, 1, 1), 224);
+    // Pool: 224, k=2, s=2 -> 112.
+    EXPECT_EQ(conv_out_size(224, 2, 2, 0), 112);
+}
+
+TEST(MathUtil, SparsityFraction)
+{
+    std::vector<float> xs{0.0f, 0.0f, 1.0f, 0.0f};
+    EXPECT_DOUBLE_EQ(sparsity(xs), 0.75);
+}
+
+TEST(MathUtil, RmsDiff)
+{
+    std::vector<float> a{1.0f, 2.0f};
+    std::vector<float> b{1.0f, 4.0f};
+    EXPECT_NEAR(rms_diff(a, b), std::sqrt(2.0), 1e-9);
+}
+
+/** Property sweep: Q-format round trips over formats. */
+template <typename F>
+void
+check_format_roundtrip()
+{
+    Rng rng(77);
+    const double limit = static_cast<double>(F::max_raw) /
+                         static_cast<double>(F::one_raw);
+    for (int i = 0; i < 200; ++i) {
+        const double v = rng.uniform(-limit, limit);
+        EXPECT_NEAR(F::from_double(v).to_double(), v,
+                    F::resolution() / 2.0 + 1e-12);
+    }
+}
+
+TEST(Fixed, RoundTripAllFormats)
+{
+    check_format_roundtrip<Fixed<8, 8>>();
+    check_format_roundtrip<Fixed<2, 8>>();
+    check_format_roundtrip<Fixed<4, 12>>();
+    check_format_roundtrip<Fixed<12, 4>>();
+}
+
+} // namespace
+} // namespace eva2

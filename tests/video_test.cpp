@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the synthetic video substrate: determinism, motion
+ * semantics (pans are true translations), ground-truth annotations,
+ * occlusion scripting, and dataset assembly.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+#include "video/ascii_render.h"
+#include "video/scenarios.h"
+
+namespace eva2 {
+namespace {
+
+TEST(ValueNoise, DeterministicAndBounded)
+{
+    ValueNoise a(42, 16.0);
+    ValueNoise b(42, 16.0);
+    for (int i = 0; i < 50; ++i) {
+        const double y = i * 1.7;
+        const double x = i * -0.9;
+        EXPECT_DOUBLE_EQ(a.sample(y, x), b.sample(y, x));
+        EXPECT_GE(a.sample(y, x), 0.0);
+        EXPECT_LE(a.sample(y, x), 1.0);
+    }
+}
+
+TEST(ValueNoise, DifferentSeedsDiffer)
+{
+    ValueNoise a(1, 16.0);
+    ValueNoise b(2, 16.0);
+    bool any_diff = false;
+    for (int i = 0; i < 20; ++i) {
+        any_diff |= a.sample(i, i) != b.sample(i, i);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticVideo, RenderDeterministicRandomAccess)
+{
+    SceneConfig cfg = chaotic_scene(7);
+    SyntheticVideo video(cfg);
+    LabeledFrame a = video.render(13);
+    LabeledFrame b = video.render(13);
+    EXPECT_TRUE(all_close(a.image, b.image, 0.0));
+    EXPECT_EQ(a.truth.boxes.size(), b.truth.boxes.size());
+}
+
+TEST(SyntheticVideo, PixelsInUnitRange)
+{
+    SyntheticVideo video(chaotic_scene(9));
+    LabeledFrame f = video.render(5);
+    for (i64 i = 0; i < f.image.size(); ++i) {
+        EXPECT_GE(f.image[i], 0.0f);
+        EXPECT_LE(f.image[i], 1.0f);
+    }
+}
+
+TEST(SyntheticVideo, IntegerPanIsExactTranslation)
+{
+    SceneConfig cfg;
+    cfg.height = 64;
+    cfg.width = 64;
+    cfg.seed = 3;
+    cfg.pan_vx = 2.0;
+    SyntheticVideo video(cfg);
+    Tensor f0 = video.render(0).image;
+    Tensor f3 = video.render(3).image; // 6 px of pan
+    Tensor expect = translate(f0, 0, 6);
+    // Compare the region where translate() did not introduce zeros.
+    double max_diff = 0.0;
+    for (i64 y = 0; y < 64; ++y) {
+        for (i64 x = 6; x < 64; ++x) {
+            max_diff = std::max(
+                max_diff, std::abs(static_cast<double>(f3.at(0, y, x)) -
+                                   expect.at(0, y, x)));
+        }
+    }
+    EXPECT_LT(max_diff, 1e-6);
+}
+
+TEST(SyntheticVideo, TimeStampsAt30Fps)
+{
+    SyntheticVideo video(static_scene(1));
+    EXPECT_DOUBLE_EQ(video.render(0).time_ms, 0.0);
+    EXPECT_DOUBLE_EQ(video.render(6).time_ms, 6 * 33.0);
+}
+
+TEST(SyntheticVideo, SpriteMovesAlongPath)
+{
+    SceneConfig cfg;
+    cfg.height = 96;
+    cfg.width = 96;
+    cfg.seed = 5;
+    SpriteConfig s;
+    s.cls = 2;
+    s.cy = 40.0;
+    s.cx = 30.0;
+    s.vx = 2.0;
+    s.half_h = 10.0;
+    s.half_w = 10.0;
+    cfg.sprites.push_back(s);
+    SyntheticVideo video(cfg);
+    const auto f0 = video.render(0);
+    const auto f5 = video.render(5);
+    ASSERT_EQ(f0.truth.boxes.size(), 1u);
+    ASSERT_EQ(f5.truth.boxes.size(), 1u);
+    EXPECT_NEAR(f5.truth.boxes[0].x0 - f0.truth.boxes[0].x0, 10.0, 1e-9);
+    EXPECT_EQ(f0.truth.boxes[0].cls, 2);
+}
+
+TEST(SyntheticVideo, AppearDisappearFrames)
+{
+    SceneConfig cfg;
+    cfg.height = 64;
+    cfg.width = 64;
+    SpriteConfig s;
+    s.cls = 1;
+    s.cy = 32;
+    s.cx = 32;
+    s.half_h = 8;
+    s.half_w = 8;
+    s.appear_frame = 3;
+    s.disappear_frame = 7;
+    cfg.sprites.push_back(s);
+    SyntheticVideo video(cfg);
+    EXPECT_TRUE(video.render(2).truth.boxes.empty());
+    EXPECT_EQ(video.render(3).truth.boxes.size(), 1u);
+    EXPECT_EQ(video.render(6).truth.boxes.size(), 1u);
+    EXPECT_TRUE(video.render(7).truth.boxes.empty());
+}
+
+TEST(SyntheticVideo, SceneCutChangesBackground)
+{
+    SceneConfig cfg;
+    cfg.height = 64;
+    cfg.width = 64;
+    cfg.seed = 11;
+    cfg.scene_cut_frame = 5;
+    SyntheticVideo video(cfg);
+    Tensor before = video.render(4).image;
+    Tensor after = video.render(5).image;
+    EXPECT_GT(frame_difference(before, after), 0.02);
+}
+
+TEST(SyntheticVideo, SceneStateTracksKinematics)
+{
+    SceneConfig cfg;
+    cfg.height = 64;
+    cfg.width = 64;
+    cfg.seed = 3;
+    cfg.pan_vy = 0.5;
+    cfg.pan_vx = -1.0;
+    SpriteConfig s;
+    s.cls = 1;
+    s.cy = 30.0;
+    s.cx = 30.0;
+    s.vy = 2.0;
+    s.vx = 1.0;
+    s.half_h = 8.0;
+    s.half_w = 8.0;
+    s.appear_frame = 2;
+    cfg.sprites.push_back(s);
+    SyntheticVideo video(cfg);
+
+    const LabeledFrame f0 = video.render(0);
+    EXPECT_DOUBLE_EQ(f0.state.pan_y, 0.0);
+    EXPECT_TRUE(f0.state.sprites.empty()) << "sprite not yet visible";
+
+    const LabeledFrame f4 = video.render(4);
+    EXPECT_DOUBLE_EQ(f4.state.pan_y, 2.0);
+    EXPECT_DOUBLE_EQ(f4.state.pan_x, -4.0);
+    ASSERT_EQ(f4.state.sprites.size(), 1u);
+    EXPECT_EQ(f4.state.sprites[0].id, 0);
+    EXPECT_NEAR(f4.state.sprites[0].cy, 30.0 + 2.0 * 4, 1e-9);
+    EXPECT_NEAR(f4.state.sprites[0].cx, 30.0 + 1.0 * 4, 1e-9);
+}
+
+TEST(SyntheticVideo, DifficultFlagOnTruncatedBoxes)
+{
+    SceneConfig cfg;
+    cfg.height = 64;
+    cfg.width = 64;
+    SpriteConfig s;
+    s.cls = 0;
+    s.cy = 32;
+    s.cx = 2.0; // mostly off the left edge
+    s.half_h = 10;
+    s.half_w = 10;
+    cfg.sprites.push_back(s);
+    SpriteConfig centered = s;
+    centered.cx = 32.0;
+    centered.cy = 32.0;
+    cfg.sprites.push_back(centered);
+    SyntheticVideo video(cfg);
+    const auto f = video.render(0);
+    ASSERT_EQ(f.truth.boxes.size(), 2u);
+    EXPECT_TRUE(f.truth.boxes[0].difficult);
+    EXPECT_FALSE(f.truth.boxes[1].difficult);
+}
+
+TEST(SyntheticVideo, DominantClassIsLargestBox)
+{
+    SceneConfig cfg;
+    cfg.height = 96;
+    cfg.width = 96;
+    SpriteConfig small;
+    small.cls = 1;
+    small.cy = 25;
+    small.cx = 25;
+    small.half_h = 6;
+    small.half_w = 6;
+    SpriteConfig big;
+    big.cls = 4;
+    big.cy = 60;
+    big.cx = 60;
+    big.half_h = 20;
+    big.half_w = 20;
+    cfg.sprites.push_back(small);
+    cfg.sprites.push_back(big);
+    SyntheticVideo video(cfg);
+    EXPECT_EQ(video.render(0).truth.dominant_class, 4);
+}
+
+TEST(SyntheticVideo, LightingDriftChangesBrightness)
+{
+    SceneConfig cfg;
+    cfg.height = 48;
+    cfg.width = 48;
+    cfg.seed = 12;
+    cfg.lighting_drift = 0.2;
+    cfg.lighting_period = 20.0;
+    SyntheticVideo video(cfg);
+    const double s0 = sum(video.render(0).image);
+    const double s5 = sum(video.render(5).image);
+    EXPECT_GT(std::abs(s0 - s5) / s0, 0.02);
+}
+
+TEST(BoundingBox, IouSelfAndDisjoint)
+{
+    BoundingBox a{0, 0, 10, 10, 0};
+    BoundingBox b{0, 0, 10, 10, 1};
+    EXPECT_DOUBLE_EQ(a.iou(b), 1.0);
+    BoundingBox c{20, 20, 30, 30, 0};
+    EXPECT_DOUBLE_EQ(a.iou(c), 0.0);
+}
+
+TEST(BoundingBox, IouPartialOverlap)
+{
+    BoundingBox a{0, 0, 10, 10, 0};
+    BoundingBox b{0, 5, 10, 15, 0};
+    // Intersection 50, union 150.
+    EXPECT_NEAR(a.iou(b), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Scenarios, TestSetsHaveRequestedShape)
+{
+    auto det = detection_test_set(1, 5, 8, 96);
+    EXPECT_EQ(det.size(), 5u);
+    for (const Sequence &seq : det) {
+        EXPECT_EQ(seq.size(), 8);
+        EXPECT_EQ(seq[0].image.height(), 96);
+    }
+    auto cls = classification_test_set(2, 4, 6, 64);
+    EXPECT_EQ(cls.size(), 4u);
+    for (const Sequence &seq : cls) {
+        EXPECT_EQ(seq[0].image.width(), 64);
+        EXPECT_GE(seq[0].truth.dominant_class, 0);
+    }
+}
+
+TEST(Scenarios, StaticSceneIsStatic)
+{
+    SyntheticVideo video(static_scene(3, 64));
+    EXPECT_LT(frame_difference(video.render(0).image,
+                               video.render(10).image),
+              1e-9);
+}
+
+TEST(Scenarios, ObjectSceneClassesDistinct)
+{
+    SceneConfig cfg = object_scene(4, 3, 1.0, 128);
+    ASSERT_EQ(cfg.sprites.size(), 3u);
+    EXPECT_NE(cfg.sprites[0].cls, cfg.sprites[1].cls);
+    EXPECT_NE(cfg.sprites[1].cls, cfg.sprites[2].cls);
+}
+
+TEST(Scenarios, ClassChangeSceneChangesDominant)
+{
+    SceneConfig cfg = class_change_scene(5, 1, 6, 10, 96);
+    SyntheticVideo video(cfg);
+    EXPECT_EQ(video.render(0).truth.dominant_class, 1);
+    EXPECT_EQ(video.render(12).truth.dominant_class, 6);
+}
+
+TEST(Scenarios, FrameDifferenceTracksSpeed)
+{
+    // Faster pans produce larger interframe differences.
+    SyntheticVideo slow(panning_scene(8, 0.5, 96));
+    SyntheticVideo fast(panning_scene(8, 3.0, 96));
+    const double d_slow =
+        frame_difference(slow.render(0).image, slow.render(1).image);
+    const double d_fast =
+        frame_difference(fast.render(0).image, fast.render(1).image);
+    EXPECT_GT(d_fast, d_slow);
+}
+
+TEST(AsciiRender, ShapeAndRampSemantics)
+{
+    Tensor img(1, 32, 64);
+    for (i64 x = 0; x < 64; ++x) {
+        for (i64 y = 0; y < 32; ++y) {
+            img.at(0, y, x) =
+                static_cast<float>(x) / 63.0f; // dark -> light
+        }
+    }
+    AsciiOptions opts;
+    opts.max_cols = 32;
+    const std::string art = ascii_frame(img, opts);
+    // One trailing newline per row; every row is max_cols wide.
+    const size_t first_line = art.find('\n');
+    ASSERT_NE(first_line, std::string::npos);
+    EXPECT_EQ(first_line, 32u);
+    // The left edge is dark (dense glyph '@'), the right edge light.
+    EXPECT_EQ(art[0], '@');
+    EXPECT_EQ(art[31], ' ');
+}
+
+TEST(AsciiRender, BoxesDrawClassDigits)
+{
+    Tensor img(1, 64, 64);
+    img.fill(0.5f);
+    BoundingBox b{16, 16, 48, 48, 3};
+    AsciiOptions opts;
+    opts.max_cols = 32;
+    const std::string art =
+        ascii_frame_with_boxes(img, {b}, opts);
+    EXPECT_NE(art.find('3'), std::string::npos);
+    const std::string no_boxes = ascii_frame(img, opts);
+    EXPECT_EQ(no_boxes.find('3'), std::string::npos);
+}
+
+} // namespace
+} // namespace eva2
