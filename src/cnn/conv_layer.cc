@@ -1,5 +1,7 @@
 #include "cnn/conv_layer.h"
 
+#include "runtime/parallel_for.h"
+
 namespace eva2 {
 
 ConvLayer::ConvLayer(i64 in_c, i64 out_c, i64 kernel, i64 stride, i64 pad)
@@ -41,7 +43,10 @@ ConvLayer::forward(const Tensor &in) const
     Tensor out(os);
     const i64 ih = in.height();
     const i64 iw = in.width();
-    for (i64 oc = 0; oc < out_c_; ++oc) {
+    // Output channels are independent and write disjoint planes, so
+    // splitting them across threads is bit-identical to the serial
+    // loop (the per-element accumulation order is unchanged).
+    parallel_for(0, out_c_, [&](i64 oc) {
         for (i64 oy = 0; oy < os.h; ++oy) {
             const i64 base_y = oy * stride_ - pad_;
             for (i64 ox = 0; ox < os.w; ++ox) {
@@ -67,7 +72,7 @@ ConvLayer::forward(const Tensor &in) const
                 out.at(oc, oy, ox) = acc;
             }
         }
-    }
+    });
     return out;
 }
 

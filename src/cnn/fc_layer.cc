@@ -28,7 +28,7 @@ FcLayer::forward(const Tensor &in) const
 {
     Shape os = out_shape(in.shape());
     Tensor out(os);
-    std::span<const float> x = in.data();
+    Span<const float> x = in.data();
     for (i64 o = 0; o < out_dim_; ++o) {
         const float *w = &weights_[static_cast<size_t>(o * in_dim_)];
         float acc = biases_[static_cast<size_t>(o)];

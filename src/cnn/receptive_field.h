@@ -27,7 +27,17 @@ struct ReceptiveField
     i64 stride = 1; ///< Input-pixel step between adjacent outputs.
     i64 pad = 0;    ///< Left/top overhang of output 0 beyond the image.
 
-    bool operator==(const ReceptiveField &o) const = default;
+    bool
+    operator==(const ReceptiveField &o) const
+    {
+        return size == o.size && stride == o.stride && pad == o.pad;
+    }
+
+    bool
+    operator!=(const ReceptiveField &o) const
+    {
+        return !(*this == o);
+    }
 
     /** First input pixel covered by output coordinate u (may be < 0). */
     i64 start(i64 u) const { return u * stride - pad; }

@@ -203,7 +203,7 @@ smooth_noise_image(const Shape &shape, u64 seed, double scale)
 
 /** Quantile of a span of floats (copies and partially sorts). */
 float
-quantile(std::span<const float> xs, double q)
+quantile(Span<const float> xs, double q)
 {
     std::vector<float> copy(xs.begin(), xs.end());
     const size_t k = static_cast<size_t>(
@@ -289,7 +289,7 @@ calibrate_activations(Network &net, u64 seed, double target_sparsity)
         for (i64 oc = 0; oc < outs[0].channels(); ++oc) {
             pooled.clear();
             for (const Tensor &out : outs) {
-                std::span<const float> ch = out.channel(oc);
+                Span<const float> ch = out.channel(oc);
                 pooled.insert(pooled.end(), ch.begin(), ch.end());
             }
             const float q = quantile(pooled, layer_target);

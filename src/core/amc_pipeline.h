@@ -97,7 +97,16 @@ struct AmcStats
     }
 };
 
-/** Stateful per-stream AMC executor over one network. */
+/**
+ * Stateful per-stream AMC executor over one network.
+ *
+ * Threading model: a pipeline is single-threaded — all mutable AMC
+ * state (key pixels, the RLE activation buffer, policy state,
+ * counters) lives here and is touched without synchronization. The
+ * borrowed Network is only ever read, so any number of pipelines may
+ * share one network from different threads; that is how the
+ * runtime's StreamExecutor scales across streams.
+ */
 class AmcPipeline
 {
   public:
@@ -132,8 +141,12 @@ class AmcPipeline
     i64 target_layer() const { return target_layer_; }
     ReceptiveField target_rf() const { return target_rf_; }
     const RfbmeConfig &rfbme_config() const { return rfbme_config_; }
+    const AmcOptions &options() const { return opts_; }
     const AmcStats &stats() const { return stats_; }
     const Network &network() const { return *net_; }
+
+    /** True once a key frame is stored (predictions are possible). */
+    bool has_key_frame() const { return has_key_; }
 
     /** Stored key activation (decoded); requires a stored key frame. */
     const Tensor &stored_activation() const;

@@ -45,7 +45,13 @@ struct Vec2
         return {dy * s, dx * s};
     }
 
-    bool operator==(const Vec2 &o) const = default;
+    bool
+    operator==(const Vec2 &o) const
+    {
+        return dy == o.dy && dx == o.dx;
+    }
+
+    bool operator!=(const Vec2 &o) const { return !(*this == o); }
 };
 
 /** A dense grid of displacement vectors at some granularity. */

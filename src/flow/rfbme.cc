@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel_for.h"
 #include "util/math_util.h"
 
 namespace eva2 {
@@ -98,116 +99,173 @@ rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
     result.rf_errors.assign(static_cast<size_t>(out_h * out_w),
                             std::numeric_limits<double>::infinity());
 
-    // Per-offset tile difference and valid-pixel-count planes, plus
-    // their 2D prefix sums for O(1) receptive-field aggregation (the
-    // software analogue of the diff tile consumer's rolling sums).
+    const i64 cells = out_h * out_w;
     const size_t plane = static_cast<size_t>((tiles_y + 1) * (tiles_x + 1));
-    std::vector<double> prefix_diff(plane);
-    std::vector<double> prefix_count(plane);
-    std::vector<double> tile_diff(static_cast<size_t>(tiles_y * tiles_x));
-    std::vector<double> tile_count(static_cast<size_t>(tiles_y * tiles_x));
+    const i64 num_offsets = static_cast<i64>(offsets.size());
 
-    std::vector<double> best(static_cast<size_t>(out_h * out_w),
-                             std::numeric_limits<double>::infinity());
+    // The candidate-offset search parallelizes over fixed-size chunks
+    // of the offset grid (the hardware runs the same search on
+    // parallel adder trees). Each chunk computes its own per-cell
+    // minimum and winning-offset index from scratch; the per-offset
+    // arithmetic is untouched, and the merge below makes the combined
+    // result independent of the partition, so the output is
+    // bit-identical to the serial search for any thread count.
+    const i64 offsets_per_chunk = 32;
+    const i64 num_chunks = ceil_div(num_offsets, offsets_per_chunk);
 
-    for (const Vec2 &off : offsets) {
-        const i64 dy = static_cast<i64>(off.dy);
-        const i64 dx = static_cast<i64>(off.dx);
+    struct ChunkBest
+    {
+        std::vector<double> best;
+        std::vector<i32> winner; ///< Offset index; -1 means none.
+        i64 add_ops = 0;
+    };
+    std::vector<ChunkBest> chunk_results(
+        static_cast<size_t>(num_chunks));
 
-        // Diff tile producer: absolute pixel differences per tile.
-        for (i64 ty = 0; ty < tiles_y; ++ty) {
-            for (i64 tx = 0; tx < tiles_x; ++tx) {
-                double d = 0.0;
-                i64 n = 0;
-                for (i64 y = ty * s; y < (ty + 1) * s; ++y) {
-                    const i64 ky = y + dy;
-                    if (ky < 0 || ky >= h) {
-                        continue;
-                    }
-                    for (i64 x = tx * s; x < (tx + 1) * s; ++x) {
-                        const i64 kx = x + dx;
-                        if (kx < 0 || kx >= w) {
+    parallel_for(0, num_chunks, [&](i64 ci) {
+        ChunkBest &cb = chunk_results[static_cast<size_t>(ci)];
+        cb.best.assign(static_cast<size_t>(cells),
+                       std::numeric_limits<double>::infinity());
+        cb.winner.assign(static_cast<size_t>(cells), -1);
+
+        // Per-offset tile difference and valid-pixel-count planes,
+        // plus their 2D prefix sums for O(1) receptive-field
+        // aggregation (the software analogue of the diff tile
+        // consumer's rolling sums). Fully rewritten per offset.
+        std::vector<double> prefix_diff(plane);
+        std::vector<double> prefix_count(plane);
+        std::vector<double> tile_diff(
+            static_cast<size_t>(tiles_y * tiles_x));
+        std::vector<double> tile_count(
+            static_cast<size_t>(tiles_y * tiles_x));
+
+        const i64 oi_lo = ci * offsets_per_chunk;
+        const i64 oi_hi =
+            std::min<i64>(num_offsets, oi_lo + offsets_per_chunk);
+        for (i64 oi = oi_lo; oi < oi_hi; ++oi) {
+            const Vec2 &off = offsets[static_cast<size_t>(oi)];
+            const i64 dy = static_cast<i64>(off.dy);
+            const i64 dx = static_cast<i64>(off.dx);
+
+            // Diff tile producer: absolute pixel differences per tile.
+            for (i64 ty = 0; ty < tiles_y; ++ty) {
+                for (i64 tx = 0; tx < tiles_x; ++tx) {
+                    double d = 0.0;
+                    i64 n = 0;
+                    for (i64 y = ty * s; y < (ty + 1) * s; ++y) {
+                        const i64 ky = y + dy;
+                        if (ky < 0 || ky >= h) {
                             continue;
                         }
-                        d += std::fabs(
-                            static_cast<double>(current.at(0, y, x)) -
-                            static_cast<double>(key.at(0, ky, kx)));
-                        ++n;
+                        for (i64 x = tx * s; x < (tx + 1) * s; ++x) {
+                            const i64 kx = x + dx;
+                            if (kx < 0 || kx >= w) {
+                                continue;
+                            }
+                            d += std::fabs(
+                                static_cast<double>(
+                                    current.at(0, y, x)) -
+                                static_cast<double>(key.at(0, ky, kx)));
+                            ++n;
+                        }
+                    }
+                    tile_diff[static_cast<size_t>(ty * tiles_x + tx)] = d;
+                    tile_count[static_cast<size_t>(ty * tiles_x + tx)] =
+                        static_cast<double>(n);
+                    cb.add_ops += n;
+                }
+            }
+
+            // Prefix sums over the tile grid.
+            for (i64 ty = 0; ty <= tiles_y; ++ty) {
+                for (i64 tx = 0; tx <= tiles_x; ++tx) {
+                    const size_t idx =
+                        static_cast<size_t>(ty * (tiles_x + 1) + tx);
+                    if (ty == 0 || tx == 0) {
+                        prefix_diff[idx] = 0.0;
+                        prefix_count[idx] = 0.0;
+                        continue;
+                    }
+                    const size_t up = static_cast<size_t>(
+                        (ty - 1) * (tiles_x + 1) + tx);
+                    const size_t left = static_cast<size_t>(
+                        ty * (tiles_x + 1) + tx - 1);
+                    const size_t diag = static_cast<size_t>(
+                        (ty - 1) * (tiles_x + 1) + tx - 1);
+                    const size_t cell = static_cast<size_t>(
+                        (ty - 1) * tiles_x + tx - 1);
+                    prefix_diff[idx] = tile_diff[cell] +
+                                       prefix_diff[up] +
+                                       prefix_diff[left] -
+                                       prefix_diff[diag];
+                    prefix_count[idx] = tile_count[cell] +
+                                        prefix_count[up] +
+                                        prefix_count[left] -
+                                        prefix_count[diag];
+                    cb.add_ops += 6;
+                }
+            }
+
+            // Diff tile consumer: aggregate tiles per receptive field
+            // and track the running minimum (min-check register).
+            for (i64 uy = 0; uy < out_h; ++uy) {
+                i64 ty_lo;
+                i64 ty_hi;
+                tile_range(uy, config, tiles_y, ty_lo, ty_hi);
+                if (ty_lo >= ty_hi) {
+                    continue;
+                }
+                for (i64 ux = 0; ux < out_w; ++ux) {
+                    i64 tx_lo;
+                    i64 tx_hi;
+                    tile_range(ux, config, tiles_x, tx_lo, tx_hi);
+                    if (tx_lo >= tx_hi) {
+                        continue;
+                    }
+                    auto rect = [&](const std::vector<double> &p) {
+                        return p[static_cast<size_t>(
+                                   ty_hi * (tiles_x + 1) + tx_hi)] -
+                               p[static_cast<size_t>(
+                                   ty_lo * (tiles_x + 1) + tx_hi)] -
+                               p[static_cast<size_t>(
+                                   ty_hi * (tiles_x + 1) + tx_lo)] +
+                               p[static_cast<size_t>(
+                                   ty_lo * (tiles_x + 1) + tx_lo)];
+                    };
+                    const double count = rect(prefix_count);
+                    cb.add_ops += 6;
+                    if (count <= 0.0) {
+                        continue;
+                    }
+                    const double err = rect(prefix_diff) / count;
+                    const size_t idx =
+                        static_cast<size_t>(uy * out_w + ux);
+                    if (err < cb.best[idx]) {
+                        cb.best[idx] = err;
+                        cb.winner[idx] = static_cast<i32>(oi);
                     }
                 }
-                tile_diff[static_cast<size_t>(ty * tiles_x + tx)] = d;
-                tile_count[static_cast<size_t>(ty * tiles_x + tx)] =
-                    static_cast<double>(n);
-                result.add_ops += n;
             }
         }
+    });
 
-        // Prefix sums over the tile grid.
-        for (i64 ty = 0; ty <= tiles_y; ++ty) {
-            for (i64 tx = 0; tx <= tiles_x; ++tx) {
-                const size_t idx =
-                    static_cast<size_t>(ty * (tiles_x + 1) + tx);
-                if (ty == 0 || tx == 0) {
-                    prefix_diff[idx] = 0.0;
-                    prefix_count[idx] = 0.0;
-                    continue;
-                }
-                const size_t up =
-                    static_cast<size_t>((ty - 1) * (tiles_x + 1) + tx);
-                const size_t left =
-                    static_cast<size_t>(ty * (tiles_x + 1) + tx - 1);
-                const size_t diag =
-                    static_cast<size_t>((ty - 1) * (tiles_x + 1) + tx - 1);
-                const size_t cell =
-                    static_cast<size_t>((ty - 1) * tiles_x + tx - 1);
-                prefix_diff[idx] = tile_diff[cell] + prefix_diff[up] +
-                                   prefix_diff[left] - prefix_diff[diag];
-                prefix_count[idx] = tile_count[cell] + prefix_count[up] +
-                                    prefix_count[left] -
-                                    prefix_count[diag];
-                result.add_ops += 6;
-            }
-        }
-
-        // Diff tile consumer: aggregate tiles per receptive field and
-        // track the running minimum (min-check register).
-        for (i64 uy = 0; uy < out_h; ++uy) {
-            i64 ty_lo;
-            i64 ty_hi;
-            tile_range(uy, config, tiles_y, ty_lo, ty_hi);
-            if (ty_lo >= ty_hi) {
+    // Merge chunks in ascending offset order. Strict '<' comparisons
+    // both inside chunks and here pick, per cell, the lowest-indexed
+    // offset attaining the minimal error — exactly the offset the
+    // serial running-minimum loop selects.
+    std::vector<double> best(static_cast<size_t>(cells),
+                             std::numeric_limits<double>::infinity());
+    for (const ChunkBest &cb : chunk_results) {
+        result.add_ops += cb.add_ops;
+        for (i64 cell = 0; cell < cells; ++cell) {
+            const size_t idx = static_cast<size_t>(cell);
+            if (cb.winner[idx] < 0 || !(cb.best[idx] < best[idx])) {
                 continue;
             }
-            for (i64 ux = 0; ux < out_w; ++ux) {
-                i64 tx_lo;
-                i64 tx_hi;
-                tile_range(ux, config, tiles_x, tx_lo, tx_hi);
-                if (tx_lo >= tx_hi) {
-                    continue;
-                }
-                auto rect = [&](const std::vector<double> &p) {
-                    return p[static_cast<size_t>(ty_hi * (tiles_x + 1) +
-                                                 tx_hi)] -
-                           p[static_cast<size_t>(ty_lo * (tiles_x + 1) +
-                                                 tx_hi)] -
-                           p[static_cast<size_t>(ty_hi * (tiles_x + 1) +
-                                                 tx_lo)] +
-                           p[static_cast<size_t>(ty_lo * (tiles_x + 1) +
-                                                 tx_lo)];
-                };
-                const double count = rect(prefix_count);
-                result.add_ops += 6;
-                if (count <= 0.0) {
-                    continue;
-                }
-                const double err = rect(prefix_diff) / count;
-                const size_t idx = static_cast<size_t>(uy * out_w + ux);
-                if (err < best[idx]) {
-                    best[idx] = err;
-                    result.field.at(uy, ux) = off;
-                    result.rf_errors[idx] = err;
-                }
-            }
+            best[idx] = cb.best[idx];
+            result.field.at(cell / out_w, cell % out_w) =
+                offsets[static_cast<size_t>(cb.winner[idx])];
+            result.rf_errors[idx] = cb.best[idx];
         }
     }
 

@@ -1,0 +1,107 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace eva2 {
+
+namespace {
+
+/**
+ * Shared loop state. Claimed chunks come from the atomic cursor;
+ * completion is tracked by counting finished *items* rather than
+ * finished tasks, so the caller can return as soon as the range is
+ * done even if some helper tasks are still queued behind unrelated
+ * work (they find the cursor exhausted and exit when they do run).
+ */
+struct LoopState
+{
+    std::atomic<i64> next{0};
+    i64 end = 0;
+    i64 total = 0;
+    i64 chunk = 1;
+    std::function<void(i64)> fn;
+    std::atomic<i64> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error; ///< First failure; guarded by mutex.
+};
+
+void
+run_chunks(const std::shared_ptr<LoopState> &state)
+{
+    for (;;) {
+        const i64 lo = state->next.fetch_add(state->chunk);
+        if (lo >= state->end) {
+            return;
+        }
+        const i64 hi = std::min(state->end, lo + state->chunk);
+        try {
+            for (i64 i = lo; i < hi; ++i) {
+                state->fn(i);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (!state->error) {
+                state->error = std::current_exception();
+            }
+        }
+        // Failed chunks still count as done: the caller needs the
+        // whole range accounted for before it can rethrow.
+        const i64 finished =
+            state->done.fetch_add(hi - lo) + (hi - lo);
+        if (finished == state->total) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->cv.notify_all();
+        }
+    }
+}
+
+} // namespace
+
+void
+parallel_for(i64 begin, i64 end, const std::function<void(i64)> &fn,
+             const ParallelForOptions &opts)
+{
+    const i64 n = end - begin;
+    if (n <= 0) {
+        return;
+    }
+    ThreadPool &pool = opts.pool ? *opts.pool : ThreadPool::global();
+    const i64 workers = pool.size();
+    if (workers <= 1 || n == 1 || ThreadPool::on_worker_thread()) {
+        for (i64 i = begin; i < end; ++i) {
+            fn(i);
+        }
+        return;
+    }
+
+    auto state = std::make_shared<LoopState>();
+    state->next.store(begin);
+    state->end = end;
+    state->total = n;
+    // Aim for a few chunks per thread so uneven iterations balance,
+    // bounded below by the caller's grain.
+    state->chunk = std::max<i64>(
+        std::max<i64>(1, opts.grain),
+        n / (4 * (workers + 1)));
+    state->fn = fn;
+
+    const i64 chunks = (n + state->chunk - 1) / state->chunk;
+    const i64 helpers = std::min<i64>(workers, chunks - 1);
+    for (i64 t = 0; t < helpers; ++t) {
+        pool.enqueue_detached([state]() { run_chunks(state); });
+    }
+    run_chunks(state);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&state]() {
+        return state->done.load() == state->total;
+    });
+    if (state->error) {
+        std::rethrow_exception(state->error);
+    }
+}
+
+} // namespace eva2

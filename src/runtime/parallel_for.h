@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic data-parallel loops over integer ranges.
+ *
+ * parallel_for(begin, end, fn) calls fn(i) for every i in [begin, end)
+ * with these guarantees:
+ *
+ *  - Each index is processed exactly once, by exactly one thread, so
+ *    loops whose iterations write disjoint outputs produce results
+ *    bit-identical to the serial loop regardless of thread count or
+ *    scheduling (the per-index arithmetic is untouched; only which
+ *    thread runs it varies).
+ *  - The calling thread participates in the work, so progress never
+ *    depends on pool workers being free: if the pool is saturated,
+ *    the caller simply runs the whole range itself.
+ *  - Calls from inside a pool worker run serially inline. Nested
+ *    parallelism (a parallel kernel inside a parallel stream) neither
+ *    deadlocks nor oversubscribes.
+ *  - The first exception thrown by fn is rethrown on the calling
+ *    thread after the whole range has been accounted for.
+ */
+#ifndef EVA2_RUNTIME_PARALLEL_FOR_H
+#define EVA2_RUNTIME_PARALLEL_FOR_H
+
+#include <functional>
+
+#include "runtime/thread_pool.h"
+
+namespace eva2 {
+
+/** Tuning knobs for parallel_for. */
+struct ParallelForOptions
+{
+    /**
+     * Minimum number of consecutive indices a worker claims at once.
+     * Raise it when fn(i) is cheap, to amortize the claim overhead.
+     */
+    i64 grain = 1;
+    /** Pool to run on; null selects ThreadPool::global(). */
+    ThreadPool *pool = nullptr;
+};
+
+/** Run fn(i) for every i in [begin, end); see file comment. */
+void parallel_for(i64 begin, i64 end,
+                  const std::function<void(i64)> &fn,
+                  const ParallelForOptions &opts = {});
+
+} // namespace eva2
+
+#endif // EVA2_RUNTIME_PARALLEL_FOR_H

@@ -1,0 +1,242 @@
+#include "runtime/stream_executor.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "eval/metrics.h"
+
+namespace eva2 {
+
+namespace {
+
+constexpr u64 kFnvOffset = 1469598103934665603ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+u64
+fnv1a(const void *data, size_t bytes, u64 hash)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+u64
+combine(u64 a, u64 b)
+{
+    return fnv1a(&b, sizeof(b), a);
+}
+
+} // namespace
+
+u64
+tensor_digest(const Tensor &t)
+{
+    u64 hash = kFnvOffset;
+    const Shape s = t.shape();
+    hash = fnv1a(&s.c, sizeof(s.c), hash);
+    hash = fnv1a(&s.h, sizeof(s.h), hash);
+    hash = fnv1a(&s.w, sizeof(s.w), hash);
+    // Hash the value *bits*, so the digest distinguishes -0.0f/0.0f
+    // and any rounding difference a reordered reduction would cause.
+    for (i64 i = 0; i < t.size(); ++i) {
+        u32 bits;
+        const float v = t[i];
+        std::memcpy(&bits, &v, sizeof(bits));
+        hash = fnv1a(&bits, sizeof(bits), hash);
+    }
+    return hash;
+}
+
+i64
+BatchResult::total_frames() const
+{
+    i64 n = 0;
+    for (const StreamResult &s : streams) {
+        n += s.stats.frames;
+    }
+    return n;
+}
+
+i64
+BatchResult::total_key_frames() const
+{
+    i64 n = 0;
+    for (const StreamResult &s : streams) {
+        n += s.stats.key_frames;
+    }
+    return n;
+}
+
+double
+BatchResult::key_fraction() const
+{
+    const i64 frames = total_frames();
+    return frames == 0 ? 0.0
+                       : static_cast<double>(total_key_frames()) /
+                             static_cast<double>(frames);
+}
+
+double
+BatchResult::frames_per_second() const
+{
+    return wall_ms <= 0.0
+               ? 0.0
+               : static_cast<double>(total_frames()) * 1000.0 / wall_ms;
+}
+
+u64
+BatchResult::digest() const
+{
+    u64 hash = kFnvOffset;
+    for (const StreamResult &s : streams) {
+        hash = combine(hash, s.digest);
+    }
+    return hash;
+}
+
+std::vector<i64>
+BatchResult::labels() const
+{
+    std::vector<i64> out;
+    for (const StreamResult &s : streams) {
+        for (const FrameRecord &f : s.frames) {
+            out.push_back(f.top1);
+        }
+    }
+    return out;
+}
+
+double
+batch_top1_accuracy(const BatchResult &batch,
+                    const std::vector<Sequence> &streams)
+{
+    std::vector<i64> truth;
+    for (const Sequence &seq : streams) {
+        for (const LabeledFrame &f : seq.frames) {
+            truth.push_back(f.truth.dominant_class);
+        }
+    }
+    return agreement(batch.labels(), truth);
+}
+
+StreamExecutor::StreamExecutor(const Network &net,
+                               StreamExecutorOptions opts)
+    : net_(&net), opts_(std::move(opts))
+{
+    num_threads_ = opts_.num_threads > 0
+                       ? opts_.num_threads
+                       : ThreadPool::default_num_threads();
+    if (num_threads_ > 1) {
+        pool_ = std::make_unique<ThreadPool>(num_threads_);
+    }
+}
+
+StreamExecutor::~StreamExecutor() = default;
+
+AmcPipeline &
+StreamExecutor::pipeline_for(i64 index)
+{
+    while (static_cast<i64>(pipelines_.size()) <= index) {
+        const i64 i = static_cast<i64>(pipelines_.size());
+        std::unique_ptr<KeyFramePolicy> policy;
+        if (opts_.make_policy) {
+            policy = opts_.make_policy(i);
+        }
+        pipelines_.push_back(std::make_unique<AmcPipeline>(
+            *net_, std::move(policy), opts_.amc));
+    }
+    return *pipelines_[static_cast<size_t>(index)];
+}
+
+StreamResult
+StreamExecutor::run_stream(i64 index, const Sequence &seq)
+{
+    AmcPipeline &pipeline = *pipelines_[static_cast<size_t>(index)];
+    StreamResult result;
+    result.name = seq.name;
+    result.stream_index = index;
+    result.digest = kFnvOffset;
+    result.frames.reserve(seq.frames.size());
+    // Pipelines persist across run() calls; report this run's delta.
+    const AmcStats before = pipeline.stats();
+    for (const LabeledFrame &frame : seq.frames) {
+        AmcFrameResult fr = pipeline.process(frame.image);
+        FrameRecord record;
+        record.is_key = fr.is_key;
+        record.top1 = top1(fr.output);
+        record.output_digest = tensor_digest(fr.output);
+        record.match_error = fr.features.match_error;
+        result.digest = combine(result.digest, record.output_digest);
+        result.me_add_ops += fr.me_add_ops;
+        result.frames.push_back(record);
+        if (opts_.store_outputs) {
+            result.outputs.push_back(std::move(fr.output));
+        }
+    }
+    result.stats.frames = pipeline.stats().frames - before.frames;
+    result.stats.key_frames =
+        pipeline.stats().key_frames - before.key_frames;
+    return result;
+}
+
+BatchResult
+StreamExecutor::run(const std::vector<Sequence> &streams)
+{
+    const i64 n = static_cast<i64>(streams.size());
+    for (i64 i = 0; i < n; ++i) {
+        pipeline_for(i);
+    }
+
+    BatchResult batch;
+    batch.streams.resize(static_cast<size_t>(n));
+    const auto start = std::chrono::steady_clock::now();
+    if (!pool_ || n <= 1) {
+        for (i64 i = 0; i < n; ++i) {
+            batch.streams[static_cast<size_t>(i)] =
+                run_stream(i, streams[static_cast<size_t>(i)]);
+        }
+    } else {
+        std::vector<std::future<StreamResult>> futures;
+        futures.reserve(static_cast<size_t>(n));
+        for (i64 i = 0; i < n; ++i) {
+            const Sequence *seq = &streams[static_cast<size_t>(i)];
+            futures.push_back(pool_->submit(
+                [this, i, seq]() { return run_stream(i, *seq); }));
+        }
+        // Wait on every future before rethrowing: queued tasks hold
+        // pointers into the caller's streams vector and into our
+        // pipelines, so no exception may escape while any stream
+        // task might still run.
+        std::exception_ptr error;
+        for (i64 i = 0; i < n; ++i) {
+            try {
+                batch.streams[static_cast<size_t>(i)] =
+                    futures[static_cast<size_t>(i)].get();
+            } catch (...) {
+                if (!error) {
+                    error = std::current_exception();
+                }
+            }
+        }
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    batch.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    return batch;
+}
+
+void
+StreamExecutor::reset_streams()
+{
+    for (std::unique_ptr<AmcPipeline> &p : pipelines_) {
+        p->reset();
+    }
+}
+
+} // namespace eva2

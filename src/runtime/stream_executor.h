@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Multi-stream AMC execution.
+ *
+ * A production EVA2 deployment serves many independent camera feeds at
+ * once. AMC state (stored key frame, RLE activation buffer, policy
+ * state) is per-stream by construction, so the natural unit of
+ * parallelism is the stream: the StreamExecutor owns one AmcPipeline
+ * per stream, all sharing one read-only Network, and drives them
+ * concurrently on a ThreadPool. Frames within a stream stay strictly
+ * ordered (temporal redundancy is the whole point), so results are
+ * bit-identical to serial execution no matter how streams interleave.
+ *
+ * The BatchResult aggregation keeps per-frame records small — a key
+ * flag, the top-1 label, and a digest of the raw output bits — so a
+ * throughput run over thousands of frames doesn't retain every output
+ * tensor, while tests can still assert exact serial/parallel equality
+ * (and can opt into retaining full outputs).
+ */
+#ifndef EVA2_RUNTIME_STREAM_EXECUTOR_H
+#define EVA2_RUNTIME_STREAM_EXECUTOR_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/amc_pipeline.h"
+#include "runtime/thread_pool.h"
+#include "video/frame.h"
+
+namespace eva2 {
+
+/** FNV-1a digest of a tensor's shape and raw float bit patterns. */
+u64 tensor_digest(const Tensor &t);
+
+/** Configuration of a StreamExecutor. */
+struct StreamExecutorOptions
+{
+    /** Pipeline options applied to every stream. */
+    AmcOptions amc;
+    /**
+     * Per-stream key-frame policy factory (policies are stateful and
+     * owned, so each stream needs its own instance). Null selects the
+     * pipeline's default every-frame static policy.
+     */
+    std::function<std::unique_ptr<KeyFramePolicy>(i64 stream_index)>
+        make_policy;
+    /**
+     * Worker threads for stream-level parallelism. 1 runs all streams
+     * serially on the calling thread; 0 selects
+     * ThreadPool::default_num_threads().
+     */
+    i64 num_threads = 0;
+    /** Retain every output tensor in StreamResult::outputs. */
+    bool store_outputs = false;
+};
+
+/** Per-frame record kept by the aggregation layer. */
+struct FrameRecord
+{
+    bool is_key = false;
+    i64 top1 = -1;          ///< Argmax of the network output.
+    u64 output_digest = 0;  ///< Digest of the raw output bits.
+    double match_error = 0; ///< RFBME mean error (0 on first frames).
+};
+
+/** Everything recorded about one stream's run. */
+struct StreamResult
+{
+    std::string name;
+    i64 stream_index = 0;
+    AmcStats stats;
+    i64 me_add_ops = 0; ///< Total RFBME arithmetic over the stream.
+    std::vector<FrameRecord> frames;
+    std::vector<Tensor> outputs; ///< Only with store_outputs.
+    u64 digest = 0; ///< Frame digests chained in stream order.
+};
+
+/** Aggregate over all streams of one run() call. */
+struct BatchResult
+{
+    std::vector<StreamResult> streams;
+    double wall_ms = 0.0;
+
+    i64 total_frames() const;
+    i64 total_key_frames() const;
+    double key_fraction() const;
+    double frames_per_second() const;
+
+    /**
+     * Digest over all streams, in stream order. Equal digests mean
+     * bit-identical outputs for every frame of every stream.
+     */
+    u64 digest() const;
+
+    /** Top-1 labels flattened in (stream, frame) order. */
+    std::vector<i64> labels() const;
+};
+
+/**
+ * Top-1 accuracy of a batch against the sequences' ground truth
+ * (dominant class per frame), via eval/metrics' agreement().
+ */
+double batch_top1_accuracy(const BatchResult &batch,
+                           const std::vector<Sequence> &streams);
+
+/** Runs N per-stream AmcPipelines over N sequences. */
+class StreamExecutor
+{
+  public:
+    /**
+     * @param net  Shared network; read-only during runs and must
+     *             outlive the executor.
+     * @param opts Executor configuration.
+     */
+    explicit StreamExecutor(const Network &net,
+                            StreamExecutorOptions opts = {});
+
+    ~StreamExecutor();
+
+    /**
+     * Process sequence i on pipeline i, creating pipelines on demand.
+     * Pipeline state persists across calls, so a live deployment can
+     * feed successive chunks of each stream incrementally; call
+     * reset_streams() for an independent run.
+     */
+    BatchResult run(const std::vector<Sequence> &streams);
+
+    /** Drop all per-stream state (pipelines reset, not destroyed). */
+    void reset_streams();
+
+    /** Effective stream-level worker count. */
+    i64 num_threads() const { return num_threads_; }
+
+    const Network &network() const { return *net_; }
+
+  private:
+    AmcPipeline &pipeline_for(i64 index);
+    StreamResult run_stream(i64 index, const Sequence &seq);
+
+    const Network *net_;
+    StreamExecutorOptions opts_;
+    i64 num_threads_;
+    std::vector<std::unique_ptr<AmcPipeline>> pipelines_;
+    /**
+     * Null when num_threads_ == 1. Declared after pipelines_ so the
+     * pool's workers join before the pipelines they touch die.
+     */
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_RUNTIME_STREAM_EXECUTOR_H

@@ -1,0 +1,116 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+
+namespace eva2 {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(i64 num_threads)
+{
+    if (num_threads <= 0) {
+        num_threads = default_num_threads();
+    }
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (i64 t = 0; t < num_threads; ++t) {
+        workers_.emplace_back([this]() { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_) {
+        w.join();
+    }
+}
+
+void
+ThreadPool::enqueue_detached(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        invariant(!stop_, "thread pool: enqueue after shutdown");
+        queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    tls_on_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return; // stop_ set and the queue fully drained.
+            }
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+i64
+ThreadPool::default_num_threads()
+{
+    if (const char *env = std::getenv("EVA2_NUM_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) {
+            return static_cast<i64>(v);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<i64>(hw);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> &
+global_pool_slot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+std::mutex global_pool_mutex;
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    std::unique_ptr<ThreadPool> &slot = global_pool_slot();
+    if (!slot) {
+        slot = std::make_unique<ThreadPool>();
+    }
+    return *slot;
+}
+
+void
+ThreadPool::set_global_size(i64 num_threads)
+{
+    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    global_pool_slot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+bool
+ThreadPool::on_worker_thread()
+{
+    return tls_on_worker;
+}
+
+} // namespace eva2

@@ -49,7 +49,7 @@ rle_encode(const Tensor &activation, const RleParams &params)
 
     for (i64 c = 0; c < activation.channels(); ++c) {
         RleChannel &ch = out.channels[static_cast<size_t>(c)];
-        std::span<const float> plane = activation.channel(c);
+        Span<const float> plane = activation.channel(c);
         ch.dense_length = static_cast<i64>(plane.size());
         i64 gap = 0;
         for (float v : plane) {

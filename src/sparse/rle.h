@@ -28,7 +28,13 @@ struct RleEntry
     u16 zero_gap = 0;  ///< Zeros preceding this value.
     i16 value_raw = 0; ///< Q8.8 fixed-point activation value.
 
-    bool operator==(const RleEntry &o) const = default;
+    bool
+    operator==(const RleEntry &o) const
+    {
+        return zero_gap == o.zero_gap && value_raw == o.value_raw;
+    }
+
+    bool operator!=(const RleEntry &o) const { return !(*this == o); }
 };
 
 /** Hardware-facing parameters of the encoding. */

@@ -10,11 +10,12 @@
 #ifndef EVA2_TENSOR_TENSOR_H
 #define EVA2_TENSOR_TENSOR_H
 
-#include <span>
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "util/common.h"
+#include "util/span.h"
 
 namespace eva2 {
 
@@ -28,7 +29,13 @@ struct Shape
     /** Total number of elements. */
     i64 size() const { return c * h * w; }
 
-    bool operator==(const Shape &o) const = default;
+    bool
+    operator==(const Shape &o) const
+    {
+        return c == o.c && h == o.h && w == o.w;
+    }
+
+    bool operator!=(const Shape &o) const { return !(*this == o); }
 
     /** Human-readable "CxHxW" form for error messages. */
     std::string
@@ -101,8 +108,8 @@ class Tensor
     float operator[](i64 i) const { return data_[static_cast<size_t>(i)]; }
 
     /** Raw storage view. */
-    std::span<const float> data() const { return data_; }
-    std::span<float> data() { return data_; }
+    Span<const float> data() const { return data_; }
+    Span<float> data() { return data_; }
 
     /** Set every element to v. */
     void
@@ -112,11 +119,11 @@ class Tensor
     }
 
     /** View of one channel plane (h*w contiguous floats). */
-    std::span<const float>
+    Span<const float>
     channel(i64 c) const
     {
         size_t plane = static_cast<size_t>(shape_.h * shape_.w);
-        return std::span<const float>(data_.data() + c * plane, plane);
+        return Span<const float>(data_.data() + c * plane, plane);
     }
 
     bool

@@ -9,7 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <span>
+#include "util/span.h"
 #include <vector>
 
 #include "util/common.h"
@@ -40,7 +40,7 @@ conv_out_size(i64 in, i64 kernel, i64 stride, i64 pad)
 
 /** Mean of a span; 0 for an empty span. */
 inline double
-mean(std::span<const float> xs)
+mean(Span<const float> xs)
 {
     if (xs.empty()) {
         return 0.0;
@@ -54,7 +54,7 @@ mean(std::span<const float> xs)
 
 /** Max absolute value of a span; 0 for an empty span. */
 inline double
-max_abs(std::span<const float> xs)
+max_abs(Span<const float> xs)
 {
     double m = 0.0;
     for (float x : xs) {
@@ -65,7 +65,7 @@ max_abs(std::span<const float> xs)
 
 /** Root-mean-square difference between two equal-length spans. */
 inline double
-rms_diff(std::span<const float> a, std::span<const float> b)
+rms_diff(Span<const float> a, Span<const float> b)
 {
     invariant(a.size() == b.size(), "rms_diff: size mismatch");
     if (a.empty()) {
@@ -81,7 +81,7 @@ rms_diff(std::span<const float> a, std::span<const float> b)
 
 /** Fraction of entries whose magnitude is at or below a threshold. */
 inline double
-sparsity(std::span<const float> xs, float threshold = 0.0f)
+sparsity(Span<const float> xs, float threshold = 0.0f)
 {
     if (xs.empty()) {
         return 0.0;

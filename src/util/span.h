@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A minimal contiguous-view type standing in for C++20's std::span so
+ * the library builds as strict C++17. Only the operations the
+ * reproduction actually uses are provided: iteration, indexing, size
+ * queries, and implicit construction from std::vector.
+ */
+#ifndef EVA2_UTIL_SPAN_H
+#define EVA2_UTIL_SPAN_H
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace eva2 {
+
+/** A non-owning view of a contiguous run of T. */
+template <typename T>
+class Span
+{
+  public:
+    Span() = default;
+
+    Span(T *data, std::size_t size) : data_(data), size_(size) {}
+
+    /** From a mutable vector (Span<T> or Span<const T>). */
+    Span(std::vector<std::remove_const_t<T>> &v)
+        : data_(v.data()), size_(v.size())
+    {
+    }
+
+    /** From a const vector (Span<const T> only). */
+    template <typename U = T,
+              typename = std::enable_if_t<std::is_const_v<U>>>
+    Span(const std::vector<std::remove_const_t<T>> &v)
+        : data_(v.data()), size_(v.size())
+    {
+    }
+
+    /** Span<T> converts to Span<const T>. */
+    operator Span<const T>() const { return {data_, size_}; }
+
+    T *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &operator[](std::size_t i) const { return data_[i]; }
+
+    T *begin() const { return data_; }
+    T *end() const { return data_ + size_; }
+
+  private:
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace eva2
+
+#endif // EVA2_UTIL_SPAN_H

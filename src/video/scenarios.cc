@@ -241,6 +241,51 @@ detection_test_set(u64 seed, i64 num_sequences, i64 frames_per_sequence,
 }
 
 std::vector<Sequence>
+multi_stream_set(u64 seed, i64 num_streams, i64 frames_per_stream,
+                 i64 size)
+{
+    std::vector<Sequence> set;
+    set.reserve(static_cast<size_t>(num_streams));
+    for (i64 i = 0; i < num_streams; ++i) {
+        // Derive the stream seed from (seed, i) alone — not from a
+        // shared RNG sequence — so stream contents are independent of
+        // how many streams precede them.
+        Rng rng(seed ^ (0x9e3779b97f4a7c15ull *
+                        static_cast<u64>(i + 1)));
+        const u64 s = rng.next_u64();
+        const double speed = 0.8 + 0.5 * static_cast<double>(i % 4);
+        SceneConfig cfg;
+        std::string kind;
+        switch (i % 5) {
+          case 0:
+            cfg = object_scene(s, 2 + i % 3, speed, size);
+            kind = "objects";
+            break;
+          case 1:
+            cfg = panning_scene(s, speed, size);
+            kind = "pan";
+            break;
+          case 2:
+            cfg = occlusion_scene(s, size);
+            kind = "occlusion";
+            break;
+          case 3:
+            cfg = static_scene(s, size);
+            kind = "static";
+            break;
+          default:
+            cfg = chaotic_scene(s, size);
+            kind = "chaotic";
+            break;
+        }
+        SyntheticVideo video(cfg);
+        set.push_back(video.sequence(
+            "cam" + std::to_string(i) + "_" + kind, frames_per_stream));
+    }
+    return set;
+}
+
+std::vector<Sequence>
 classification_test_set(u64 seed, i64 num_sequences,
                         i64 frames_per_sequence, i64 size)
 {

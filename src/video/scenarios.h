@@ -78,6 +78,18 @@ std::vector<Sequence> classification_test_set(u64 seed, i64 num_sequences,
                                               i64 frames_per_sequence,
                                               i64 size = 128);
 
+/**
+ * A multi-camera serving workload: `num_streams` concurrent feeds
+ * cycling through all scenario kinds with per-stream seeds and varied
+ * speeds, sized for the scaled networks' input. Stream i is fully
+ * determined by (seed, i), so a parallel executor can build or
+ * process any subset independently and still agree bit-for-bit with
+ * a serial run.
+ */
+std::vector<Sequence> multi_stream_set(u64 seed, i64 num_streams,
+                                       i64 frames_per_stream,
+                                       i64 size = 128);
+
 } // namespace eva2
 
 #endif // EVA2_VIDEO_SCENARIOS_H

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for the parallel runtime: ThreadPool task completion and
+ * exception propagation, ParallelFor edge cases and determinism, and
+ * StreamExecutor serial-vs-parallel bit-identical outputs.
+ *
+ * Pools are constructed with explicit thread counts so the parallel
+ * code paths are exercised even on single-core CI machines.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "cnn/model_zoo.h"
+#include "runtime/parallel_for.h"
+#include "runtime/stream_executor.h"
+#include "runtime/thread_pool.h"
+#include "video/scenarios.h"
+
+namespace eva2 {
+namespace {
+
+TEST(ThreadPool, CompletesAllSubmittedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<i64> sum{0};
+    std::vector<std::future<void>> futures;
+    for (i64 i = 1; i <= 100; ++i) {
+        futures.push_back(pool.submit([&sum, i]() {
+            sum.fetch_add(i);
+        }));
+    }
+    for (std::future<void> &f : futures) {
+        f.get();
+    }
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, SubmitReturnsTaskValue)
+{
+    ThreadPool pool(2);
+    std::future<i64> f = pool.submit([]() -> i64 { return 41 + 1; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    std::future<void> f = pool.submit([]() {
+        throw std::runtime_error("task failed");
+    });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The worker survives a throwing task.
+    EXPECT_EQ(pool.submit([]() -> i64 { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, PendingTasksRunBeforeShutdown)
+{
+    std::atomic<i64> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.enqueue_detached([&ran]() { ran.fetch_add(1); });
+        }
+    } // Destructor joins after draining the queue.
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, WorkerThreadsAreMarked)
+{
+    EXPECT_FALSE(ThreadPool::on_worker_thread());
+    ThreadPool pool(1);
+    EXPECT_TRUE(pool.submit([]() {
+        return ThreadPool::on_worker_thread();
+    }).get());
+}
+
+TEST(ParallelFor, EmptyRangeNeverCallsBody)
+{
+    ThreadPool pool(4);
+    ParallelForOptions opts;
+    opts.pool = &pool;
+    std::atomic<i64> calls{0};
+    parallel_for(0, 0, [&](i64) { calls.fetch_add(1); }, opts);
+    parallel_for(5, 5, [&](i64) { calls.fetch_add(1); }, opts);
+    parallel_for(7, 3, [&](i64) { calls.fetch_add(1); }, opts);
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, FewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    ParallelForOptions opts;
+    opts.pool = &pool;
+    std::vector<i64> hits(3, 0);
+    parallel_for(0, 3, [&](i64 i) {
+        hits[static_cast<size_t>(i)] += 1;
+    }, opts);
+    EXPECT_EQ(hits, (std::vector<i64>{1, 1, 1}));
+}
+
+TEST(ParallelFor, EveryIndexProcessedExactlyOnce)
+{
+    ThreadPool pool(4);
+    ParallelForOptions opts;
+    opts.pool = &pool;
+    const i64 n = 1000;
+    std::vector<std::atomic<i64>> hits(n);
+    parallel_for(3, 3 + n, [&](i64 i) {
+        hits[static_cast<size_t>(i - 3)].fetch_add(1);
+    }, opts);
+    for (i64 i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "index " << i;
+    }
+}
+
+TEST(ParallelFor, GrainLargerThanRange)
+{
+    ThreadPool pool(4);
+    ParallelForOptions opts;
+    opts.pool = &pool;
+    opts.grain = 1000;
+    std::atomic<i64> sum{0};
+    parallel_for(0, 10, [&](i64 i) { sum.fetch_add(i); }, opts);
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelFor, ExceptionRethrownOnCaller)
+{
+    ThreadPool pool(4);
+    ParallelForOptions opts;
+    opts.pool = &pool;
+    EXPECT_THROW(
+        parallel_for(0, 100, [](i64 i) {
+            if (i == 57) {
+                throw std::runtime_error("bad index");
+            }
+        }, opts),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallRunsSeriallyWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    ParallelForOptions opts;
+    opts.pool = &pool;
+    std::atomic<i64> inner_total{0};
+    parallel_for(0, 8, [&](i64) {
+        // Iterations land on pool workers (where the inner call must
+        // degrade to an inline serial loop rather than re-enter the
+        // busy pool) and on the participating caller thread (where it
+        // may fan out again); either way it must complete correctly.
+        parallel_for(0, 10, [&](i64 j) { inner_total.fetch_add(j); },
+                     opts);
+    }, opts);
+    EXPECT_EQ(inner_total.load(), 8 * 45);
+}
+
+/** Shared fixture data: a small network and a multi-stream workload. */
+struct StreamFixture
+{
+    Network net;
+    std::vector<Sequence> streams;
+
+    StreamFixture()
+        : net(build_scaled(alexnet_spec())),
+          streams(multi_stream_set(/*seed=*/9, /*num_streams=*/3,
+                                   /*frames_per_stream=*/4))
+    {
+    }
+
+    StreamExecutorOptions
+    options(i64 threads) const
+    {
+        StreamExecutorOptions opts;
+        opts.num_threads = threads;
+        opts.store_outputs = true;
+        opts.make_policy = [](i64) {
+            return std::make_unique<StaticRatePolicy>(2);
+        };
+        return opts;
+    }
+};
+
+TEST(StreamExecutor, ParallelOutputsBitIdenticalToSerial)
+{
+    StreamFixture fx;
+    StreamExecutor serial(fx.net, fx.options(1));
+    StreamExecutor parallel(fx.net, fx.options(4));
+
+    const BatchResult a = serial.run(fx.streams);
+    const BatchResult b = parallel.run(fx.streams);
+
+    ASSERT_EQ(a.streams.size(), fx.streams.size());
+    ASSERT_EQ(b.streams.size(), fx.streams.size());
+    EXPECT_EQ(a.digest(), b.digest());
+    for (size_t i = 0; i < a.streams.size(); ++i) {
+        const StreamResult &sa = a.streams[i];
+        const StreamResult &sb = b.streams[i];
+        EXPECT_EQ(sa.name, sb.name);
+        EXPECT_EQ(sa.stats.frames, sb.stats.frames);
+        EXPECT_EQ(sa.stats.key_frames, sb.stats.key_frames);
+        EXPECT_EQ(sa.me_add_ops, sb.me_add_ops);
+        ASSERT_EQ(sa.frames.size(), sb.frames.size());
+        for (size_t f = 0; f < sa.frames.size(); ++f) {
+            EXPECT_EQ(sa.frames[f].is_key, sb.frames[f].is_key);
+            EXPECT_EQ(sa.frames[f].top1, sb.frames[f].top1);
+            EXPECT_EQ(sa.frames[f].output_digest,
+                      sb.frames[f].output_digest);
+        }
+        ASSERT_EQ(sa.outputs.size(), sb.outputs.size());
+        for (size_t f = 0; f < sa.outputs.size(); ++f) {
+            EXPECT_TRUE(sa.outputs[f] == sb.outputs[f])
+                << "stream " << i << " frame " << f;
+        }
+    }
+}
+
+TEST(StreamExecutor, AggregationMatchesPerStreamStats)
+{
+    StreamFixture fx;
+    StreamExecutor exec(fx.net, fx.options(2));
+    const BatchResult batch = exec.run(fx.streams);
+
+    EXPECT_EQ(batch.total_frames(), 3 * 4);
+    i64 keys = 0;
+    for (const StreamResult &s : batch.streams) {
+        EXPECT_EQ(s.stats.frames, 4);
+        EXPECT_GE(s.stats.key_frames, 1); // First frame is always key.
+        keys += s.stats.key_frames;
+    }
+    EXPECT_EQ(batch.total_key_frames(), keys);
+    EXPECT_GT(batch.key_fraction(), 0.0);
+    EXPECT_LE(batch.key_fraction(), 1.0);
+    EXPECT_EQ(batch.labels().size(), static_cast<size_t>(12));
+    EXPECT_GT(batch.wall_ms, 0.0);
+    EXPECT_GT(batch.frames_per_second(), 0.0);
+
+    const double acc = batch_top1_accuracy(batch, fx.streams);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+}
+
+TEST(StreamExecutor, StatePersistsAcrossRunsAndResets)
+{
+    StreamFixture fx;
+    StreamExecutor exec(fx.net, fx.options(1));
+    const BatchResult first = exec.run(fx.streams);
+    // Pipelines keep their key frames, so a second pass over the same
+    // frames needs no initial key frame; stats report only the run's
+    // delta.
+    const BatchResult second = exec.run(fx.streams);
+    EXPECT_EQ(first.total_frames(), second.total_frames());
+    for (const StreamResult &s : second.streams) {
+        EXPECT_EQ(s.stats.frames, 4);
+    }
+
+    // After a reset the executor reproduces the first run exactly.
+    exec.reset_streams();
+    const BatchResult again = exec.run(fx.streams);
+    EXPECT_EQ(first.digest(), again.digest());
+}
+
+TEST(StreamExecutor, StreamFailurePropagatesWithoutCrashing)
+{
+    StreamFixture fx;
+    StreamExecutor exec(fx.net, fx.options(4));
+    // A stream whose frames don't match the network input makes its
+    // pipeline throw; run() must surface that after every in-flight
+    // stream task has finished (no use-after-free of streams or
+    // pipelines), and the executor must stay usable.
+    std::vector<Sequence> bad = fx.streams;
+    bad[1].frames[0].image = Tensor(1, 8, 8);
+    EXPECT_THROW(exec.run(bad), ConfigError);
+    exec.reset_streams();
+    const BatchResult batch = exec.run(fx.streams);
+    EXPECT_EQ(batch.total_frames(), 3 * 4);
+}
+
+TEST(TensorDigest, SensitiveToValuesAndShape)
+{
+    Tensor a(1, 2, 2);
+    Tensor b(1, 2, 2);
+    EXPECT_EQ(tensor_digest(a), tensor_digest(b));
+    b.at(0, 1, 1) = 1e-7f;
+    EXPECT_NE(tensor_digest(a), tensor_digest(b));
+    Tensor c(2, 2, 1); // Same element count, different shape.
+    EXPECT_NE(tensor_digest(a), tensor_digest(c));
+}
+
+} // namespace
+} // namespace eva2
