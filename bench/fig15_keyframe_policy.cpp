@@ -8,6 +8,10 @@
  * static-rate reference points (the fixed-rate "line" the paper draws
  * between 0% and 100% predicted frames).
  *
+ * Policies are selected through the serving API's PolicyRegistry spec
+ * strings — the same strings a deployment config would carry — so the
+ * sweep doubles as a registry exercise.
+ *
  * Paper shape to check: both adaptive curves sit above the fixed-rate
  * line (adaptive policies buy more predicted frames at equal
  * accuracy), and neither metric dominates the other everywhere.
@@ -23,23 +27,22 @@ using namespace eva2::bench;
 namespace {
 
 void
-sweep_policies(TablePrinter &t, const std::string &net_name,
-               const std::vector<double> &magnitude_thresholds,
-               const std::function<AdaptiveRunResult(PolicyFactory)> &run)
+sweep_policies(
+    TablePrinter &t, const std::string &net_name,
+    const std::vector<double> &magnitude_thresholds,
+    const std::function<AdaptiveRunResult(const std::string &)> &run)
 {
     // Static-rate reference line.
     for (i64 interval : {1, 3, 6}) {
-        const AdaptiveRunResult r = run([interval] {
-            return std::make_unique<StaticRatePolicy>(interval);
-        });
+        const AdaptiveRunResult r =
+            run("static:interval=" + std::to_string(interval));
         t.row({net_name, "fixed rate",
                fmt_pct(1.0 - r.key_fraction, 0),
                fmt(100.0 * r.accuracy, 1)});
     }
     for (double th : {0.004, 0.01, 0.02, 0.05}) {
-        const AdaptiveRunResult r = run([th] {
-            return std::make_unique<BlockErrorPolicy>(th);
-        });
+        const AdaptiveRunResult r =
+            run("adaptive_error:th=" + std::to_string(th));
         t.row({net_name, "block match error",
                fmt_pct(1.0 - r.key_fraction, 0),
                fmt(100.0 * r.accuracy, 1)});
@@ -47,9 +50,8 @@ sweep_policies(TablePrinter &t, const std::string &net_name,
     // Total-magnitude scales with grid size and scene speed, so the
     // ladder is per-workload.
     for (double th : magnitude_thresholds) {
-        const AdaptiveRunResult r = run([th] {
-            return std::make_unique<MotionMagnitudePolicy>(th);
-        });
+        const AdaptiveRunResult r =
+            run("adaptive_motion:th=" + std::to_string(th));
         t.row({net_name, "vector magnitude sum",
                fmt_pct(1.0 - r.key_fraction, 0),
                fmt(100.0 * r.accuracy, 1)});
@@ -72,10 +74,10 @@ main()
         AmcOptions amc;
         amc.motion_mode = MotionMode::kMemoization;
         sweep_policies(t, w.spec.name, {0.5, 2.0, 8.0, 32.0},
-                       [&](PolicyFactory make) {
+                       [&](const std::string &policy) {
                            return run_adaptive_classification(
-                               w.net, w.classifier, w.sequences, make,
-                               amc);
+                               w.net, w.classifier, w.sequences,
+                               policy, amc);
                        });
     }
     for (const NetworkSpec &spec : {faster16_spec(), fasterm_spec()}) {
@@ -84,9 +86,9 @@ main()
         DetectionWorkload w = make_detection_workload(
             spec, 192, 5, 12, /*data_seed=*/977, /*speed_scale=*/2.5);
         sweep_policies(t, spec.name, {30.0, 100.0, 300.0, 900.0},
-                       [&](PolicyFactory make) {
+                       [&](const std::string &policy) {
                            return run_adaptive_detection(
-                               w.net, w.detector, w.sequences, make,
+                               w.net, w.detector, w.sequences, policy,
                                AmcOptions{});
                        });
     }

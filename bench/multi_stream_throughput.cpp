@@ -8,24 +8,34 @@
  * mutable state, and the runtime guarantees the parallel outputs are
  * bit-identical to a serial run (verified here on every row).
  *
- * The serial baseline pins both the stream-level executor and the
- * global kernel pool to one thread, so the comparison is against a
- * genuinely single-threaded process.
+ * The parallel side runs through the eva2::Engine serving API (the
+ * registry-configured production surface); the serial baseline runs
+ * the legacy StreamExecutor directly with both the stream loop and
+ * the global kernel pool pinned to one thread, so every row also
+ * cross-checks the new API against the internal execution layer it
+ * wraps.
  *
  * Usage:
  *   bench_multi_stream_throughput [--smoke] [--streams N] [--frames N]
  *                                 [--threads N] [--size N]
+ *                                 [--json PATH]
  *
  * --smoke runs one stream for a few frames (CI-sized) while still
- * checking parallel/serial digest equality.
+ * checking parallel/serial digest equality. --json writes a
+ * machine-readable report of the largest row (fps, key fraction,
+ * RFBME op counts, wall time, per-stage timings) for perf-trajectory
+ * tracking.
  */
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "api/engine.h"
 #include "bench_common.h"
 #include "runtime/stream_executor.h"
 #include "runtime/thread_pool.h"
+#include "util/json.h"
 
 using namespace eva2;
 using namespace eva2::bench;
@@ -39,6 +49,7 @@ struct Args
     i64 frames = 12;
     i64 threads = ThreadPool::default_num_threads();
     i64 size = 128;
+    std::string json_path;
 };
 
 Args
@@ -47,12 +58,15 @@ parse(int argc, char **argv)
     Args args;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
-        auto next = [&]() -> i64 {
+        auto next_str = [&]() -> std::string {
             if (i + 1 >= argc) {
                 std::cerr << "missing value after " << a << "\n";
                 std::exit(2);
             }
-            return std::strtol(argv[++i], nullptr, 10);
+            return argv[++i];
+        };
+        auto next = [&]() -> i64 {
+            return std::strtol(next_str().c_str(), nullptr, 10);
         };
         if (a == "--smoke") {
             args.smoke = true;
@@ -64,6 +78,8 @@ parse(int argc, char **argv)
             args.threads = next();
         } else if (a == "--size") {
             args.size = next();
+        } else if (a == "--json") {
+            args.json_path = next_str();
         } else {
             std::cerr << "unknown argument: " << a << "\n";
             std::exit(2);
@@ -77,8 +93,21 @@ parse(int argc, char **argv)
     return args;
 }
 
+/** The registry-spec policy every stream runs. */
+const char *kPolicySpec = "adaptive_error:th=0.02,max_gap=8";
+
+EngineConfig
+engine_config(i64 threads)
+{
+    EngineConfig config;
+    config.policy = kPolicySpec;
+    config.num_threads = threads;
+    return config;
+}
+
+/** Legacy-API options matching engine_config, for the cross-check. */
 StreamExecutorOptions
-executor_options(i64 threads)
+legacy_options(i64 threads)
 {
     StreamExecutorOptions opts;
     opts.num_threads = threads;
@@ -120,28 +149,32 @@ main(int argc, char **argv)
 
     bool all_identical = true;
     double final_speedup = 0.0;
+    double final_serial_fps = 0.0;
+    RunReport final_report;
     for (const i64 n : stream_counts) {
         const std::vector<Sequence> streams =
             multi_stream_set(/*seed=*/41, n, args.frames, args.size);
 
-        // 1-thread serial baseline: stream loop and kernels pinned to
-        // one thread.
+        // 1-thread serial baseline on the legacy internal API: stream
+        // loop and kernels pinned to one thread.
         ThreadPool::set_global_size(1);
-        StreamExecutor serial(net, executor_options(1));
+        StreamExecutor serial(net, legacy_options(1));
         const BatchResult base = serial.run(streams);
 
-        // Parallel: streams fan out across the executor's pool;
-        // kernel-level ParallelFor parallelism kicks in only where
-        // the stream level leaves cores idle (single-stream rows).
+        // Parallel: the Engine serving API; streams fan out across
+        // its pool, kernel-level ParallelFor parallelism kicks in
+        // only where the stream level leaves cores idle.
         ThreadPool::set_global_size(args.threads);
-        StreamExecutor parallel(net, executor_options(args.threads));
-        const BatchResult par = parallel.run(streams);
+        Engine engine(net, engine_config(args.threads));
+        const RunReport par = engine.run(streams);
 
-        const bool identical = base.digest() == par.digest();
+        const bool identical = base.digest() == par.digest;
         all_identical = all_identical && identical;
         const double speedup =
             base.wall_ms <= 0.0 ? 0.0 : base.wall_ms / par.wall_ms;
         final_speedup = speedup;
+        final_serial_fps = base.frames_per_second();
+        final_report = par;
         table.row({std::to_string(n), fmt(base.frames_per_second(), 2),
                    fmt(par.frames_per_second(), 2),
                    fmt(speedup, 2) + "x", fmt_pct(par.key_fraction()),
@@ -151,6 +184,44 @@ main(int argc, char **argv)
 
     std::cout << "\n  serial/parallel outputs bit-identical: "
               << (all_identical ? "yes" : "NO") << "\n";
+
+    if (!args.json_path.empty()) {
+        // Machine-readable row for the BENCH_*.json perf trajectory:
+        // headline numbers at the top level, the engine's structured
+        // report (per-stream stats, stage timings) nested under it.
+        JsonWriter w(2);
+        w.begin_object();
+        w.member("bench", "multi_stream_throughput");
+        w.member("smoke", args.smoke);
+        w.member("streams", final_report.streams.empty()
+                                ? i64{0}
+                                : static_cast<i64>(
+                                      final_report.streams.size()));
+        w.member("frames_per_stream", args.frames);
+        w.member("input_size", args.size);
+        w.member("threads", args.threads);
+        w.member("fps", final_report.frames_per_second());
+        w.member("serial_fps", final_serial_fps);
+        w.member("speedup", final_speedup);
+        w.member("wall_ms", final_report.wall_ms);
+        w.member("key_fraction", final_report.key_fraction());
+        w.member("me_add_ops", final_report.me_add_ops);
+        w.member("identical", all_identical);
+        // The engine's full structured report (config echo,
+        // per-stream stats, stage timings), spliced in verbatim so
+        // this file and RunReport::to_json can never diverge.
+        w.key("report").raw(final_report.to_json(0));
+        w.end_object();
+        std::ofstream out(args.json_path);
+        if (!out) {
+            std::cerr << "cannot write " << args.json_path << "\n";
+            return 1;
+        }
+        out << w.str() << "\n";
+        std::cout << "  json report written to " << args.json_path
+                  << "\n";
+    }
+
     if (!all_identical) {
         return 1;
     }

@@ -1,0 +1,565 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "eval/metrics.h"
+
+namespace eva2 {
+
+// --------------------------------------------------------------------
+// EngineConfig
+
+namespace {
+
+AmcOptions
+resolve_amc(const EngineConfig &config, const Network &net)
+{
+    AmcOptions amc;
+    amc.interp = InterpRegistry::instance().resolve(config.interp);
+    CodecRegistry::instance().apply(config.codec, amc);
+
+    if (config.target == "last_spatial") {
+        amc.target_choice = TargetChoice::kLastSpatial;
+    } else if (config.target == "early") {
+        amc.target_choice = TargetChoice::kEarly;
+    } else if (config.target.rfind("layer:", 0) == 0) {
+        const ComponentSpec spec =
+            parse_component_spec("target:index=" +
+                                 config.target.substr(6));
+        amc.target_choice = TargetChoice::kExplicit;
+        amc.explicit_target = spec.integer("index", -1);
+    } else {
+        throw ConfigError(
+            "unknown target spec '" + config.target +
+            "' (known: last_spatial, early, layer:<index>)");
+    }
+
+    if (config.motion == "compensation") {
+        amc.motion_mode = MotionMode::kCompensation;
+    } else if (config.motion == "memoization") {
+        amc.motion_mode = MotionMode::kMemoization;
+    } else {
+        throw ConfigError("unknown motion mode '" + config.motion +
+                          "' (known: compensation, memoization)");
+    }
+
+    amc.search_radius = config.search_radius;
+    amc.search_stride = config.search_stride;
+    amc.validate(net);
+    return amc;
+}
+
+} // namespace
+
+StreamExecutorOptions
+EngineConfig::resolve(const Network &net) const
+{
+    StreamExecutorOptions opts;
+    opts.amc = resolve_amc(*this, net);
+    require(num_threads >= 0,
+            "EngineConfig: num_threads must be >= 0, got " +
+                std::to_string(num_threads));
+    opts.num_threads = num_threads;
+    opts.store_outputs = store_outputs;
+    // The factory is shared across streams; each call builds a fresh
+    // stateful policy instance. Validated eagerly by factory().
+    auto make = PolicyRegistry::instance().factory(policy);
+    opts.make_policy = [make](i64) { return make(); };
+    return opts;
+}
+
+// --------------------------------------------------------------------
+// Session
+
+Session::Session(Engine *engine, i64 index, std::string name,
+                 AmcPipeline *pipeline)
+    : engine_(engine),
+      index_(index),
+      name_(std::move(name)),
+      pipeline_(pipeline)
+{
+}
+
+FrameTicket
+Session::submit(Tensor frame)
+{
+    require(frame.shape() == engine_->network().input_shape(),
+            "session '" + name_ + "': frame shape " +
+                frame.shape().str() + " does not match network input " +
+                engine_->network().input_shape().str());
+    FrameTicket ticket;
+    ticket.session = index_;
+    bool schedule = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!has_times_) {
+            first_submit_ = std::chrono::steady_clock::now();
+            last_done_ = first_submit_;
+            has_times_ = true;
+        }
+        ticket.frame = next_ticket_++;
+        ticket.epoch = epoch_;
+        queue_.push_back(std::move(frame));
+        if (!in_flight_) {
+            in_flight_ = true;
+            schedule = true;
+        }
+    }
+    if (schedule) {
+        ThreadPool *pool = engine_->executor_->pool();
+        if (pool != nullptr) {
+            pool->enqueue_detached([this]() { pump(); });
+        } else {
+            // Serial engines process inline on the submitting thread:
+            // deterministic, and no worker exists to hand off to.
+            pump();
+        }
+    }
+    return ticket;
+}
+
+void
+Session::check_ticket(const FrameTicket &ticket) const
+{
+    require(ticket.valid() && ticket.session == index_,
+            "session '" + name_ + "': ticket does not belong here");
+    require(ticket.epoch == epoch_,
+            "session '" + name_ + "': stale ticket from before a "
+            "reset");
+    require(ticket.frame >= done_base_,
+            "session '" + name_ + "': outcome of frame " +
+                std::to_string(ticket.frame) +
+                " was forgotten (forget_outcomes)");
+}
+
+FrameTicket
+Session::submit(const LabeledFrame &frame)
+{
+    return submit(frame.image);
+}
+
+std::vector<FrameTicket>
+Session::submit_all(const Sequence &seq)
+{
+    std::vector<FrameTicket> tickets;
+    tickets.reserve(seq.frames.size());
+    for (const LabeledFrame &frame : seq.frames) {
+        tickets.push_back(submit(frame.image));
+    }
+    return tickets;
+}
+
+void
+Session::pump()
+{
+    for (;;) {
+        Tensor frame;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (queue_.empty()) {
+                in_flight_ = false;
+                cv_.notify_all();
+                return;
+            }
+            frame = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        FrameOutcome outcome;
+        Tensor output;
+        std::exception_ptr error;
+        try {
+            AmcFrameResult fr = pipeline_->process(frame);
+            outcome.is_key = fr.is_key;
+            outcome.top1 = top1(fr.output);
+            outcome.output_digest = tensor_digest(fr.output);
+            outcome.match_error = fr.features.match_error;
+            outcome.me_add_ops = fr.me_add_ops;
+            output = std::move(fr.output);
+        } catch (...) {
+            outcome.failed = true;
+            error = std::current_exception();
+        }
+        record_outcome(std::move(outcome), std::move(output),
+                       std::move(error));
+    }
+}
+
+void
+Session::record_outcome(FrameOutcome outcome, Tensor output,
+                        std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    outcome.frame = done_base_ + static_cast<i64>(done_.size());
+    if (error) {
+        // Keep every frame's own diagnostic; error_ stays the first
+        // failure, the one drain() keeps surfacing.
+        frame_errors_[outcome.frame] = error;
+        if (!error_) {
+            error_ = std::move(error);
+        }
+    }
+    if (!outcome.failed) {
+        digest_ = digest_combine(digest_, outcome.output_digest);
+        ++frames_;
+        if (outcome.is_key) {
+            ++key_frames_;
+        }
+        me_add_ops_ += outcome.me_add_ops;
+        if (engine_->store_outputs_) {
+            outputs_.push_back(std::move(output));
+        }
+    }
+    done_.push_back(outcome);
+    last_done_ = std::chrono::steady_clock::now();
+    cv_.notify_all();
+}
+
+std::optional<FrameOutcome>
+Session::poll(const FrameTicket &ticket) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    check_ticket(ticket);
+    if (ticket.frame <
+        done_base_ + static_cast<i64>(done_.size())) {
+        return done_[static_cast<size_t>(ticket.frame - done_base_)];
+    }
+    return std::nullopt;
+}
+
+FrameOutcome
+Session::wait(const FrameTicket &ticket)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    check_ticket(ticket);
+    cv_.wait(lock, [&]() {
+        return ticket.frame <
+               done_base_ + static_cast<i64>(done_.size());
+    });
+    // A concurrent forget_outcomes() may have trimmed the record
+    // between completion and this thread reacquiring the lock.
+    check_ticket(ticket);
+    const FrameOutcome outcome =
+        done_[static_cast<size_t>(ticket.frame - done_base_)];
+    if (outcome.failed) {
+        const auto it = frame_errors_.find(ticket.frame);
+        if (it != frame_errors_.end()) {
+            std::rethrow_exception(it->second);
+        }
+        throw InternalError("session '" + name_ + "': frame " +
+                            std::to_string(ticket.frame) +
+                            " failed with no stored error");
+    }
+    return outcome;
+}
+
+void
+Session::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&]() { return queue_.empty() && !in_flight_; });
+    // Sticky: a failed frame broke this stream's digest chain, so
+    // every drain keeps failing until Engine::reset() discards it.
+    if (error_) {
+        std::rethrow_exception(error_);
+    }
+}
+
+i64
+Session::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_ticket_;
+}
+
+i64
+Session::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_base_ + static_cast<i64>(done_.size());
+}
+
+StreamReport
+Session::report()
+{
+    drain();
+    std::lock_guard<std::mutex> lock(mutex_);
+    StreamReport row;
+    row.name = name_;
+    row.stream_index = index_;
+    row.frames = frames_;
+    row.key_frames = key_frames_;
+    row.me_add_ops = me_add_ops_;
+    row.digest = digest_;
+    return row;
+}
+
+void
+Session::forget_outcomes()
+{
+    drain();
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_base_ += static_cast<i64>(done_.size());
+    done_.clear();
+    outputs_.clear();
+    // Forgotten tickets are rejected before lookup, so their
+    // diagnostics can go too; error_ stays sticky for drain().
+    frame_errors_.clear();
+}
+
+void
+Session::reset_record()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    invariant(queue_.empty() && !in_flight_,
+              "session reset with work in flight");
+    ++epoch_; // Pre-reset tickets must not match the new stream.
+    next_ticket_ = 0;
+    done_base_ = 0;
+    done_.clear();
+    outputs_.clear();
+    error_ = nullptr;
+    frame_errors_.clear();
+    digest_ = kDigestSeed;
+    frames_ = 0;
+    key_frames_ = 0;
+    me_add_ops_ = 0;
+    has_times_ = false;
+}
+
+bool
+Session::time_bounds(std::chrono::steady_clock::time_point *first,
+                     std::chrono::steady_clock::time_point *last) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!has_times_) {
+        return false;
+    }
+    *first = first_submit_;
+    *last = last_done_;
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Engine
+
+Engine::Engine(const Network &net, EngineConfig config)
+    : net_(&net),
+      config_(std::move(config)),
+      store_outputs_(config_.store_outputs),
+      executor_(std::make_unique<StreamExecutor>(
+          net, config_.resolve(net)))
+{
+}
+
+Engine::~Engine()
+{
+    // Strand tasks reference sessions and pipelines; nothing may be
+    // in flight when members start destructing.
+    try {
+        flush();
+    } catch (...) {
+        // A stream failure already surfaced (or never will); engine
+        // teardown is not the place to throw.
+    }
+}
+
+AmcPipeline &
+Engine::pipeline_locked(i64 index)
+{
+    AmcPipeline &p = executor_->pipeline(index);
+    while (static_cast<i64>(timings_.size()) <=
+           executor_->num_pipelines() - 1) {
+        const i64 i = static_cast<i64>(timings_.size());
+        timings_.push_back(std::make_unique<StageTimings>());
+        if (config_.collect_timings) {
+            executor_->pipeline(i).set_observer(timings_.back().get());
+        }
+    }
+    return p;
+}
+
+Session &
+Engine::session(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = session_index_.find(name);
+    if (it != session_index_.end()) {
+        return *sessions_[static_cast<size_t>(it->second)];
+    }
+    const i64 index = static_cast<i64>(sessions_.size());
+    AmcPipeline &pipeline = pipeline_locked(index);
+    sessions_.push_back(std::unique_ptr<Session>(
+        new Session(this, index, name, &pipeline)));
+    session_index_[name] = index;
+    return *sessions_.back();
+}
+
+Session *
+Engine::find_session(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = session_index_.find(name);
+    return it == session_index_.end()
+               ? nullptr
+               : sessions_[static_cast<size_t>(it->second)].get();
+}
+
+i64
+Engine::num_sessions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<i64>(sessions_.size());
+}
+
+RunReport
+Engine::base_report() const
+{
+    RunReport report;
+    report.network = net_->name();
+    report.policy = config_.policy;
+    report.interp = config_.interp;
+    report.codec = config_.codec;
+    report.target = config_.target;
+    report.motion = config_.motion;
+    report.num_threads = executor_->num_threads();
+    return report;
+}
+
+RunReport
+Engine::run(const std::vector<Sequence> &streams)
+{
+    flush();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (i64 i = 0; i < static_cast<i64>(streams.size()); ++i) {
+        pipeline_locked(i);
+    }
+    // Snapshot the (lifetime-cumulative) timing sinks so the report's
+    // stage rows cover exactly this run, like its frames and wall_ms.
+    StageTimings before;
+    for (const auto &t : timings_) {
+        before.merge(*t);
+    }
+    const BatchResult batch = executor_->run(streams);
+
+    RunReport report = base_report();
+    report.wall_ms = batch.wall_ms;
+    report.digest = batch.digest();
+    for (const StreamResult &s : batch.streams) {
+        StreamReport row;
+        row.name = s.name;
+        row.stream_index = s.stream_index;
+        row.frames = s.stats.frames;
+        row.key_frames = s.stats.key_frames;
+        row.me_add_ops = s.me_add_ops;
+        row.digest = s.digest;
+        report.frames += row.frames;
+        report.key_frames += row.key_frames;
+        report.me_add_ops += row.me_add_ops;
+        report.streams.push_back(std::move(row));
+    }
+    StageTimings merged;
+    for (const auto &t : timings_) {
+        merged.merge(*t);
+    }
+    report.stages = stage_reports(merged.delta_from(before));
+    return report;
+}
+
+RunReport
+Engine::report()
+{
+    flush();
+    std::lock_guard<std::mutex> lock(mutex_);
+    RunReport report = base_report();
+    report.digest = kDigestSeed;
+    bool any_time = false;
+    std::chrono::steady_clock::time_point first{};
+    std::chrono::steady_clock::time_point last{};
+    for (const auto &session : sessions_) {
+        StreamReport row = session->report();
+        report.frames += row.frames;
+        report.key_frames += row.key_frames;
+        report.me_add_ops += row.me_add_ops;
+        report.digest = digest_combine(report.digest, row.digest);
+        report.streams.push_back(std::move(row));
+
+        std::chrono::steady_clock::time_point f, l;
+        if (session->time_bounds(&f, &l)) {
+            if (!any_time || f < first) {
+                first = f;
+            }
+            if (!any_time || l > last) {
+                last = l;
+            }
+            any_time = true;
+        }
+    }
+    if (any_time) {
+        report.wall_ms =
+            std::chrono::duration<double, std::milli>(last - first)
+                .count();
+    }
+    StageTimings merged;
+    for (const auto &t : timings_) {
+        merged.merge(*t);
+    }
+    report.stages = stage_reports(merged);
+    return report;
+}
+
+void
+Engine::flush()
+{
+    std::vector<Session *> sessions;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessions.reserve(sessions_.size());
+        for (const auto &s : sessions_) {
+            sessions.push_back(s.get());
+        }
+    }
+    // Drain without holding the engine mutex: strand tasks only take
+    // their session's mutex, so new sessions can still be created
+    // while we wait. Surface the first stream failure after every
+    // session has drained.
+    std::exception_ptr error;
+    for (Session *s : sessions) {
+        try {
+            s->drain();
+        } catch (...) {
+            if (!error) {
+                error = std::current_exception();
+            }
+        }
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
+}
+
+void
+Engine::reset()
+{
+    // Drain but swallow stream failures: reset discards the very
+    // state (records, sticky errors) a failure poisoned.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &s : sessions_) {
+            try {
+                s->drain();
+            } catch (...) {
+            }
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    executor_->reset_streams();
+    for (const auto &t : timings_) {
+        t->reset();
+    }
+    for (const auto &s : sessions_) {
+        s->reset_record();
+    }
+}
+
+} // namespace eva2

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * The unified EVA2 serving API: Engine, Session, EngineConfig.
+ *
+ * An Engine is the one object a serving process holds per network. It
+ * is configured declaratively — every component is a registry spec
+ * string (`policy = "adaptive_error:th=0.05,max_gap=8"`), so a config
+ * file or RPC payload can select policies, interpolation, and storage
+ * codecs without touching C++ types — and it offers two ingestion
+ * paths over the same per-stream AMC state:
+ *
+ *  - the batch path, `run(streams)`: process whole Sequence chunks
+ *    across all streams (the legacy StreamExecutor shape), and
+ *  - the frame path, `Session::submit(frame) -> FrameTicket` plus
+ *    `poll()`/`wait()`: feed one frame of one live feed at a time,
+ *    the way frames actually arrive from cameras.
+ *
+ * Both paths drive the same internal execution layer (one AmcPipeline
+ * per stream behind a StreamExecutor), so a stream fed frame-by-frame
+ * produces output digests bit-identical to the same frames fed as one
+ * batch. Results come back as a structured RunReport — per-stream
+ * stats, chained digests, RFBME op counts, per-stage timings from the
+ * instrumentation hook layer — with JSON serialization.
+ *
+ * Threading model: sessions are independent strands. submit() may be
+ * called from any thread; frames of one session are processed
+ * strictly in submission order (on the engine's worker pool, or
+ * inline when num_threads == 1), while different sessions run
+ * concurrently. Batch run(), report(), and reset() first drain all
+ * in-flight session work; do not call them concurrently with
+ * submissions to the streams they touch.
+ */
+#ifndef EVA2_API_ENGINE_H
+#define EVA2_API_ENGINE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/run_report.h"
+#include "runtime/stream_executor.h"
+
+namespace eva2 {
+
+/**
+ * Declarative engine configuration. String fields are registry specs
+ * resolved (and validated) when the Engine is constructed; a typo or
+ * out-of-range value throws ConfigError with the alternatives spelled
+ * out instead of silently running a default.
+ */
+struct EngineConfig
+{
+    /** Key-frame policy spec (PolicyRegistry). */
+    std::string policy = "every_frame";
+    /** Warp interpolation spec (InterpRegistry). */
+    std::string interp = "bilinear";
+    /** Key-activation storage codec spec (CodecRegistry). */
+    std::string codec = "rle_q88";
+    /** AMC target layer: "last_spatial", "early", or "layer:<i>". */
+    std::string target = "last_spatial";
+    /** Predicted frames: "compensation" (warp) or "memoization". */
+    std::string motion = "compensation";
+    i64 search_radius = 28; ///< RFBME search radius in pixels (> 0).
+    i64 search_stride = 2;  ///< RFBME search step in pixels (> 0).
+    /** Stream-level workers; 1 = serial inline, 0 = hardware default. */
+    i64 num_threads = 0;
+    /** Retain every output tensor (tests; memory-heavy). */
+    bool store_outputs = false;
+    /** Feed the per-stage instrumentation layer (cheap; default on). */
+    bool collect_timings = true;
+
+    /**
+     * Resolve every spec against the registries and the network into
+     * executor options; throws ConfigError on any invalid field.
+     */
+    StreamExecutorOptions resolve(const Network &net) const;
+
+    /** Validation without construction: resolve() and discard. */
+    void
+    validate(const Network &net) const
+    {
+        (void)resolve(net);
+    }
+};
+
+/** Handle for one submitted frame of one session. */
+struct FrameTicket
+{
+    i64 session = -1; ///< Owning session's stream index.
+    i64 frame = -1;   ///< Per-session submission sequence number.
+    i64 epoch = 0;    ///< Session reset generation; stale tickets
+                      ///< (issued before an Engine::reset) are
+                      ///< rejected instead of matching new frames.
+
+    bool valid() const { return session >= 0 && frame >= 0; }
+};
+
+/** The completed record of one submitted frame. */
+struct FrameOutcome
+{
+    i64 frame = -1; ///< Matches the ticket's frame number.
+    bool is_key = false;
+    i64 top1 = -1;          ///< Argmax of the network output.
+    u64 output_digest = 0;  ///< Digest of the raw output bits.
+    double match_error = 0; ///< RFBME mean error (0 on key-only path).
+    i64 me_add_ops = 0;     ///< RFBME arithmetic ops for this frame.
+    bool failed = false;    ///< Processing threw; see Session::wait.
+};
+
+class Engine;
+
+/**
+ * A live per-stream handle owning the submission strand for one
+ * camera feed. Created by Engine::session(); pointer-stable for the
+ * engine's lifetime.
+ */
+class Session
+{
+  public:
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** The engine stream index this session feeds. */
+    i64 index() const { return index_; }
+
+    /**
+     * Enqueue one frame for processing. Thread-safe; frames of this
+     * session are processed strictly in submission order. The frame's
+     * shape is validated here, on the calling thread.
+     */
+    FrameTicket submit(Tensor frame);
+
+    /** Convenience overload for labelled synthetic frames. */
+    FrameTicket submit(const LabeledFrame &frame);
+
+    /** Submit every frame of a sequence, in order. */
+    std::vector<FrameTicket> submit_all(const Sequence &seq);
+
+    /**
+     * Non-blocking completion check: the outcome once the frame has
+     * been processed, std::nullopt while it is still queued/running.
+     */
+    std::optional<FrameOutcome> poll(const FrameTicket &ticket) const;
+
+    /**
+     * Block until the frame completes. Throws if the frame failed.
+     *
+     * Failure semantics: submit() validates frame shape eagerly, so
+     * a frame can only fail on an internal error. A failed frame
+     * poisons the session — it contributes nothing to the digest,
+     * stats, or outputs() (which stay aligned with the *successful*
+     * outcomes), and the stored error is sticky: wait() on the
+     * failed ticket, drain(), and engine report()/flush() all keep
+     * rethrowing it until Engine::reset() discards the stream.
+     */
+    FrameOutcome wait(const FrameTicket &ticket);
+
+    /** Block until every submitted frame completes; rethrows errors. */
+    void drain();
+
+    i64 submitted() const;
+    i64 completed() const;
+
+    /**
+     * Drop the per-frame outcome records (and retained outputs)
+     * accumulated so far, keeping the cumulative stats and digest
+     * chain intact. Long-lived serving loops call this periodically
+     * to bound memory — outcomes otherwise accumulate for every
+     * frame ever submitted. Drains first; poll()/wait() on a
+     * forgotten ticket throws ConfigError.
+     */
+    void forget_outcomes();
+
+    /**
+     * This session's cumulative report row (drains first): frames,
+     * key frames, RFBME ops, and the chained output digest that a
+     * batch run over the same frames reproduces bit-identically.
+     */
+    StreamReport report();
+
+    /**
+     * Retained output tensors in submission order; only meaningful
+     * with EngineConfig::store_outputs, after drain().
+     */
+    const std::vector<Tensor> &outputs() const { return outputs_; }
+
+  private:
+    friend class Engine;
+
+    Session(Engine *engine, i64 index, std::string name,
+            AmcPipeline *pipeline);
+
+    /** Strand body: process queued frames until the queue is empty. */
+    void pump();
+
+    void record_outcome(FrameOutcome outcome, Tensor output,
+                        std::exception_ptr error);
+
+    /** Reject foreign, stale (pre-reset), or forgotten tickets. */
+    void check_ticket(const FrameTicket &ticket) const;
+
+    /** Drop cumulative records for an engine-level reset. */
+    void reset_record();
+
+    /** First-submit/last-done bounds, if any work was recorded. */
+    bool time_bounds(std::chrono::steady_clock::time_point *first,
+                     std::chrono::steady_clock::time_point *last) const;
+
+    Engine *engine_;
+    i64 index_;
+    std::string name_;
+    AmcPipeline *pipeline_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Tensor> queue_;
+    bool in_flight_ = false;
+    i64 next_ticket_ = 0;
+    i64 epoch_ = 0;     ///< Bumped by Engine::reset().
+    i64 done_base_ = 0; ///< Frame number of done_[0] (after trims).
+    std::vector<FrameOutcome> done_;
+    std::vector<Tensor> outputs_;
+    std::exception_ptr error_; ///< First failure (drain rethrows it).
+    std::map<i64, std::exception_ptr> frame_errors_; ///< By frame.
+
+    // Cumulative stream accounting (mirrors StreamResult).
+    u64 digest_ = kDigestSeed;
+    i64 frames_ = 0;
+    i64 key_frames_ = 0;
+    i64 me_add_ops_ = 0;
+
+    bool has_times_ = false;
+    std::chrono::steady_clock::time_point first_submit_;
+    std::chrono::steady_clock::time_point last_done_;
+};
+
+/**
+ * The unified serving entry point: one network, N streams, both
+ * batch and frame-level ingestion, structured reporting.
+ */
+class Engine
+{
+  public:
+    /**
+     * @param net    Shared read-only network; must outlive the engine.
+     * @param config Declarative configuration; resolved and validated
+     *               here (throws ConfigError on any bad field).
+     */
+    explicit Engine(const Network &net, EngineConfig config = {});
+
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Get or create the session named `name`. New sessions take the
+     * next free stream index (creation order). Thread-safe; the
+     * returned reference is stable for the engine's lifetime.
+     */
+    Session &session(const std::string &name);
+
+    /** The session named `name`, or null if never created. */
+    Session *find_session(const std::string &name);
+
+    i64 num_sessions() const;
+
+    /**
+     * Batch path: process sequence i on stream i's pipeline, exactly
+     * like the legacy StreamExecutor::run. Drains all sessions first.
+     * Stream state persists across calls, so successive chunks of the
+     * same feeds continue their AMC state.
+     */
+    RunReport run(const std::vector<Sequence> &streams);
+
+    /**
+     * Aggregate report over everything the *sessions* have processed
+     * so far (drains first). Per-stream digests chain in session
+     * index order, matching a batch run over the same frames.
+     */
+    RunReport report();
+
+    /** Drain all sessions' in-flight work; rethrows the first error. */
+    void flush();
+
+    /**
+     * Reset all stream state for an independent run: pipelines, the
+     * sessions' cumulative records, and stage timings. Sessions stay
+     * valid. Drains first.
+     */
+    void reset();
+
+    const EngineConfig &config() const { return config_; }
+    const Network &network() const { return *net_; }
+
+    /** Effective stream-level worker count. */
+    i64 num_threads() const { return executor_->num_threads(); }
+
+  private:
+    friend class Session;
+
+    /**
+     * The pipeline backing stream `index`, with its instrumentation
+     * observer installed; creates on demand. Caller holds mutex_.
+     */
+    AmcPipeline &pipeline_locked(i64 index);
+
+    RunReport base_report() const;
+
+    const Network *net_;
+    EngineConfig config_;
+    bool store_outputs_;
+    std::unique_ptr<StreamExecutor> executor_;
+
+    mutable std::mutex mutex_; ///< Guards sessions_ and timings_.
+    std::vector<std::unique_ptr<StageTimings>> timings_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+    std::map<std::string, i64> session_index_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_API_ENGINE_H

@@ -1,0 +1,80 @@
+#include "api/run_report.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace eva2 {
+
+std::string
+digest_hex(u64 digest)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+std::vector<StageReport>
+stage_reports(const StageTimings &timings)
+{
+    std::vector<StageReport> out;
+    for (i64 i = 0; i < kNumAmcStages; ++i) {
+        const AmcStage stage = static_cast<AmcStage>(i);
+        StageReport row;
+        row.stage = amc_stage_name(stage);
+        row.total_ms = timings.total_ms(stage);
+        row.calls = timings.calls(stage);
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+std::string
+RunReport::to_json(int indent) const
+{
+    JsonWriter w(indent);
+    w.begin_object();
+    w.member("network", network);
+    w.key("config").begin_object();
+    w.member("policy", policy);
+    w.member("interp", interp);
+    w.member("codec", codec);
+    w.member("target", target);
+    w.member("motion", motion);
+    w.member("num_threads", num_threads);
+    w.end_object();
+    w.member("wall_ms", wall_ms);
+    w.member("frames", frames);
+    w.member("key_frames", key_frames);
+    w.member("key_fraction", key_fraction());
+    w.member("fps", frames_per_second());
+    w.member("me_add_ops", me_add_ops);
+    w.member("digest", digest_hex(digest));
+    w.key("streams").begin_array();
+    for (const StreamReport &s : streams) {
+        w.begin_object();
+        w.member("name", s.name);
+        w.member("index", s.stream_index);
+        w.member("frames", s.frames);
+        w.member("key_frames", s.key_frames);
+        w.member("key_fraction", s.key_fraction());
+        w.member("me_add_ops", s.me_add_ops);
+        w.member("digest", digest_hex(s.digest));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("stages").begin_array();
+    for (const StageReport &s : stages) {
+        w.begin_object();
+        w.member("stage", s.stage);
+        w.member("total_ms", s.total_ms);
+        w.member("calls", s.calls);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+} // namespace eva2

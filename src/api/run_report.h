@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Structured results of an Engine run.
+ *
+ * A RunReport is the serving API's machine-readable outcome record:
+ * the resolved configuration, aggregate and per-stream counters
+ * (frames, key fraction, RFBME op counts, chained output digests),
+ * and per-stage wall time from the instrumentation hook layer. It
+ * serializes to JSON so benches and CI can accumulate performance
+ * trajectories (`BENCH_*.json`) and deployments can export metrics
+ * without scraping stdout tables.
+ */
+#ifndef EVA2_API_RUN_REPORT_H
+#define EVA2_API_RUN_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "core/instrumentation.h"
+#include "util/common.h"
+
+namespace eva2 {
+
+/** One pipeline stage's aggregated wall time across streams. */
+struct StageReport
+{
+    std::string stage; ///< amc_stage_name() label.
+    double total_ms = 0.0;
+    i64 calls = 0;
+};
+
+/** One stream's contribution to a run. */
+struct StreamReport
+{
+    std::string name;
+    i64 stream_index = 0;
+    i64 frames = 0;
+    i64 key_frames = 0;
+    i64 me_add_ops = 0;
+    u64 digest = 0; ///< Frame output digests chained in order.
+
+    double
+    key_fraction() const
+    {
+        return frames == 0 ? 0.0
+                           : static_cast<double>(key_frames) /
+                                 static_cast<double>(frames);
+    }
+};
+
+/** Everything an Engine run (batch or session-fed) produced. */
+struct RunReport
+{
+    // Resolved configuration echo, for provenance in saved reports.
+    std::string network;
+    std::string policy;
+    std::string interp;
+    std::string codec;
+    std::string target;
+    std::string motion;
+    i64 num_threads = 0;
+
+    double wall_ms = 0.0;
+    i64 frames = 0;
+    i64 key_frames = 0;
+    i64 me_add_ops = 0;
+    /** Stream digests chained in stream order (BatchResult::digest). */
+    u64 digest = 0;
+
+    std::vector<StreamReport> streams;
+    std::vector<StageReport> stages;
+
+    double
+    key_fraction() const
+    {
+        return frames == 0 ? 0.0
+                           : static_cast<double>(key_frames) /
+                                 static_cast<double>(frames);
+    }
+
+    double
+    frames_per_second() const
+    {
+        return wall_ms <= 0.0 ? 0.0
+                              : static_cast<double>(frames) * 1000.0 /
+                                    wall_ms;
+    }
+
+    /** Serialize as a JSON document. */
+    std::string to_json(int indent = 2) const;
+};
+
+/** Convert an aggregated StageTimings into report rows (all stages). */
+std::vector<StageReport> stage_reports(const StageTimings &timings);
+
+/** Format a digest the way reports print it ("0x" + 16 hex digits). */
+std::string digest_hex(u64 digest);
+
+} // namespace eva2
+
+#endif // EVA2_API_RUN_REPORT_H

@@ -2,6 +2,41 @@
 
 namespace eva2 {
 
+void
+AmcOptions::validate(const Network &net) const
+{
+    require(search_radius > 0,
+            "AmcOptions: search_radius must be > 0, got " +
+                std::to_string(search_radius));
+    require(search_stride > 0,
+            "AmcOptions: search_stride must be > 0, got " +
+                std::to_string(search_stride));
+    require(search_stride <= search_radius,
+            "AmcOptions: search_stride (" +
+                std::to_string(search_stride) +
+                ") must not exceed search_radius (" +
+                std::to_string(search_radius) + ")");
+    require(storage_prune_rel >= 0.0,
+            "AmcOptions: storage_prune_rel must be >= 0, got " +
+                std::to_string(storage_prune_rel));
+    if (target_choice == TargetChoice::kExplicit) {
+        require(explicit_target >= 0 &&
+                    explicit_target < net.num_layers(),
+                "AmcOptions: explicit_target " +
+                    std::to_string(explicit_target) +
+                    " out of range for network " + net.name() +
+                    " with " + std::to_string(net.num_layers()) +
+                    " layers");
+        require(explicit_target <= net.last_spatial_index(),
+                "AmcOptions: explicit_target " +
+                    std::to_string(explicit_target) +
+                    " is past the last spatial layer (" +
+                    std::to_string(net.last_spatial_index()) +
+                    ") of network " + net.name() +
+                    "; AMC can only warp spatial activations");
+    }
+}
+
 i64
 AmcPipeline::resolve_target(const Network &net, TargetChoice choice,
                             i64 explicit_target)
@@ -31,8 +66,9 @@ AmcPipeline::AmcPipeline(const Network &net,
     : net_(&net),
       policy_(std::move(policy)),
       opts_(opts),
-      target_layer_(resolve_target(net, opts.target_choice,
-                                   opts.explicit_target))
+      target_layer_((opts.validate(net),
+                     resolve_target(net, opts.target_choice,
+                                    opts.explicit_target)))
 {
     if (!policy_) {
         policy_ = std::make_unique<StaticRatePolicy>(1);
@@ -76,32 +112,43 @@ AmcPipeline::key_frame_path(const Tensor &frame)
 {
     AmcFrameResult result;
     result.is_key = true;
-    Tensor target = net_->forward_prefix(frame, target_layer_);
+    Tensor target;
+    {
+        StageScope timer(observer_, AmcStage::kPrefix);
+        target = net_->forward_prefix(frame, target_layer_);
+    }
 
     // Store pixels and the target activation the way the hardware
     // does: pixels in the key pixel buffer, the activation run-length
     // encoded in the key frame activation buffer.
     key_pixels_ = frame;
-    RleParams rle_params;
-    if (opts_.storage_prune_rel > 0.0) {
-        double acc = 0.0;
-        for (i64 i = 0; i < target.size(); ++i) {
-            acc += static_cast<double>(target[i]) * target[i];
+    {
+        StageScope timer(observer_, AmcStage::kEncode);
+        RleParams rle_params;
+        if (opts_.storage_prune_rel > 0.0) {
+            double acc = 0.0;
+            for (i64 i = 0; i < target.size(); ++i) {
+                acc += static_cast<double>(target[i]) * target[i];
+            }
+            const double rms =
+                std::sqrt(acc / static_cast<double>(target.size()));
+            rle_params.zero_threshold =
+                static_cast<float>(opts_.storage_prune_rel * rms);
         }
-        const double rms =
-            std::sqrt(acc / static_cast<double>(target.size()));
-        rle_params.zero_threshold =
-            static_cast<float>(opts_.storage_prune_rel * rms);
+        key_activation_rle_ = rle_encode(target, rle_params);
+        key_activation_ = opts_.quantize_storage
+                              ? rle_decode(key_activation_rle_)
+                              : target;
     }
-    key_activation_rle_ = rle_encode(target, rle_params);
-    key_activation_ =
-        opts_.quantize_storage ? rle_decode(key_activation_rle_) : target;
     has_key_ = true;
     frames_since_key_ = 0;
 
     // Key frames are full, precise executions (Section II-A); the
     // quantized RLE copy is only consumed by later predicted frames.
-    result.output = net_->forward_suffix(target, target_layer_);
+    {
+        StageScope timer(observer_, AmcStage::kSuffix);
+        result.output = net_->forward_suffix(target, target_layer_);
+    }
     result.target_activation = std::move(target);
     ++stats_.frames;
     ++stats_.key_frames;
@@ -119,16 +166,23 @@ AmcPipeline::predicted_frame_path(const RfbmeResult &me)
     result.features.frames_since_key = frames_since_key_;
 
     Tensor predicted;
-    if (opts_.motion_mode == MotionMode::kMemoization) {
-        predicted = key_activation_;
-    } else {
-        const MotionField field =
-            fit_field(me.field, key_activation_.height(),
-                      key_activation_.width());
-        predicted = warp_activation(key_activation_, field,
-                                    target_rf_.stride, opts_.interp);
+    {
+        StageScope timer(observer_, AmcStage::kWarp);
+        if (opts_.motion_mode == MotionMode::kMemoization) {
+            predicted = key_activation_;
+        } else {
+            const MotionField field =
+                fit_field(me.field, key_activation_.height(),
+                          key_activation_.width());
+            predicted =
+                warp_activation(key_activation_, field,
+                                target_rf_.stride, opts_.interp);
+        }
     }
-    result.output = net_->forward_suffix(predicted, target_layer_);
+    {
+        StageScope timer(observer_, AmcStage::kSuffix);
+        result.output = net_->forward_suffix(predicted, target_layer_);
+    }
     result.target_activation = std::move(predicted);
     ++stats_.frames;
     return result;
@@ -145,12 +199,21 @@ AmcPipeline::process(const Tensor &frame)
         return key_frame_path(frame);
     }
     ++frames_since_key_;
-    const RfbmeResult me = rfbme(key_pixels_, frame, rfbme_config_);
+    RfbmeResult me;
+    {
+        StageScope timer(observer_, AmcStage::kMotionEstimation);
+        me = rfbme(key_pixels_, frame, rfbme_config_);
+    }
     FrameFeatures features;
     features.match_error = me.mean_error;
     features.motion_magnitude = me.field.total_magnitude();
     features.frames_since_key = frames_since_key_;
-    if (policy_->is_key_frame(features)) {
+    bool is_key;
+    {
+        StageScope timer(observer_, AmcStage::kPolicy);
+        is_key = policy_->is_key_frame(features);
+    }
+    if (is_key) {
         AmcFrameResult result = key_frame_path(frame);
         result.features = features;
         result.me_add_ops = me.add_ops;
@@ -172,7 +235,11 @@ AmcPipeline::run_predicted(const Tensor &frame)
 {
     require(has_key_, "run_predicted: no stored key frame");
     ++frames_since_key_;
-    const RfbmeResult me = rfbme(key_pixels_, frame, rfbme_config_);
+    RfbmeResult me;
+    {
+        StageScope timer(observer_, AmcStage::kMotionEstimation);
+        me = rfbme(key_pixels_, frame, rfbme_config_);
+    }
     return predicted_frame_path(me);
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "cnn/network.h"
+#include "core/instrumentation.h"
 #include "core/keyframe_policy.h"
 #include "core/warp.h"
 #include "flow/rfbme.h"
@@ -66,6 +67,15 @@ struct AmcOptions
      * what pushes RLE storage savings well past the dense baseline.
      */
     double storage_prune_rel = 0.12;
+
+    /**
+     * Validate caller-controllable fields; throws ConfigError with a
+     * descriptive message instead of letting a bad value reach the
+     * search loops (where a zero stride would hang or divide by
+     * zero). Called by AmcPipeline's constructor; `net` enables the
+     * explicit-target bounds check.
+     */
+    void validate(const Network &net) const;
 };
 
 /** Outcome of processing one frame. */
@@ -138,6 +148,14 @@ class AmcPipeline
     /** Drop stored state and counters for a new stream. */
     void reset();
 
+    /**
+     * Install a per-stage instrumentation sink (borrowed; may be
+     * null to disable). The observer is invoked on the thread that
+     * runs the pipeline — one observer per pipeline needs no locks.
+     */
+    void set_observer(AmcObserver *observer) { observer_ = observer; }
+    AmcObserver *observer() const { return observer_; }
+
     i64 target_layer() const { return target_layer_; }
     ReceptiveField target_rf() const { return target_rf_; }
     const RfbmeConfig &rfbme_config() const { return rfbme_config_; }
@@ -169,6 +187,7 @@ class AmcPipeline
     ReceptiveField target_rf_;
     RfbmeConfig rfbme_config_;
 
+    AmcObserver *observer_ = nullptr;
     bool has_key_ = false;
     Tensor key_pixels_;
     Tensor key_activation_;

@@ -1,0 +1,91 @@
+#include "core/instrumentation.h"
+
+namespace eva2 {
+
+namespace {
+
+inline size_t
+index_of(AmcStage stage)
+{
+    return static_cast<size_t>(stage);
+}
+
+} // namespace
+
+const char *
+amc_stage_name(AmcStage stage)
+{
+    switch (stage) {
+      case AmcStage::kMotionEstimation:
+        return "motion_estimation";
+      case AmcStage::kPolicy:
+        return "policy";
+      case AmcStage::kPrefix:
+        return "prefix";
+      case AmcStage::kEncode:
+        return "encode";
+      case AmcStage::kWarp:
+        return "warp";
+      case AmcStage::kSuffix:
+        return "suffix";
+    }
+    return "unknown";
+}
+
+void
+StageTimings::on_stage(AmcStage stage, double ms)
+{
+    ms_[index_of(stage)] += ms;
+    calls_[index_of(stage)] += 1;
+}
+
+double
+StageTimings::total_ms(AmcStage stage) const
+{
+    return ms_[index_of(stage)];
+}
+
+i64
+StageTimings::calls(AmcStage stage) const
+{
+    return calls_[index_of(stage)];
+}
+
+double
+StageTimings::total_ms() const
+{
+    double total = 0.0;
+    for (const double v : ms_) {
+        total += v;
+    }
+    return total;
+}
+
+void
+StageTimings::merge(const StageTimings &other)
+{
+    for (size_t i = 0; i < static_cast<size_t>(kNumAmcStages); ++i) {
+        ms_[i] += other.ms_[i];
+        calls_[i] += other.calls_[i];
+    }
+}
+
+StageTimings
+StageTimings::delta_from(const StageTimings &baseline) const
+{
+    StageTimings delta;
+    for (size_t i = 0; i < static_cast<size_t>(kNumAmcStages); ++i) {
+        delta.ms_[i] = ms_[i] - baseline.ms_[i];
+        delta.calls_[i] = calls_[i] - baseline.calls_[i];
+    }
+    return delta;
+}
+
+void
+StageTimings::reset()
+{
+    ms_.fill(0.0);
+    calls_.fill(0);
+}
+
+} // namespace eva2

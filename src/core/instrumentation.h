@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-stage instrumentation hooks for the AMC pipeline.
+ *
+ * Serving deployments need to know where frame time goes — motion
+ * estimation, the CNN prefix/suffix, warping, codec work — without
+ * the pipeline hard-coding any particular metrics sink. The pipeline
+ * reports stage durations to an optional AmcObserver; StageTimings is
+ * the standard accumulating sink the Engine installs per stream and
+ * merges into its RunReport. When no observer is installed the hot
+ * path pays only an untaken branch.
+ */
+#ifndef EVA2_CORE_INSTRUMENTATION_H
+#define EVA2_CORE_INSTRUMENTATION_H
+
+#include <array>
+#include <chrono>
+#include <string>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/** The instrumented stages of one AMC frame (Section II, Figure 1). */
+enum class AmcStage
+{
+    kMotionEstimation, ///< RFBME between stored key pixels and frame.
+    kPolicy,           ///< Key-frame decision on the motion features.
+    kPrefix,           ///< CNN prefix up to the target layer (keys).
+    kEncode,           ///< RLE encode/decode of the key activation.
+    kWarp,             ///< Activation warp (predicted frames).
+    kSuffix,           ///< CNN suffix after the target activation.
+};
+
+constexpr i64 kNumAmcStages = 6;
+
+/** Stable lower-case stage name for reports ("motion_estimation"). */
+const char *amc_stage_name(AmcStage stage);
+
+/** Receives one callback per executed pipeline stage. */
+class AmcObserver
+{
+  public:
+    virtual ~AmcObserver() = default;
+
+    /**
+     * Called after a stage completes. Invoked on whichever thread
+     * runs the pipeline; a pipeline is single-threaded, so an
+     * observer owned by one pipeline needs no synchronization.
+     */
+    virtual void on_stage(AmcStage stage, double ms) = 0;
+};
+
+/** Accumulates total wall time and call counts per stage. */
+class StageTimings : public AmcObserver
+{
+  public:
+    void on_stage(AmcStage stage, double ms) override;
+
+    double total_ms(AmcStage stage) const;
+    i64 calls(AmcStage stage) const;
+
+    /** Sum of all stage times. */
+    double total_ms() const;
+
+    /** Add another accumulator's totals (cross-stream aggregation). */
+    void merge(const StageTimings &other);
+
+    /**
+     * The accumulation since `baseline` (an earlier snapshot of this
+     * accumulator): per-run deltas from a lifetime-cumulative sink.
+     */
+    StageTimings delta_from(const StageTimings &baseline) const;
+
+    void reset();
+
+  private:
+    std::array<double, kNumAmcStages> ms_{};
+    std::array<i64, kNumAmcStages> calls_{};
+};
+
+/**
+ * RAII stage timer: reports the enclosed scope's duration to the
+ * observer, or does nothing when the observer is null.
+ */
+class StageScope
+{
+  public:
+    StageScope(AmcObserver *observer, AmcStage stage)
+        : observer_(observer), stage_(stage)
+    {
+        if (observer_ != nullptr) {
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~StageScope()
+    {
+        if (observer_ != nullptr) {
+            const auto stop = std::chrono::steady_clock::now();
+            observer_->on_stage(
+                stage_, std::chrono::duration<double, std::milli>(
+                            stop - start_)
+                            .count());
+        }
+    }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    AmcObserver *observer_;
+    AmcStage stage_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_CORE_INSTRUMENTATION_H

@@ -1,5 +1,6 @@
 #include "eval/experiment.h"
 
+#include "api/registry.h"
 #include "eval/oracle_motion.h"
 #include "flow/optical_flow.h"
 #include "flow/rfbme.h"
@@ -277,6 +278,30 @@ run_adaptive_classification(const Network &net,
                            : static_cast<double>(result.key_frames) /
                                  static_cast<double>(result.frames);
     return result;
+}
+
+AdaptiveRunResult
+run_adaptive_detection(const Network &net,
+                       const ActivationDetector &detector,
+                       const std::vector<Sequence> &sequences,
+                       const std::string &policy_spec,
+                       AmcOptions options)
+{
+    return run_adaptive_detection(
+        net, detector, sequences,
+        PolicyRegistry::instance().factory(policy_spec), options);
+}
+
+AdaptiveRunResult
+run_adaptive_classification(const Network &net,
+                            const PrototypeClassifier &classifier,
+                            const std::vector<Sequence> &sequences,
+                            const std::string &policy_spec,
+                            AmcOptions options)
+{
+    return run_adaptive_classification(
+        net, classifier, sequences,
+        PolicyRegistry::instance().factory(policy_spec), options);
 }
 
 double

@@ -122,6 +122,21 @@ AdaptiveRunResult run_adaptive_classification(
     const std::vector<Sequence> &sequences, const PolicyFactory &policy,
     AmcOptions options = {});
 
+/**
+ * Registry-spec overloads: the policy is a PolicyRegistry spec string
+ * such as "adaptive_error:th=0.05,max_gap=8" (the serving API's
+ * configuration idiom), validated before any sequence runs.
+ */
+AdaptiveRunResult run_adaptive_detection(
+    const Network &net, const ActivationDetector &detector,
+    const std::vector<Sequence> &sequences,
+    const std::string &policy_spec, AmcOptions options = {});
+
+AdaptiveRunResult run_adaptive_classification(
+    const Network &net, const PrototypeClassifier &classifier,
+    const std::vector<Sequence> &sequences,
+    const std::string &policy_spec, AmcOptions options = {});
+
 /** Baseline (every frame precise) detection mAP over a set. */
 double baseline_detection_map(const Network &net,
                               const ActivationDetector &detector,

@@ -9,7 +9,7 @@ namespace eva2 {
 
 namespace {
 
-constexpr u64 kFnvOffset = 1469598103934665603ull;
+constexpr u64 kFnvOffset = kDigestSeed;
 constexpr u64 kFnvPrime = 1099511628211ull;
 
 u64
@@ -23,13 +23,13 @@ fnv1a(const void *data, size_t bytes, u64 hash)
     return hash;
 }
 
+} // namespace
+
 u64
-combine(u64 a, u64 b)
+digest_combine(u64 a, u64 b)
 {
     return fnv1a(&b, sizeof(b), a);
 }
-
-} // namespace
 
 u64
 tensor_digest(const Tensor &t)
@@ -92,7 +92,7 @@ BatchResult::digest() const
 {
     u64 hash = kFnvOffset;
     for (const StreamResult &s : streams) {
-        hash = combine(hash, s.digest);
+        hash = digest_combine(hash, s.digest);
     }
     return hash;
 }
@@ -169,7 +169,8 @@ StreamExecutor::run_stream(i64 index, const Sequence &seq)
         record.top1 = top1(fr.output);
         record.output_digest = tensor_digest(fr.output);
         record.match_error = fr.features.match_error;
-        result.digest = combine(result.digest, record.output_digest);
+        result.digest =
+            digest_combine(result.digest, record.output_digest);
         result.me_add_ops += fr.me_add_ops;
         result.frames.push_back(record);
         if (opts_.store_outputs) {

@@ -34,6 +34,17 @@ namespace eva2 {
 /** FNV-1a digest of a tensor's shape and raw float bit patterns. */
 u64 tensor_digest(const Tensor &t);
 
+/** Seed for the chained frame/stream digests (FNV offset basis). */
+constexpr u64 kDigestSeed = 1469598103934665603ull;
+
+/**
+ * Fold digest `b` into chain `a`. Both the per-stream frame chain and
+ * the batch-level stream chain use this, so any layer that processes
+ * the same frames in the same order — batch run or frame-level
+ * Session submission — reproduces the same digest.
+ */
+u64 digest_combine(u64 a, u64 b);
+
 /** Configuration of a StreamExecutor. */
 struct StreamExecutorOptions
 {
@@ -134,6 +145,25 @@ class StreamExecutor
     i64 num_threads() const { return num_threads_; }
 
     const Network &network() const { return *net_; }
+
+    /**
+     * The pipeline backing stream `index`, created on demand (along
+     * with any lower-indexed ones). This is the hook the api-layer
+     * Engine uses to drive streams frame by frame and to install
+     * instrumentation observers; calls must not race with run() or
+     * with tasks touching the same pipeline.
+     */
+    AmcPipeline &pipeline(i64 index) { return pipeline_for(index); }
+
+    /** Pipelines created so far. */
+    i64
+    num_pipelines() const
+    {
+        return static_cast<i64>(pipelines_.size());
+    }
+
+    /** Stream-level worker pool; null when num_threads() == 1. */
+    ThreadPool *pool() { return pool_.get(); }
 
   private:
     AmcPipeline &pipeline_for(i64 index);

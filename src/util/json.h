@@ -1,0 +1,289 @@
+/**
+ * @file
+ * A minimal streaming JSON writer for machine-readable reports.
+ *
+ * The repo's reports (RunReport, bench --json output) need valid
+ * JSON without an external dependency, so this is a deliberately
+ * small push-style writer: begin/end object or array, keys, scalar
+ * values. It tracks nesting and comma placement; structural misuse
+ * (a key outside an object, unbalanced end calls) throws
+ * InternalError rather than emitting broken output. Numbers print
+ * with enough precision to round-trip doubles; non-finite doubles
+ * encode as null, which is what most JSON consumers expect.
+ */
+#ifndef EVA2_UTIL_JSON_H
+#define EVA2_UTIL_JSON_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/** Push-style JSON writer with pretty printing. */
+class JsonWriter
+{
+  public:
+    /** @param indent Spaces per nesting level; 0 writes compactly. */
+    explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+    JsonWriter &
+    begin_object()
+    {
+        open('{', Frame::kObject);
+        return *this;
+    }
+
+    JsonWriter &
+    end_object()
+    {
+        close('}', Frame::kObject);
+        return *this;
+    }
+
+    JsonWriter &
+    begin_array()
+    {
+        open('[', Frame::kArray);
+        return *this;
+    }
+
+    JsonWriter &
+    end_array()
+    {
+        close(']', Frame::kArray);
+        return *this;
+    }
+
+    /** Write the key of the next object member. */
+    JsonWriter &
+    key(const std::string &name)
+    {
+        invariant(!stack_.empty() &&
+                      stack_.back().kind == Frame::kObject,
+                  "json: key() outside an object");
+        invariant(!stack_.back().key_pending,
+                  "json: consecutive key() calls");
+        separate();
+        write_string(name);
+        out_ += indent_ > 0 ? ": " : ":";
+        stack_.back().key_pending = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        before_value();
+        write_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        before_value();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+    JsonWriter &
+    value(i64 v)
+    {
+        before_value();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        return value(static_cast<i64>(v));
+    }
+
+    JsonWriter &
+    value(u64 v)
+    {
+        before_value();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        before_value();
+        if (!std::isfinite(v)) {
+            out_ += "null";
+            return *this;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+        return *this;
+    }
+
+    JsonWriter &
+    null()
+    {
+        before_value();
+        out_ += "null";
+        return *this;
+    }
+
+    /**
+     * Splice a pre-serialized JSON value in verbatim (e.g. a nested
+     * RunReport::to_json()). The caller is responsible for `json`
+     * being a single well-formed value; it is emitted as-is, so a
+     * compact sub-document inside a pretty outer one stays compact.
+     */
+    JsonWriter &
+    raw(const std::string &json)
+    {
+        invariant(!json.empty(), "json: raw() with empty value");
+        before_value();
+        out_ += json;
+        return *this;
+    }
+
+    /** Shorthand: key(name) followed by value(v). */
+    template <typename T>
+    JsonWriter &
+    member(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** The completed document; all containers must be closed. */
+    const std::string &
+    str() const
+    {
+        invariant(stack_.empty(), "json: unclosed containers");
+        return out_;
+    }
+
+  private:
+    struct Frame
+    {
+        enum Kind { kObject, kArray };
+        Kind kind;
+        bool has_items = false;
+        bool key_pending = false;
+    };
+
+    void
+    open(char bracket, Frame::Kind kind)
+    {
+        before_value();
+        out_ += bracket;
+        stack_.push_back(Frame{kind, false, false});
+    }
+
+    void
+    close(char bracket, Frame::Kind kind)
+    {
+        invariant(!stack_.empty() && stack_.back().kind == kind,
+                  "json: mismatched container end");
+        invariant(!stack_.back().key_pending,
+                  "json: container ended after a dangling key");
+        const bool had_items = stack_.back().has_items;
+        stack_.pop_back();
+        if (had_items) {
+            newline_indent(stack_.size());
+        }
+        out_ += bracket;
+    }
+
+    /** Comma/newline bookkeeping before an item in a container. */
+    void
+    separate()
+    {
+        if (stack_.back().has_items) {
+            out_ += ',';
+        }
+        stack_.back().has_items = true;
+        newline_indent(stack_.size());
+    }
+
+    /** Validity checks and separators before any value is written. */
+    void
+    before_value()
+    {
+        if (stack_.empty()) {
+            invariant(out_.empty(), "json: multiple root values");
+            return;
+        }
+        Frame &top = stack_.back();
+        if (top.kind == Frame::kObject) {
+            invariant(top.key_pending,
+                      "json: object value without a key");
+            top.key_pending = false;
+        } else {
+            separate();
+        }
+    }
+
+    void
+    newline_indent(size_t depth)
+    {
+        if (indent_ <= 0) {
+            return;
+        }
+        out_ += '\n';
+        out_.append(depth * static_cast<size_t>(indent_), ' ');
+    }
+
+    void
+    write_string(const std::string &s)
+    {
+        out_ += '"';
+        for (const char c : s) {
+            switch (c) {
+              case '"':
+                out_ += "\\\"";
+                break;
+              case '\\':
+                out_ += "\\\\";
+                break;
+              case '\n':
+                out_ += "\\n";
+                break;
+              case '\r':
+                out_ += "\\r";
+                break;
+              case '\t':
+                out_ += "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    int indent_;
+    std::string out_;
+    std::vector<Frame> stack_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_UTIL_JSON_H
