@@ -2,13 +2,26 @@
  * @file
  * google-benchmark microbenches for the hot kernels: RFBME (tile
  * reuse) vs the naive reference, dense optical flow, activation
- * warping, the RLE codec, and the conv engine. These quantify the
+ * warping, the RLE codec, and the conv engine (seed direct loop vs
+ * the planned im2col/blocked-GEMM kernel). These quantify the
  * software-side cost ordering the paper's hardware exploits: motion
  * estimation and warping must be orders of magnitude cheaper than
- * the CNN prefix they replace.
+ * the CNN prefix they replace — and, on the serving side, how much
+ * of the per-frame CNN cost planned execution recovers.
+ *
+ * Usage: bench_micro_kernels [--json PATH] [google-benchmark flags]
+ * --json writes the standard google-benchmark JSON report to PATH
+ * (shorthand for --benchmark_out=PATH --benchmark_out_format=json),
+ * matching the BENCH_*.json convention of the other benches.
  */
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cnn/conv_layer.h"
+#include "cnn/execution_plan.h"
 #include "cnn/model_zoo.h"
 #include "core/amc_pipeline.h"
 #include "core/warp.h"
@@ -121,6 +134,85 @@ BM_RleRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_RleRoundTrip)->Arg(10)->Arg(50);
 
+// --------------------------------------------------------------------
+// Conv engine: seed direct kernel vs planned im2col/blocked GEMM.
+// The CI smoke shapes; the acceptance bar is planned-GEMM throughput
+// >= 2x direct on these.
+
+struct ConvShape
+{
+    const char *label;
+    i64 in_c, out_c, kernel, stride, pad, size;
+};
+
+constexpr ConvShape kConvShapes[] = {
+    {"3x3_pad1_64px", 32, 64, 3, 1, 1, 64},
+    {"5x5_stride2_96px", 16, 32, 5, 2, 2, 96},
+    {"1x1_56px", 64, 64, 1, 1, 0, 56},
+};
+
+Network
+conv_shape_net(const ConvShape &s)
+{
+    Network net(s.label, Shape{s.in_c, s.size, s.size});
+    auto conv = std::make_unique<ConvLayer>(s.in_c, s.out_c, s.kernel,
+                                            s.stride, s.pad);
+    Rng rng(11);
+    for (float &w : conv->weights()) {
+        w = rng.uniform_f(-0.5f, 0.5f);
+    }
+    for (float &b : conv->biases()) {
+        b = rng.uniform_f(-0.5f, 0.5f);
+    }
+    net.add(std::move(conv));
+    return net;
+}
+
+Tensor
+conv_shape_input(const ConvShape &s)
+{
+    Tensor in(s.in_c, s.size, s.size);
+    Rng rng(13);
+    for (i64 i = 0; i < in.size(); ++i) {
+        in[i] = rng.uniform_f(-1.0f, 1.0f);
+    }
+    return in;
+}
+
+void
+conv_bench(benchmark::State &state, ConvKernel kernel)
+{
+    const ConvShape &shape = kConvShapes[state.range(0)];
+    const Network net = conv_shape_net(shape);
+    const Tensor in = conv_shape_input(shape);
+    PlanOptions opts;
+    opts.conv_kernel = kernel;
+    const ExecutionPlan plan(net, opts);
+    ScratchArena arena;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(&plan.run(in, arena));
+    }
+    state.SetLabel(shape.label);
+    state.SetItemsProcessed(state.iterations() *
+                            net.layer_macs(0));
+}
+
+void
+BM_ConvDirect(benchmark::State &state)
+{
+    conv_bench(state, ConvKernel::kDirect);
+}
+BENCHMARK(BM_ConvDirect)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void
+BM_ConvIm2colGemm(benchmark::State &state)
+{
+    conv_bench(state, ConvKernel::kIm2colGemm);
+}
+BENCHMARK(BM_ConvIm2colGemm)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ConvPrefixFasterM(benchmark::State &state)
 {
@@ -134,6 +226,24 @@ BM_ConvPrefixFasterM(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ConvPrefixFasterM)->Unit(benchmark::kMillisecond);
+
+void
+BM_PlannedPrefixFasterM(benchmark::State &state)
+{
+    // The same prefix as BM_ConvPrefixFasterM, through a compiled
+    // plan: GEMM convs, fused ReLU, arena reuse.
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 192, 192};
+    const Network net = build_scaled(fasterm_spec(), opts);
+    const Tensor frame = test_frame(192, 7, 0);
+    const i64 target = net.find_layer(fasterm_spec().late_target);
+    const ExecutionPlan plan(net, 0, target + 1, net.input_shape());
+    ScratchArena arena;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(&plan.run(frame, arena));
+    }
+}
+BENCHMARK(BM_PlannedPrefixFasterM)->Unit(benchmark::kMillisecond);
 
 void
 BM_PredictedFrameFasterM(benchmark::State &state)
@@ -153,4 +263,32 @@ BENCHMARK(BM_PredictedFrameFasterM)->Unit(benchmark::kMillisecond);
 } // namespace
 } // namespace eva2
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate the repo-standard `--json PATH` into the benchmark
+    // library's output flags, pass everything else through.
+    std::vector<std::string> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            args.push_back(std::string("--benchmark_out=") +
+                           argv[++i]);
+            args.push_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    std::vector<char *> argv2;
+    for (std::string &a : args) {
+        argv2.push_back(a.data());
+    }
+    int argc2 = static_cast<int>(argv2.size());
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

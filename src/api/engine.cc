@@ -18,6 +18,7 @@ resolve_amc(const EngineConfig &config, const Network &net)
     AmcOptions amc;
     amc.interp = InterpRegistry::instance().resolve(config.interp);
     CodecRegistry::instance().apply(config.codec, amc);
+    KernelRegistry::instance().apply(config.kernel, amc.plan);
 
     if (config.target == "last_spatial") {
         amc.target_choice = TargetChoice::kLastSpatial;
@@ -413,16 +414,22 @@ Engine::num_sessions() const
 }
 
 RunReport
-Engine::base_report() const
+Engine::base_report()
 {
     RunReport report;
     report.network = net_->name();
     report.policy = config_.policy;
     report.interp = config_.interp;
     report.codec = config_.codec;
+    report.kernel = config_.kernel;
     report.target = config_.target;
     report.motion = config_.motion;
     report.num_threads = executor_->num_threads();
+    // Per-layer kernel selection: all pipelines share one network and
+    // one config, so stream 0's compiled plans describe every stream.
+    if (executor_->num_pipelines() > 0) {
+        report.plan = executor_->pipeline(0).plan_records();
+    }
     return report;
 }
 

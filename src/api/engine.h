@@ -63,6 +63,13 @@ struct EngineConfig
     std::string interp = "bilinear";
     /** Key-activation storage codec spec (CodecRegistry). */
     std::string codec = "rle_q88";
+    /**
+     * CNN execution kernel spec (KernelRegistry): how the compiled
+     * plans run the network. `gemm` (im2col + blocked GEMM, fused
+     * conv+ReLU) is bit-identical to `direct` (the seed reference)
+     * and roughly twice as fast on serving shapes.
+     */
+    std::string kernel = "gemm";
     /** AMC target layer: "last_spatial", "early", or "layer:<i>". */
     std::string target = "last_spatial";
     /** Predicted frames: "compensation" (warp) or "memoization". */
@@ -314,7 +321,7 @@ class Engine
      */
     AmcPipeline &pipeline_locked(i64 index);
 
-    RunReport base_report() const;
+    RunReport base_report();
 
     const Network *net_;
     EngineConfig config_;

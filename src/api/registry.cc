@@ -266,6 +266,69 @@ InterpRegistry::resolve(const std::string &name) const
 }
 
 // --------------------------------------------------------------------
+// KernelRegistry
+
+KernelRegistry::KernelRegistry()
+{
+    add("gemm", [](const ComponentSpec &spec, PlanOptions &plan) {
+        spec.allow_only({"fuse"});
+        plan.conv_kernel = ConvKernel::kIm2colGemm;
+        plan.fuse_conv_relu = spec.integer("fuse", 1) != 0;
+    });
+    add("direct", [](const ComponentSpec &spec, PlanOptions &plan) {
+        spec.allow_only({"fuse"});
+        plan.conv_kernel = ConvKernel::kDirect;
+        // The reference configuration mirrors the seed exactly, so
+        // fusion defaults off here.
+        plan.fuse_conv_relu = spec.integer("fuse", 0) != 0;
+    });
+}
+
+KernelRegistry &
+KernelRegistry::instance()
+{
+    static KernelRegistry registry;
+    return registry;
+}
+
+void
+KernelRegistry::add(const std::string &kind, Applier applier)
+{
+    require(!kind.empty(), "kernel registry: empty kind name");
+    entries_[kind] = std::move(applier);
+}
+
+bool
+KernelRegistry::contains(const std::string &kind) const
+{
+    return entries_.count(kind) != 0;
+}
+
+std::vector<std::string>
+KernelRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &e : entries_) {
+        out.push_back(e.first);
+    }
+    return out;
+}
+
+void
+KernelRegistry::apply(const std::string &spec_text,
+                      PlanOptions &plan) const
+{
+    const ComponentSpec spec = parse_component_spec(spec_text);
+    const auto it = entries_.find(spec.kind);
+    if (it == entries_.end()) {
+        throw ConfigError("unknown execution kernel '" + spec.kind +
+                          "' in spec '" + spec_text +
+                          "' (known: " + join(names()) + ")");
+    }
+    it->second(spec, plan);
+}
+
+// --------------------------------------------------------------------
 // CodecRegistry
 
 CodecRegistry::CodecRegistry()

@@ -132,6 +132,42 @@ class InterpRegistry
 };
 
 /**
+ * CNN execution kernel registry. A kernel spec configures how the
+ * compiled execution plans run the network's layers; its applier
+ * rewrites the PlanOptions embedded in an AmcOptions.
+ *
+ * Built-ins:
+ *   `gemm[:fuse=0|1]`   im2col + blocked-GEMM convolutions
+ *                       (bit-identical to direct; default), with
+ *                       conv+ReLU fusion on unless fuse=0.
+ *   `direct[:fuse=0|1]` the seed's direct convolution loop — the
+ *                       bit-exactness reference; fusion off unless
+ *                       fuse=1.
+ */
+class KernelRegistry
+{
+  public:
+    using Applier =
+        std::function<void(const ComponentSpec &spec, PlanOptions &plan)>;
+
+    static KernelRegistry &instance();
+
+    void add(const std::string &kind, Applier applier);
+
+    bool contains(const std::string &kind) const;
+
+    std::vector<std::string> names() const;
+
+    /** Apply a kernel spec to plan options. */
+    void apply(const std::string &spec, PlanOptions &plan) const;
+
+  private:
+    KernelRegistry();
+
+    std::map<std::string, Applier> entries_;
+};
+
+/**
  * Key-activation storage codec registry. A codec spec configures how
  * the key frame activation buffer stores the target activation; its
  * applier rewrites the storage-related fields of an AmcOptions

@@ -40,6 +40,7 @@ RunReport::to_json(int indent) const
     w.member("policy", policy);
     w.member("interp", interp);
     w.member("codec", codec);
+    w.member("kernel", kernel);
     w.member("target", target);
     w.member("motion", motion);
     w.member("num_threads", num_threads);
@@ -70,6 +71,23 @@ RunReport::to_json(int indent) const
         w.member("stage", s.stage);
         w.member("total_ms", s.total_ms);
         w.member("calls", s.calls);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("plan").begin_array();
+    for (const PlanRecord &p : plan) {
+        w.begin_object();
+        w.member("scope", p.scope);
+        w.key("steps").begin_array();
+        for (const PlanStepInfo &s : p.steps) {
+            w.begin_object();
+            w.member("layer", s.layer);
+            w.member("kernel", s.kernel);
+            w.member("fused_relu", s.fused_relu);
+            w.member("out", s.out.str());
+            w.end_object();
+        }
+        w.end_array();
         w.end_object();
     }
     w.end_array();

@@ -56,6 +56,7 @@ struct RunReport
     std::string policy;
     std::string interp;
     std::string codec;
+    std::string kernel;
     std::string target;
     std::string motion;
     i64 num_threads = 0;
@@ -69,6 +70,8 @@ struct RunReport
 
     std::vector<StreamReport> streams;
     std::vector<StageReport> stages;
+    /** Kernel selection of the compiled plans ({prefix, suffix}). */
+    std::vector<PlanRecord> plan;
 
     double
     key_fraction() const

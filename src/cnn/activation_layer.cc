@@ -8,10 +8,19 @@ Tensor
 ReluLayer::forward(const Tensor &in) const
 {
     Tensor out(in.shape());
+    ForwardCtx ctx;
+    ctx.out = &out;
+    forward_into(in, ctx);
+    return out;
+}
+
+void
+ReluLayer::forward_into(const Tensor &in, const ForwardCtx &ctx) const
+{
+    Tensor &out = *ctx.out;
     for (i64 i = 0; i < in.size(); ++i) {
         out[i] = in[i] > 0.0f ? in[i] : 0.0f;
     }
-    return out;
 }
 
 LrnLayer::LrnLayer(i64 local_size, float alpha, float beta, float k)
@@ -24,6 +33,16 @@ Tensor
 LrnLayer::forward(const Tensor &in) const
 {
     Tensor out(in.shape());
+    ForwardCtx ctx;
+    ctx.out = &out;
+    forward_into(in, ctx);
+    return out;
+}
+
+void
+LrnLayer::forward_into(const Tensor &in, const ForwardCtx &ctx) const
+{
+    Tensor &out = *ctx.out;
     const i64 half = local_size_ / 2;
     for (i64 c = 0; c < in.channels(); ++c) {
         const i64 c_lo = std::max<i64>(0, c - half);
@@ -42,7 +61,6 @@ LrnLayer::forward(const Tensor &in) const
             }
         }
     }
-    return out;
 }
 
 } // namespace eva2

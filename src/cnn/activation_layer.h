@@ -17,6 +17,8 @@ class ReluLayer : public Layer
 {
   public:
     Tensor forward(const Tensor &in) const override;
+    void forward_into(const Tensor &in,
+                      const ForwardCtx &ctx) const override;
     Shape out_shape(const Shape &in) const override { return in; }
     LayerKind kind() const override { return LayerKind::kRelu; }
 };
@@ -33,6 +35,8 @@ class LrnLayer : public Layer
              float k = 2.0f);
 
     Tensor forward(const Tensor &in) const override;
+    void forward_into(const Tensor &in,
+                      const ForwardCtx &ctx) const override;
     Shape out_shape(const Shape &in) const override { return in; }
     LayerKind kind() const override { return LayerKind::kLrn; }
 

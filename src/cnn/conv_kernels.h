@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The convolution kernel implementations ExecutionPlan selects from.
+ *
+ * Two kernels compute the same layer:
+ *
+ *  - conv_direct: the seed's nested-loop convolution, kept verbatim
+ *    as the bit-exactness reference.
+ *  - conv_im2col_gemm: packs input patches into a K x N column matrix
+ *    (K = in_c * kernel^2 taps, N = output pixels) and multiplies by
+ *    the [out_c x K] weight matrix with an N-tiled GEMM. Tiles keep a
+ *    strip of the packed matrix hot in cache while every output
+ *    channel consumes it, and the per-tile accumulator array
+ *    vectorizes without reassociation.
+ *
+ * Bit-exactness: for each output element both kernels start from the
+ * bias and accumulate taps in the identical (in_c, ky, kx) order into
+ * a single float accumulator — the GEMM tiles only regroup *which*
+ * outputs are computed together, never the per-output order — so
+ * their results are bit-identical (padding taps contribute exact
+ * zeros). The optional fused ReLU writes max(acc, 0), which is
+ * bit-identical to a separate ReLU pass.
+ *
+ * Both kernels parallelize over disjoint output regions with the
+ * deterministic parallel_for, so results are independent of thread
+ * count and nest safely under stream-level parallelism.
+ */
+#ifndef EVA2_CNN_CONV_KERNELS_H
+#define EVA2_CNN_CONV_KERNELS_H
+
+#include "tensor/tensor.h"
+
+namespace eva2 {
+
+/** Geometry of one dense 2D convolution. */
+struct ConvGeometry
+{
+    i64 in_c = 0;
+    i64 out_c = 0;
+    i64 kernel = 1;
+    i64 stride = 1;
+    i64 pad = 0;
+};
+
+/** Rows of the im2col matrix: taps per output (in_c * kernel^2). */
+inline i64
+im2col_rows(const ConvGeometry &g)
+{
+    return g.in_c * g.kernel * g.kernel;
+}
+
+/**
+ * Pack input patches column-major-by-pixel: col[k][j] is tap k of
+ * output pixel j, with k ordered (ic, ky, kx) and j ordered (oy, ox).
+ * `col` is reshaped to {1, K, N}; out-of-bounds taps pack as 0.
+ */
+void im2col_pack(const Tensor &in, const ConvGeometry &g,
+                 const Shape &out_shape, Tensor &col);
+
+/**
+ * The seed's direct convolution. `out` must be pre-shaped to the
+ * layer's output shape; `weights` is [out_c][in_c][ky][kx] flat,
+ * `biases` is [out_c].
+ */
+void conv_direct(const Tensor &in, const ConvGeometry &g,
+                 const float *weights, const float *biases, Tensor &out,
+                 bool fuse_relu);
+
+/**
+ * im2col + blocked GEMM convolution; bit-identical to conv_direct
+ * (see file comment). `col` is the packing workspace (any shape; it
+ * is reshaped here and reusable across calls and layers).
+ */
+void conv_im2col_gemm(const Tensor &in, const ConvGeometry &g,
+                      const float *weights, const float *biases,
+                      Tensor &out, Tensor &col, bool fuse_relu);
+
+} // namespace eva2
+
+#endif // EVA2_CNN_CONV_KERNELS_H

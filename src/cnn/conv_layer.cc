@@ -1,6 +1,6 @@
 #include "cnn/conv_layer.h"
 
-#include "runtime/parallel_for.h"
+#include "cnn/conv_kernels.h"
 
 namespace eva2 {
 
@@ -39,41 +39,34 @@ ConvLayer::macs(const Shape &in) const
 Tensor
 ConvLayer::forward(const Tensor &in) const
 {
-    Shape os = out_shape(in.shape());
-    Tensor out(os);
-    const i64 ih = in.height();
-    const i64 iw = in.width();
-    // Output channels are independent and write disjoint planes, so
-    // splitting them across threads is bit-identical to the serial
-    // loop (the per-element accumulation order is unchanged).
-    parallel_for(0, out_c_, [&](i64 oc) {
-        for (i64 oy = 0; oy < os.h; ++oy) {
-            const i64 base_y = oy * stride_ - pad_;
-            for (i64 ox = 0; ox < os.w; ++ox) {
-                const i64 base_x = ox * stride_ - pad_;
-                float acc = biases_[static_cast<size_t>(oc)];
-                for (i64 ic = 0; ic < in_c_; ++ic) {
-                    for (i64 ky = 0; ky < kernel_; ++ky) {
-                        const i64 y = base_y + ky;
-                        if (y < 0 || y >= ih) {
-                            continue;
-                        }
-                        const float *w = &weights_[static_cast<size_t>(
-                            weight_index(oc, ic, ky, 0))];
-                        for (i64 kx = 0; kx < kernel_; ++kx) {
-                            const i64 x = base_x + kx;
-                            if (x < 0 || x >= iw) {
-                                continue;
-                            }
-                            acc += w[kx] * in.at(ic, y, x);
-                        }
-                    }
-                }
-                out.at(oc, oy, ox) = acc;
-            }
-        }
-    });
+    // The plain-forward path is the seed reference: direct kernel,
+    // no fusion.
+    Tensor out(out_shape(in.shape()));
+    conv_direct(in, {in_c_, out_c_, kernel_, stride_, pad_},
+                weights_.data(), biases_.data(), out,
+                /*fuse_relu=*/false);
     return out;
+}
+
+void
+ConvLayer::forward_into(const Tensor &in, const ForwardCtx &ctx) const
+{
+    const ConvGeometry g{in_c_, out_c_, kernel_, stride_, pad_};
+    if (ctx.conv_kernel == ConvKernel::kIm2colGemm) {
+        if (ctx.scratch != nullptr) {
+            conv_im2col_gemm(in, g, weights_.data(), biases_.data(),
+                             *ctx.out, *ctx.scratch, ctx.fuse_relu);
+        } else {
+            // No caller workspace: still correct, just not
+            // allocation-free.
+            Tensor col;
+            conv_im2col_gemm(in, g, weights_.data(), biases_.data(),
+                             *ctx.out, col, ctx.fuse_relu);
+        }
+        return;
+    }
+    conv_direct(in, g, weights_.data(), biases_.data(), *ctx.out,
+                ctx.fuse_relu);
 }
 
 } // namespace eva2

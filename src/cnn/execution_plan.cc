@@ -1,0 +1,128 @@
+#include "cnn/execution_plan.h"
+
+namespace eva2 {
+
+namespace {
+
+/** Arena slot ids: activations ping-pong, the im2col buffer is its
+ * own slot so one workspace serves every gemm conv in the plan. */
+constexpr i64 kActSlotA = 0;
+constexpr i64 kActSlotB = 1;
+constexpr i64 kColSlot = 2;
+
+} // namespace
+
+ExecutionPlan::ExecutionPlan(const Network &net, i64 begin, i64 end,
+                             Shape in_shape, PlanOptions opts)
+    : net_(&net),
+      begin_(begin),
+      end_(end),
+      in_shape_(in_shape),
+      out_shape_(in_shape),
+      opts_(opts)
+{
+    require(begin >= 0 && end <= net.num_layers() && begin <= end,
+            "execution plan: bad layer range [" + std::to_string(begin) +
+                ", " + std::to_string(end) + ") for network " +
+                net.name());
+    Shape s = in_shape;
+    i64 parity = 0;
+    for (i64 i = begin; i < end; ++i) {
+        const Layer &layer = net.layer(i);
+        Step step;
+        step.layer = &layer;
+        step.layer_index = i;
+        step.out_shape = layer.out_shape(s);
+        step.out_slot = parity == 0 ? kActSlotA : kActSlotB;
+        if (layer.kind() == LayerKind::kConv) {
+            step.conv_kernel = opts.conv_kernel;
+            if (step.conv_kernel == ConvKernel::kIm2colGemm) {
+                const WindowGeometry g = layer.geometry();
+                step.col_slot = kColSlot;
+                step.col_shape =
+                    Shape{1, s.c * g.kernel * g.kernel,
+                          step.out_shape.h * step.out_shape.w};
+            }
+            if (opts.fuse_conv_relu && i + 1 < end &&
+                net.layer(i + 1).kind() == LayerKind::kRelu) {
+                // ReLU preserves shape, so the fused step's output
+                // shape is the conv's.
+                step.fuse_relu = true;
+                ++i;
+            }
+        }
+        s = step.out_shape;
+        parity ^= 1;
+        steps_.push_back(step);
+    }
+    out_shape_ = s;
+}
+
+const Tensor &
+ExecutionPlan::run(const Tensor &in, ScratchArena &arena) const
+{
+    // Per-frame hot path: build the failure message only on failure.
+    if (in.shape() != in_shape_) {
+        throw ConfigError("execution plan: input shape " +
+                          in.shape().str() +
+                          " does not match compiled shape " +
+                          in_shape_.str());
+    }
+    if (steps_.empty()) {
+        return in;
+    }
+    // If the caller's input *is* the slot the first step would write
+    // (e.g. chaining two plans through one arena), shift the
+    // ping-pong parity so no step reads the tensor it is writing.
+    i64 flip = 0;
+    if (arena.peek(steps_.front().out_slot) == &in) {
+        flip = 1;
+    }
+    const Tensor *cur = &in;
+    for (const Step &step : steps_) {
+        Tensor &out =
+            arena.slot(step.out_slot ^ flip, step.out_shape);
+        ForwardCtx ctx;
+        ctx.out = &out;
+        ctx.conv_kernel = step.conv_kernel;
+        ctx.fuse_relu = step.fuse_relu;
+        if (step.col_slot >= 0) {
+            // Pre-resolved im2col dimensions, so the kernel's own
+            // reshape_to is a no-op.
+            ctx.scratch =
+                &arena.slot(step.col_slot, step.col_shape);
+        }
+        step.layer->forward_into(*cur, ctx);
+        cur = &out;
+    }
+    return *cur;
+}
+
+Tensor
+ExecutionPlan::forward(const Tensor &in) const
+{
+    return run(in, ScratchArena::for_current_thread());
+}
+
+std::vector<PlanStepInfo>
+ExecutionPlan::describe() const
+{
+    std::vector<PlanStepInfo> out;
+    out.reserve(steps_.size());
+    for (const Step &step : steps_) {
+        PlanStepInfo info;
+        info.layer_index = step.layer_index;
+        info.layer = step.layer->name().empty()
+                         ? layer_kind_name(step.layer->kind())
+                         : step.layer->name();
+        info.kernel = step.layer->kind() == LayerKind::kConv
+                          ? conv_kernel_name(step.conv_kernel)
+                          : layer_kind_name(step.layer->kind());
+        info.fused_relu = step.fuse_relu;
+        info.out = step.out_shape;
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+} // namespace eva2

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Planned, allocation-free execution of a layer range.
+ *
+ * Network::forward heap-allocates one tensor per layer per call; at
+ * serving rates, with the suffix running on *every* frame (key or
+ * predicted — Section II of the paper), that allocation traffic and
+ * the naive direct convolution dominate per-frame cost. Compiling a
+ * network for a fixed input shape removes both:
+ *
+ *  - every layer's output shape is resolved once, at compile time;
+ *  - each activation is assigned a slot in a caller-supplied
+ *    ScratchArena (ping-pong between two slots, since each layer
+ *    only reads its immediate predecessor), so steady-state frames
+ *    allocate nothing;
+ *  - a kernel is chosen per layer — convolutions run the im2col +
+ *    blocked-GEMM kernel by default (bit-identical to the seed's
+ *    direct loop, see conv_kernels.h), optionally fusing a following
+ *    ReLU into the conv's output write.
+ *
+ * A plan borrows its Network and is immutable after compilation, so
+ * one plan may be shared by any number of threads, each running it
+ * against its own arena.
+ */
+#ifndef EVA2_CNN_EXECUTION_PLAN_H
+#define EVA2_CNN_EXECUTION_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "cnn/network.h"
+#include "tensor/scratch_arena.h"
+
+namespace eva2 {
+
+/** Compilation knobs for ExecutionPlan. */
+struct PlanOptions
+{
+    /** Convolution kernel to select for conv layers. */
+    ConvKernel conv_kernel = ConvKernel::kIm2colGemm;
+    /**
+     * Fold each ReLU that immediately follows a conv into the conv's
+     * output write, eliding the ReLU pass and one buffer swap.
+     * Bit-identical to the separate pass.
+     */
+    bool fuse_conv_relu = true;
+};
+
+/** One compiled step, as exposed for reports and tests. */
+struct PlanStepInfo
+{
+    i64 layer_index = 0;  ///< Index in the source network.
+    std::string layer;    ///< Layer report name.
+    std::string kernel;   ///< Selected kernel name.
+    bool fused_relu = false;
+    Shape out;            ///< Pre-resolved output shape.
+};
+
+/**
+ * The kernel selection of one compiled plan, as reported through the
+ * instrumentation hooks (AmcObserver::on_plan) and echoed in the
+ * serving API's RunReport.
+ */
+struct PlanRecord
+{
+    std::string scope; ///< "prefix" or "suffix".
+    std::vector<PlanStepInfo> steps;
+};
+
+/**
+ * A layer range of a Network, compiled for one input shape.
+ * See the file comment for what compilation buys.
+ */
+class ExecutionPlan
+{
+  public:
+    /**
+     * Compile layers [begin, end) of `net` for inputs of shape
+     * `in_shape`. Shape propagation runs here, so an incompatible
+     * input shape fails at compile time, not on the first frame.
+     * The network is borrowed and must outlive the plan.
+     */
+    ExecutionPlan(const Network &net, i64 begin, i64 end, Shape in_shape,
+                  PlanOptions opts = {});
+
+    /** Compile the whole network at its declared input shape. */
+    explicit ExecutionPlan(const Network &net, PlanOptions opts = {})
+        : ExecutionPlan(net, 0, net.num_layers(), net.input_shape(),
+                        opts)
+    {
+    }
+
+    /**
+     * Execute the plan on `in`, cycling activations through `arena`.
+     * Returns a reference to the arena slot holding the final
+     * activation (or to `in` itself for an empty range) — valid until
+     * the arena is next written. Callers that need the result to
+     * outlive the arena copy it.
+     *
+     * Zero steady-state allocations: once the arena slots have grown
+     * to this plan's largest shapes, run() performs no heap
+     * allocation. Safe against `in` aliasing an arena slot.
+     */
+    const Tensor &run(const Tensor &in, ScratchArena &arena) const;
+
+    /**
+     * Convenience wrapper over run(): executes against the calling
+     * thread's arena and copies the result out.
+     */
+    Tensor forward(const Tensor &in) const;
+
+    Shape in_shape() const { return in_shape_; }
+    Shape out_shape() const { return out_shape_; }
+    i64 begin() const { return begin_; }
+    i64 end() const { return end_; }
+    i64 num_steps() const { return static_cast<i64>(steps_.size()); }
+    const PlanOptions &options() const { return opts_; }
+    const Network &network() const { return *net_; }
+
+    /** Per-step kernel selection, for reports and tests. */
+    std::vector<PlanStepInfo> describe() const;
+
+  private:
+    struct Step
+    {
+        const Layer *layer = nullptr;
+        i64 layer_index = 0;
+        Shape out_shape;
+        ConvKernel conv_kernel = ConvKernel::kDirect;
+        bool fuse_relu = false;
+        i64 out_slot = 0;
+        i64 col_slot = -1; ///< im2col workspace slot, or -1.
+        Shape col_shape;   ///< Pre-resolved im2col dimensions.
+    };
+
+    const Network *net_;
+    i64 begin_;
+    i64 end_;
+    Shape in_shape_;
+    Shape out_shape_;
+    PlanOptions opts_;
+    std::vector<Step> steps_;
+};
+
+} // namespace eva2
+
+#endif // EVA2_CNN_EXECUTION_PLAN_H

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
+
 namespace eva2 {
 
 FcLayer::FcLayer(i64 in_dim, i64 out_dim)
@@ -26,24 +28,51 @@ FcLayer::out_shape(const Shape &in) const
 Tensor
 FcLayer::forward(const Tensor &in) const
 {
-    Shape os = out_shape(in.shape());
-    Tensor out(os);
-    Span<const float> x = in.data();
-    for (i64 o = 0; o < out_dim_; ++o) {
-        const float *w = &weights_[static_cast<size_t>(o * in_dim_)];
-        float acc = biases_[static_cast<size_t>(o)];
-        for (i64 i = 0; i < in_dim_; ++i) {
-            acc += w[i] * x[static_cast<size_t>(i)];
-        }
-        out[o] = acc;
-    }
+    Tensor out(out_shape(in.shape()));
+    ForwardCtx ctx;
+    ctx.out = &out;
+    forward_into(in, ctx);
     return out;
+}
+
+void
+FcLayer::forward_into(const Tensor &in, const ForwardCtx &ctx) const
+{
+    Tensor &out = *ctx.out;
+    Span<const float> x = in.data();
+    const bool fuse_relu = ctx.fuse_relu;
+    // Output neurons are independent and write disjoint elements, so
+    // the split is bit-identical to the serial loop (same per-neuron
+    // accumulation order) — the ConvLayer pattern, applied to the
+    // non-spatial suffix. Grain keeps cheap rows batched.
+    parallel_for(
+        0, out_dim_,
+        [&](i64 o) {
+            const float *w =
+                &weights_[static_cast<size_t>(o * in_dim_)];
+            float acc = biases_[static_cast<size_t>(o)];
+            for (i64 i = 0; i < in_dim_; ++i) {
+                acc += w[i] * x[static_cast<size_t>(i)];
+            }
+            out[o] = fuse_relu ? (acc > 0.0f ? acc : 0.0f) : acc;
+        },
+        ParallelForOptions{/*grain=*/8, /*pool=*/nullptr});
 }
 
 Tensor
 SoftmaxLayer::forward(const Tensor &in) const
 {
     Tensor out(out_shape(in.shape()));
+    ForwardCtx ctx;
+    ctx.out = &out;
+    forward_into(in, ctx);
+    return out;
+}
+
+void
+SoftmaxLayer::forward_into(const Tensor &in, const ForwardCtx &ctx) const
+{
+    Tensor &out = *ctx.out;
     float max_v = -std::numeric_limits<float>::infinity();
     for (i64 i = 0; i < in.size(); ++i) {
         max_v = std::max(max_v, in[i]);
@@ -57,7 +86,6 @@ SoftmaxLayer::forward(const Tensor &in) const
     for (i64 i = 0; i < in.size(); ++i) {
         out[i] = static_cast<float>(out[i] / denom);
     }
-    return out;
 }
 
 } // namespace eva2

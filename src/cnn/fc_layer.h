@@ -28,6 +28,8 @@ class FcLayer : public Layer
     FcLayer(i64 in_dim, i64 out_dim);
 
     Tensor forward(const Tensor &in) const override;
+    void forward_into(const Tensor &in,
+                      const ForwardCtx &ctx) const override;
     Shape out_shape(const Shape &in) const override;
     LayerKind kind() const override { return LayerKind::kFc; }
     i64 macs(const Shape & /* in */) const override
@@ -59,6 +61,8 @@ class SoftmaxLayer : public Layer
 {
   public:
     Tensor forward(const Tensor &in) const override;
+    void forward_into(const Tensor &in,
+                      const ForwardCtx &ctx) const override;
     Shape
     out_shape(const Shape &in) const override
     {

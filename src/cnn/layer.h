@@ -44,6 +44,43 @@ struct WindowGeometry
     i64 pad = 0;
 };
 
+/** Selectable convolution kernels (ExecutionPlan picks per layer). */
+enum class ConvKernel
+{
+    kDirect,     ///< The seed's direct loop: the bit-exactness reference.
+    kIm2colGemm, ///< im2col packing + blocked GEMM (same accumulation
+                 ///< order per output element, so bit-identical).
+};
+
+/** Printable name of a conv kernel. */
+const char *conv_kernel_name(ConvKernel kernel);
+
+/**
+ * Execution context for allocation-free forwarding. The destination
+ * (and any kernel workspace) is owned by the caller — in planned
+ * execution, by a per-worker ScratchArena — so the layer writes in
+ * place instead of returning a fresh tensor.
+ */
+struct ForwardCtx
+{
+    /** Destination, already shaped to out_shape(in.shape()). */
+    Tensor *out = nullptr;
+    /**
+     * Kernel workspace (the im2col packing buffer), reshaped by the
+     * kernel as needed. May be null: kernels that need a workspace
+     * then allocate a local one, trading the zero-allocation
+     * guarantee for convenience.
+     */
+    Tensor *scratch = nullptr;
+    /** Which convolution kernel conv layers should run. */
+    ConvKernel conv_kernel = ConvKernel::kDirect;
+    /**
+     * Fold the following ReLU into this layer (plans set this when
+     * they elide the ReLU step): the kernel writes max(acc, 0).
+     */
+    bool fuse_relu = false;
+};
+
 /**
  * Abstract base class for all layers. Layers are stateless with
  * respect to execution: forward() is const and may be called from
@@ -56,6 +93,24 @@ class Layer
 
     /** Run the layer on one input activation. */
     virtual Tensor forward(const Tensor &in) const = 0;
+
+    /**
+     * Run the layer into caller-owned storage (see ForwardCtx). The
+     * built-in layers overwrite *ctx.out without allocating; this
+     * default covers external subclasses by falling back to
+     * forward(). `in` and `*ctx.out` must not alias.
+     */
+    virtual void
+    forward_into(const Tensor &in, const ForwardCtx &ctx) const
+    {
+        *ctx.out = forward(in);
+        if (ctx.fuse_relu) {
+            Tensor &out = *ctx.out;
+            for (i64 i = 0; i < out.size(); ++i) {
+                out[i] = out[i] > 0.0f ? out[i] : 0.0f;
+            }
+        }
+    }
 
     /** Output shape for a given input shape (without executing). */
     virtual Shape out_shape(const Shape &in) const = 0;

@@ -21,8 +21,18 @@ MaxPoolLayer::out_shape(const Shape &in) const
 Tensor
 MaxPoolLayer::forward(const Tensor &in) const
 {
-    Shape os = out_shape(in.shape());
-    Tensor out(os);
+    Tensor out(out_shape(in.shape()));
+    ForwardCtx ctx;
+    ctx.out = &out;
+    forward_into(in, ctx);
+    return out;
+}
+
+void
+MaxPoolLayer::forward_into(const Tensor &in, const ForwardCtx &ctx) const
+{
+    Tensor &out = *ctx.out;
+    const Shape os = out.shape();
     for (i64 c = 0; c < os.c; ++c) {
         for (i64 oy = 0; oy < os.h; ++oy) {
             const i64 base_y = oy * stride_ - pad_;
@@ -50,7 +60,6 @@ MaxPoolLayer::forward(const Tensor &in) const
             }
         }
     }
-    return out;
 }
 
 } // namespace eva2

@@ -73,12 +73,47 @@ AmcPipeline::AmcPipeline(const Network &net,
     if (!policy_) {
         policy_ = std::make_unique<StaticRatePolicy>(1);
     }
+    // Compile both layer ranges once: shapes resolved, arena slots
+    // assigned, kernels selected. The suffix runs on every frame, so
+    // this is where planned execution pays off.
+    prefix_plan_ = std::make_unique<ExecutionPlan>(
+        net, 0, target_layer_ + 1, net.input_shape(), opts_.plan);
+    suffix_plan_ = std::make_unique<ExecutionPlan>(
+        net, target_layer_ + 1, net.num_layers(),
+        prefix_plan_->out_shape(), opts_.plan);
     target_rf_ = net.receptive_field_at(target_layer_);
     rfbme_config_.rf_size = target_rf_.size;
     rfbme_config_.rf_stride = target_rf_.stride;
     rfbme_config_.rf_pad = target_rf_.pad;
     rfbme_config_.search_radius = opts.search_radius;
     rfbme_config_.search_stride = opts.search_stride;
+}
+
+ScratchArena &
+AmcPipeline::arena() const
+{
+    return arena_override_ != nullptr
+               ? *arena_override_
+               : ScratchArena::for_current_thread();
+}
+
+std::vector<PlanRecord>
+AmcPipeline::plan_records() const
+{
+    return {PlanRecord{"prefix", prefix_plan_->describe()},
+            PlanRecord{"suffix", suffix_plan_->describe()}};
+}
+
+void
+AmcPipeline::set_observer(AmcObserver *observer)
+{
+    observer_ = observer;
+    if (observer_ == nullptr) {
+        return;
+    }
+    for (const PlanRecord &record : plan_records()) {
+        observer_->on_plan(record);
+    }
 }
 
 void
@@ -115,7 +150,9 @@ AmcPipeline::key_frame_path(const Tensor &frame)
     Tensor target;
     {
         StageScope timer(observer_, AmcStage::kPrefix);
-        target = net_->forward_prefix(frame, target_layer_);
+        // Copied out of the arena: the target activation escapes into
+        // key-frame storage and the frame result.
+        target = prefix_plan_->run(frame, arena());
     }
 
     // Store pixels and the target activation the way the hardware
@@ -147,7 +184,7 @@ AmcPipeline::key_frame_path(const Tensor &frame)
     // quantized RLE copy is only consumed by later predicted frames.
     {
         StageScope timer(observer_, AmcStage::kSuffix);
-        result.output = net_->forward_suffix(target, target_layer_);
+        result.output = suffix_plan_->run(target, arena());
     }
     result.target_activation = std::move(target);
     ++stats_.frames;
@@ -181,7 +218,7 @@ AmcPipeline::predicted_frame_path(const RfbmeResult &me)
     }
     {
         StageScope timer(observer_, AmcStage::kSuffix);
-        result.output = net_->forward_suffix(predicted, target_layer_);
+        result.output = suffix_plan_->run(predicted, arena());
     }
     result.target_activation = std::move(predicted);
     ++stats_.frames;

@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "cnn/execution_plan.h"
 #include "cnn/network.h"
 #include "core/instrumentation.h"
 #include "core/keyframe_policy.h"
@@ -67,6 +68,12 @@ struct AmcOptions
      * what pushes RLE storage savings well past the dense baseline.
      */
     double storage_prune_rel = 0.12;
+    /**
+     * CNN execution plan compilation options (kernel selection,
+     * conv+ReLU fusion). The default — im2col/blocked-GEMM convs
+     * with fusion — is bit-identical to the seed direct path.
+     */
+    PlanOptions plan;
 
     /**
      * Validate caller-controllable fields; throws ConfigError with a
@@ -152,9 +159,31 @@ class AmcPipeline
      * Install a per-stage instrumentation sink (borrowed; may be
      * null to disable). The observer is invoked on the thread that
      * runs the pipeline — one observer per pipeline needs no locks.
+     * A freshly installed observer immediately receives on_plan()
+     * for the compiled prefix and suffix plans.
      */
-    void set_observer(AmcObserver *observer) { observer_ = observer; }
+    void set_observer(AmcObserver *observer);
     AmcObserver *observer() const { return observer_; }
+
+    /** The compiled plan for layers [0, target]. */
+    const ExecutionPlan &prefix_plan() const { return *prefix_plan_; }
+
+    /** The compiled plan for layers (target, end). */
+    const ExecutionPlan &suffix_plan() const { return *suffix_plan_; }
+
+    /**
+     * The kernel selection of both compiled plans, in {prefix,
+     * suffix} order — what on_plan reports and RunReport echoes.
+     */
+    std::vector<PlanRecord> plan_records() const;
+
+    /**
+     * Override the scratch arena planned execution cycles
+     * activations through (borrowed; null restores the default).
+     * The default — each worker thread's own arena — is right for
+     * the runtime; tests override to observe allocation behaviour.
+     */
+    void set_arena(ScratchArena *arena) { arena_override_ = arena; }
 
     i64 target_layer() const { return target_layer_; }
     ReceptiveField target_rf() const { return target_rf_; }
@@ -180,12 +209,18 @@ class AmcPipeline
     AmcFrameResult key_frame_path(const Tensor &frame);
     AmcFrameResult predicted_frame_path(const RfbmeResult &me);
 
+    /** The arena this execution cycles activations through. */
+    ScratchArena &arena() const;
+
     const Network *net_;
     std::unique_ptr<KeyFramePolicy> policy_;
     AmcOptions opts_;
     i64 target_layer_;
     ReceptiveField target_rf_;
     RfbmeConfig rfbme_config_;
+    std::unique_ptr<ExecutionPlan> prefix_plan_;
+    std::unique_ptr<ExecutionPlan> suffix_plan_;
+    ScratchArena *arena_override_ = nullptr;
 
     AmcObserver *observer_ = nullptr;
     bool has_key_ = false;

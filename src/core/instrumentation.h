@@ -17,6 +17,7 @@
 #include <chrono>
 #include <string>
 
+#include "cnn/execution_plan.h"
 #include "util/common.h"
 
 namespace eva2 {
@@ -49,6 +50,14 @@ class AmcObserver
      * observer owned by one pipeline needs no synchronization.
      */
     virtual void on_stage(AmcStage stage, double ms) = 0;
+
+    /**
+     * Called once per compiled plan when the observer is installed:
+     * which kernel each CNN layer will run (and what got fused), so
+     * metrics sinks can attribute stage times to kernel choices.
+     * Default ignores the report.
+     */
+    virtual void on_plan(const PlanRecord & /* plan */) {}
 };
 
 /** Accumulates total wall time and call counts per stage. */

@@ -11,6 +11,12 @@
  * ordered (temporal redundancy is the whole point), so results are
  * bit-identical to serial execution no matter how streams interleave.
  *
+ * CNN execution memory is per *worker*, not per stream: pipelines run
+ * their compiled ExecutionPlans against the executing thread's
+ * ScratchArena (ScratchArena::for_current_thread), so N streams on T
+ * workers hold T arenas of activation scratch — zero steady-state
+ * allocation per frame, with memory bounded by the worker count.
+ *
  * The BatchResult aggregation keeps per-frame records small — a key
  * flag, the top-1 label, and a digest of the raw output bits — so a
  * throughput run over thousands of frames doesn't retain every output

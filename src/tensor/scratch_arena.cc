@@ -1,0 +1,12 @@
+#include "tensor/scratch_arena.h"
+
+namespace eva2 {
+
+ScratchArena &
+ScratchArena::for_current_thread()
+{
+    static thread_local ScratchArena arena;
+    return arena;
+}
+
+} // namespace eva2

@@ -11,6 +11,7 @@
 #define EVA2_TENSOR_TENSOR_H
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -64,10 +65,36 @@ class Tensor
     {
         require(shape.c >= 0 && shape.h >= 0 && shape.w >= 0,
                 "tensor dimensions must be non-negative");
+        if (!data_.empty()) {
+            note_buffer_allocation();
+        }
     }
 
     /** Convenience constructor from explicit dimensions. */
     Tensor(i64 c, i64 h, i64 w) : Tensor(Shape{c, h, w}) {}
+
+    Tensor(const Tensor &o) : shape_(o.shape_), data_(o.data_)
+    {
+        if (!data_.empty()) {
+            note_buffer_allocation();
+        }
+    }
+
+    Tensor &
+    operator=(const Tensor &o)
+    {
+        if (this != &o) {
+            if (o.data_.size() > data_.capacity()) {
+                note_buffer_allocation();
+            }
+            shape_ = o.shape_;
+            data_ = o.data_;
+        }
+        return *this;
+    }
+
+    Tensor(Tensor &&) = default;
+    Tensor &operator=(Tensor &&) = default;
 
     const Shape &shape() const { return shape_; }
     i64 channels() const { return shape_.c; }
@@ -76,17 +103,24 @@ class Tensor
     i64 size() const { return shape_.size(); }
     bool empty() const { return data_.empty(); }
 
-    /** Mutable element access (no bounds check in release loops). */
+    /**
+     * Mutable element access. Bounds-checked in Debug builds (and
+     * therefore on the Debug half of the CI matrix); the check
+     * compiles out entirely in Release so the hot kernel loops pay
+     * nothing.
+     */
     float &
     at(i64 c, i64 y, i64 x)
     {
+        check_bounds(c, y, x);
         return data_[static_cast<size_t>((c * shape_.h + y) * shape_.w + x)];
     }
 
-    /** Const element access. */
+    /** Const element access (Debug-only bounds check, as above). */
     float
     at(i64 c, i64 y, i64 x) const
     {
+        check_bounds(c, y, x);
         return data_[static_cast<size_t>((c * shape_.h + y) * shape_.w + x)];
     }
 
@@ -118,6 +152,43 @@ class Tensor
         std::fill(data_.begin(), data_.end(), v);
     }
 
+    /**
+     * Re-shape in place without shrinking the underlying buffer.
+     *
+     * This is the primitive scratch-arena reuse is built on: a slot
+     * tensor cycles through many shapes across layers and frames, and
+     * after it has grown to the largest one, subsequent reshapes are
+     * allocation-free. Element values are unspecified afterwards —
+     * callers are kernels that fully overwrite their output.
+     */
+    void
+    reshape_to(const Shape &shape)
+    {
+        // Per-frame hot path: no message construction on success.
+        if (shape.c < 0 || shape.h < 0 || shape.w < 0) {
+            throw ConfigError("tensor dimensions must be non-negative");
+        }
+        const size_t n = static_cast<size_t>(shape.size());
+        if (n > data_.capacity()) {
+            note_buffer_allocation();
+        }
+        shape_ = shape;
+        data_.resize(n);
+    }
+
+    /**
+     * Process-wide count of float-buffer allocations performed by
+     * tensors (constructions, copies, and reshapes that had to grow).
+     * The zero-steady-state-allocation tests snapshot this around
+     * planned executions; it is monotonically increasing and only
+     * ever approximately attributable under concurrency.
+     */
+    static u64
+    buffer_allocations()
+    {
+        return alloc_count_().load(std::memory_order_relaxed);
+    }
+
     /** View of one channel plane (h*w contiguous floats). */
     Span<const float>
     channel(i64 c) const
@@ -133,6 +204,42 @@ class Tensor
     }
 
   private:
+    /**
+     * Debug-only bounds assertion. The failure message is built only
+     * on the failing path, so a passing check costs six comparisons
+     * in Debug and nothing at all in Release.
+     */
+    void
+    check_bounds(i64 c, i64 y, i64 x) const
+    {
+#ifndef NDEBUG
+        if (c < 0 || c >= shape_.c || y < 0 || y >= shape_.h || x < 0 ||
+            x >= shape_.w) {
+            throw InternalError(
+                "tensor index (" + std::to_string(c) + ", " +
+                std::to_string(y) + ", " + std::to_string(x) +
+                ") out of bounds for shape " + shape_.str());
+        }
+#else
+        (void)c;
+        (void)y;
+        (void)x;
+#endif
+    }
+
+    static std::atomic<u64> &
+    alloc_count_()
+    {
+        static std::atomic<u64> count{0};
+        return count;
+    }
+
+    static void
+    note_buffer_allocation()
+    {
+        alloc_count_().fetch_add(1, std::memory_order_relaxed);
+    }
+
     Shape shape_;
     std::vector<float> data_;
 };

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the planned execution engine: ExecutionPlan compilation,
+ * scratch-arena reuse, and the im2col/blocked-GEMM conv kernel.
+ *
+ * The central property is *bit-exactness*: the planned paths (direct
+ * or GEMM, fused or not, through the pipeline or the Engine) must
+ * reproduce the seed's Network::forward outputs bit for bit, so every
+ * parity assertion here uses exact tensor equality or digests, never
+ * tolerances. The second property is *zero steady-state allocation*:
+ * once arena slots have grown, planned execution must stop touching
+ * the heap.
+ */
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "cnn/activation_layer.h"
+#include "cnn/conv_layer.h"
+#include "cnn/execution_plan.h"
+#include "cnn/fc_layer.h"
+#include "cnn/model_zoo.h"
+#include "cnn/pool_layer.h"
+#include "core/amc_pipeline.h"
+#include "runtime/stream_executor.h"
+#include "util/rng.h"
+#include "video/scenarios.h"
+#include "video/synthetic_video.h"
+
+namespace eva2 {
+namespace {
+
+void
+fill_random(std::vector<float> &v, Rng &rng, float lo = -1.0f,
+            float hi = 1.0f)
+{
+    for (float &x : v) {
+        x = rng.uniform_f(lo, hi);
+    }
+}
+
+Tensor
+random_tensor(Shape shape, u64 seed)
+{
+    Tensor t(shape);
+    Rng rng(seed);
+    for (i64 i = 0; i < t.size(); ++i) {
+        t[i] = rng.uniform_f(-1.0f, 1.0f);
+    }
+    return t;
+}
+
+/** A one-conv network with random weights at the given geometry. */
+Network
+conv_net(Shape input, i64 out_c, i64 kernel, i64 stride, i64 pad,
+         u64 seed, bool with_relu = false)
+{
+    Network net("conv_net", input);
+    auto conv = std::make_unique<ConvLayer>(input.c, out_c, kernel,
+                                            stride, pad);
+    Rng rng(seed);
+    fill_random(conv->weights(), rng);
+    fill_random(conv->biases(), rng);
+    conv->set_name("conv");
+    net.add(std::move(conv));
+    if (with_relu) {
+        auto relu = std::make_unique<ReluLayer>();
+        relu->set_name("relu");
+        net.add(std::move(relu));
+    }
+    return net;
+}
+
+/** Conv geometries the parity suite sweeps (the CI smoke shapes). */
+struct ConvCase
+{
+    const char *label;
+    Shape input;
+    i64 out_c, kernel, stride, pad;
+};
+
+const ConvCase kConvCases[] = {
+    {"padded_3x3", {8, 16, 16}, 12, 3, 1, 1},
+    {"strided_5x5", {4, 23, 23}, 8, 5, 2, 2},
+    {"odd_rect", {3, 9, 13}, 5, 3, 2, 1},
+    {"one_by_one", {16, 12, 12}, 24, 1, 1, 0},
+    {"kernel_wider_than_pad", {2, 7, 7}, 4, 7, 1, 3},
+};
+
+class ConvParity : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvParity, GemmAndDirectPlansMatchSeedBitExactly)
+{
+    const ConvCase &c = GetParam();
+    const Network net =
+        conv_net(c.input, c.out_c, c.kernel, c.stride, c.pad, 77);
+    const Tensor in = random_tensor(c.input, 99);
+    const Tensor seed_out = net.forward(in);
+
+    PlanOptions direct;
+    direct.conv_kernel = ConvKernel::kDirect;
+    PlanOptions gemm;
+    gemm.conv_kernel = ConvKernel::kIm2colGemm;
+
+    const Tensor via_direct = ExecutionPlan(net, direct).forward(in);
+    const Tensor via_gemm = ExecutionPlan(net, gemm).forward(in);
+    EXPECT_TRUE(seed_out == via_direct) << c.label;
+    EXPECT_TRUE(seed_out == via_gemm) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvParity, ::testing::ValuesIn(kConvCases),
+    [](const ::testing::TestParamInfo<ConvCase> &info) {
+        return info.param.label;
+    });
+
+TEST(ExecutionPlan, FusedConvReluMatchesSeparatePasses)
+{
+    const Network net =
+        conv_net({6, 14, 14}, 10, 3, 1, 1, 5, /*with_relu=*/true);
+    const Tensor in = random_tensor(net.input_shape(), 6);
+    const Tensor seed_out = net.forward(in);
+
+    for (const ConvKernel kernel :
+         {ConvKernel::kDirect, ConvKernel::kIm2colGemm}) {
+        PlanOptions fused;
+        fused.conv_kernel = kernel;
+        fused.fuse_conv_relu = true;
+        PlanOptions unfused;
+        unfused.conv_kernel = kernel;
+        unfused.fuse_conv_relu = false;
+
+        const ExecutionPlan fused_plan(net, fused);
+        EXPECT_EQ(fused_plan.num_steps(), 1); // ReLU step elided.
+        EXPECT_TRUE(seed_out == fused_plan.forward(in));
+        const ExecutionPlan unfused_plan(net, unfused);
+        EXPECT_EQ(unfused_plan.num_steps(), 2);
+        EXPECT_TRUE(seed_out == unfused_plan.forward(in));
+    }
+}
+
+TEST(ExecutionPlan, ModelZooNetworkMatchesSeedBitExactly)
+{
+    // A full heterogeneous stack: conv/relu/lrn/pool prefix plus the
+    // FC/softmax suffix, as built by the zoo.
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 64, 64};
+    const Network net = build_scaled(alexnet_spec(), opts);
+    const Tensor in = random_tensor(net.input_shape(), 3);
+    const Tensor seed_out = net.forward(in);
+
+    EXPECT_TRUE(seed_out == ExecutionPlan(net).forward(in));
+
+    PlanOptions direct;
+    direct.conv_kernel = ConvKernel::kDirect;
+    direct.fuse_conv_relu = false;
+    EXPECT_TRUE(seed_out == ExecutionPlan(net, direct).forward(in));
+}
+
+TEST(ExecutionPlan, ChainedPrefixSuffixPlansShareOneArena)
+{
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 64, 64};
+    const Network net = build_scaled(alexnet_spec(), opts);
+    const i64 target = net.default_target_index();
+    const ExecutionPlan prefix(net, 0, target + 1, net.input_shape());
+    const ExecutionPlan suffix(net, target + 1, net.num_layers(),
+                               prefix.out_shape());
+
+    const Tensor in = random_tensor(net.input_shape(), 21);
+    ScratchArena arena;
+    // The suffix consumes the prefix's output *in the arena*; the
+    // plan must shift its ping-pong parity rather than overwrite its
+    // own input.
+    const Tensor &mid = prefix.run(in, arena);
+    const Tensor out = suffix.run(mid, arena);
+    EXPECT_TRUE(net.forward(in) == out);
+}
+
+TEST(ExecutionPlan, EmptyRangeReturnsInputUnchanged)
+{
+    const Network net = conv_net({2, 6, 6}, 3, 3, 1, 1, 11);
+    const ExecutionPlan plan(net, 1, 1, net.layer(0).out_shape(
+                                            net.input_shape()));
+    const Tensor in = random_tensor(plan.in_shape(), 4);
+    ScratchArena arena;
+    EXPECT_EQ(&plan.run(in, arena), &in);
+}
+
+TEST(ExecutionPlan, CompilationRejectsBadInputShape)
+{
+    const Network net = conv_net({2, 6, 6}, 3, 3, 1, 1, 11);
+    EXPECT_THROW(ExecutionPlan(net, 0, 1, Shape{5, 6, 6}),
+                 ConfigError);
+}
+
+TEST(ExecutionPlan, DescribeReportsKernelSelectionAndFusion)
+{
+    Network net = conv_net({4, 10, 10}, 6, 3, 1, 1, 9,
+                           /*with_relu=*/true);
+    net.add(std::make_unique<MaxPoolLayer>(2, 2));
+
+    const ExecutionPlan gemm(net);
+    const auto gemm_steps = gemm.describe();
+    ASSERT_EQ(gemm_steps.size(), 2u);
+    EXPECT_EQ(gemm_steps[0].layer, "conv");
+    EXPECT_EQ(gemm_steps[0].kernel, "im2col_gemm");
+    EXPECT_TRUE(gemm_steps[0].fused_relu);
+    EXPECT_EQ(gemm_steps[1].kernel, "pool");
+
+    PlanOptions opts;
+    opts.conv_kernel = ConvKernel::kDirect;
+    opts.fuse_conv_relu = false;
+    const auto direct_steps = ExecutionPlan(net, opts).describe();
+    ASSERT_EQ(direct_steps.size(), 3u);
+    EXPECT_EQ(direct_steps[0].kernel, "direct");
+    EXPECT_FALSE(direct_steps[0].fused_relu);
+    EXPECT_EQ(direct_steps[1].kernel, "relu");
+}
+
+// --------------------------------------------------------------------
+// Allocation accounting
+
+TEST(ExecutionPlan, RunIsAllocationFreeAfterWarmup)
+{
+    ScaledBuildOptions opts;
+    opts.input = Shape{1, 48, 48};
+    const Network net = build_scaled(alexnet_spec(), opts);
+    const ExecutionPlan plan(net);
+    const Tensor in = random_tensor(net.input_shape(), 8);
+
+    ScratchArena arena;
+    Tensor warm = plan.run(in, arena); // Slots grow here.
+    const u64 before = Tensor::buffer_allocations();
+    for (int i = 0; i < 5; ++i) {
+        const Tensor &out = plan.run(in, arena);
+        ASSERT_TRUE(out == warm);
+    }
+    EXPECT_EQ(Tensor::buffer_allocations() - before, 0u)
+        << "plan.run allocated in steady state";
+}
+
+TEST(AmcPipeline, PredictedFramesReachAllocationSteadyState)
+{
+    ScaledBuildOptions build;
+    build.input = Shape{1, 64, 64};
+    const Network net = build_scaled(alexnet_spec(), build);
+    AmcPipeline pipeline(net, std::make_unique<StaticRatePolicy>(1000));
+    ScratchArena arena;
+    pipeline.set_arena(&arena);
+
+    SyntheticVideo video(classification_scene(7, 2, 0.5, 64));
+    pipeline.process(video.render(0).image); // Key frame.
+
+    // Warm-up predicted frames, then every further predicted frame
+    // must allocate exactly the same (small) number of buffers: the
+    // escaping result tensors only, nothing per layer.
+    pipeline.run_predicted(video.render(1).image);
+    pipeline.run_predicted(video.render(2).image);
+    std::vector<u64> deltas;
+    u64 last = Tensor::buffer_allocations();
+    for (i64 t = 3; t < 7; ++t) {
+        pipeline.run_predicted(video.render(t).image);
+        const u64 now = Tensor::buffer_allocations();
+        deltas.push_back(now - last);
+        last = now;
+    }
+    for (const u64 d : deltas) {
+        EXPECT_EQ(d, deltas.front()) << "allocations still growing";
+        // Far below one-per-layer: only result marshalling remains.
+        EXPECT_LT(d, 6u);
+    }
+}
+
+// --------------------------------------------------------------------
+// Instrumentation and the serving API
+
+class PlanCapture : public AmcObserver
+{
+  public:
+    void on_stage(AmcStage, double) override {}
+    void on_plan(const PlanRecord &plan) override
+    {
+        plans.push_back(plan);
+    }
+
+    std::vector<PlanRecord> plans;
+};
+
+TEST(AmcPipeline, ObserverReceivesCompiledPlanRecords)
+{
+    ScaledBuildOptions build;
+    build.input = Shape{1, 48, 48};
+    const Network net = build_scaled(alexnet_spec(), build);
+    AmcPipeline pipeline(net, nullptr);
+    PlanCapture capture;
+    pipeline.set_observer(&capture);
+
+    ASSERT_EQ(capture.plans.size(), 2u);
+    EXPECT_EQ(capture.plans[0].scope, "prefix");
+    EXPECT_EQ(capture.plans[1].scope, "suffix");
+    bool saw_gemm = false;
+    for (const PlanStepInfo &step : capture.plans[0].steps) {
+        if (step.kernel == "im2col_gemm") {
+            saw_gemm = true;
+        }
+    }
+    EXPECT_TRUE(saw_gemm);
+}
+
+TEST(Engine, GemmAndDirectKernelsProduceIdenticalDigests)
+{
+    ScaledBuildOptions build;
+    build.input = Shape{1, 64, 64};
+    const Network net = build_scaled(alexnet_spec(), build);
+    const std::vector<Sequence> streams =
+        multi_stream_set(13, 2, 5, 64);
+
+    EngineConfig direct;
+    direct.kernel = "direct";
+    direct.policy = "adaptive_error:th=0.02,max_gap=4";
+    direct.num_threads = 1;
+    Engine direct_engine(net, direct);
+    const RunReport direct_report = direct_engine.run(streams);
+
+    EngineConfig gemm;
+    gemm.kernel = "gemm";
+    gemm.policy = "adaptive_error:th=0.02,max_gap=4";
+    gemm.num_threads = 2;
+    Engine gemm_engine(net, gemm);
+    // Feed the GEMM engine frame by frame through sessions: the
+    // end-to-end identity covers the whole serving path, not just
+    // the kernels.
+    for (const Sequence &seq : streams) {
+        gemm_engine.session(seq.name).submit_all(seq);
+    }
+    const RunReport session_report = gemm_engine.report();
+
+    EXPECT_EQ(direct_report.digest, session_report.digest);
+    EXPECT_EQ(direct_report.frames, session_report.frames);
+    EXPECT_EQ(direct_report.key_frames, session_report.key_frames);
+}
+
+TEST(Engine, ReportEchoesKernelSelection)
+{
+    ScaledBuildOptions build;
+    build.input = Shape{1, 48, 48};
+    const Network net = build_scaled(alexnet_spec(), build);
+    EngineConfig config;
+    config.num_threads = 1;
+    Engine engine(net, config);
+    const RunReport report =
+        engine.run(multi_stream_set(3, 1, 2, 48));
+
+    EXPECT_EQ(report.kernel, "gemm");
+    ASSERT_EQ(report.plan.size(), 2u);
+    bool saw_gemm = false;
+    for (const PlanRecord &record : report.plan) {
+        EXPECT_TRUE(record.scope == "prefix" ||
+                    record.scope == "suffix");
+        for (const PlanStepInfo &step : record.steps) {
+            if (step.kernel == "im2col_gemm") {
+                saw_gemm = true;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_gemm);
+    EXPECT_NE(report.to_json().find("\"kernel\": \"gemm\""),
+              std::string::npos);
+    EXPECT_NE(report.to_json().find("\"plan\""), std::string::npos);
+}
+
+TEST(Engine, KernelSpecsValidateEagerly)
+{
+    ScaledBuildOptions build;
+    build.input = Shape{1, 48, 48};
+    const Network net = build_scaled(alexnet_spec(), build);
+
+    EngineConfig typo;
+    typo.kernel = "gem";
+    EXPECT_THROW(typo.validate(net), ConfigError);
+    try {
+        typo.validate(net);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        // The error names the alternatives.
+        EXPECT_NE(std::string(e.what()).find("gemm"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("direct"),
+                  std::string::npos);
+    }
+
+    EngineConfig bad_param;
+    bad_param.kernel = "gemm:fused=1";
+    EXPECT_THROW(bad_param.validate(net), ConfigError);
+
+    EngineConfig unfused;
+    unfused.kernel = "gemm:fuse=0";
+    unfused.num_threads = 1;
+    Engine engine(net, unfused);
+    const RunReport report =
+        engine.run(multi_stream_set(4, 1, 2, 48));
+    for (const PlanRecord &record : report.plan) {
+        for (const PlanStepInfo &step : record.steps) {
+            EXPECT_FALSE(step.fused_relu);
+        }
+    }
+}
+
+} // namespace
+} // namespace eva2

@@ -214,5 +214,58 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<i64, i64>{4, -4},
                       std::pair<i64, i64>{-5, -5}));
 
+TEST(Tensor, ReshapeToChangesShapeAndKeepsCapacity)
+{
+    Tensor t(Shape{4, 8, 8});
+    const u64 before = Tensor::buffer_allocations();
+    // Shrinking and re-growing within the original footprint must
+    // not touch the heap: this is what scratch-arena slot reuse
+    // rests on.
+    t.reshape_to(Shape{2, 3, 5});
+    EXPECT_EQ(t.shape(), (Shape{2, 3, 5}));
+    EXPECT_EQ(t.size(), 30);
+    t.reshape_to(Shape{4, 8, 8});
+    EXPECT_EQ(t.size(), 4 * 8 * 8);
+    EXPECT_EQ(Tensor::buffer_allocations() - before, 0u);
+
+    // Growing past the original footprint allocates (once).
+    t.reshape_to(Shape{8, 8, 8});
+    EXPECT_GE(Tensor::buffer_allocations() - before, 1u);
+    EXPECT_EQ(t.size(), 8 * 8 * 8);
+}
+
+TEST(Tensor, ReshapeToRejectsNegativeDimensions)
+{
+    Tensor t(Shape{1, 2, 2});
+    EXPECT_THROW(t.reshape_to(Shape{-1, 2, 2}), ConfigError);
+}
+
+TEST(Tensor, BufferAllocationCounterIsMonotonic)
+{
+    const u64 before = Tensor::buffer_allocations();
+    Tensor a(Shape{2, 2, 2});
+    Tensor b = a; // Copies allocate too.
+    (void)b;
+    EXPECT_GE(Tensor::buffer_allocations() - before, 2u);
+}
+
+#ifndef NDEBUG
+TEST(Tensor, DebugBoundsCheckCatchesOutOfRangeAccess)
+{
+    // Active in Debug builds (the Debug half of the CI matrix);
+    // compiled out in Release, where the hot loops pay nothing.
+    Tensor t(Shape{2, 3, 4});
+    EXPECT_THROW(t.at(2, 0, 0), InternalError);
+    EXPECT_THROW(t.at(0, 3, 0), InternalError);
+    EXPECT_THROW(t.at(0, 0, 4), InternalError);
+    EXPECT_THROW(t.at(-1, 0, 0), InternalError);
+    const Tensor &ct = t;
+    EXPECT_THROW(ct.at(0, -1, 0), InternalError);
+    EXPECT_NO_THROW(ct.at(1, 2, 3));
+    // at_padded still zero-extends spatially.
+    EXPECT_EQ(ct.at_padded(0, -1, 0), 0.0f);
+}
+#endif
+
 } // namespace
 } // namespace eva2
