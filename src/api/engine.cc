@@ -61,8 +61,12 @@ EngineConfig::resolve(const Network &net) const
     require(num_threads >= 0,
             "EngineConfig: num_threads must be >= 0, got " +
                 std::to_string(num_threads));
+    require(pipeline_depth >= 0,
+            "EngineConfig: pipeline_depth must be >= 0, got " +
+                std::to_string(pipeline_depth));
     opts.num_threads = num_threads;
     opts.store_outputs = store_outputs;
+    opts.pipeline_depth = pipeline_depth;
     // The factory is shared across streams; each call builds a fresh
     // stateful policy instance. Validated eagerly by factory().
     auto make = PolicyRegistry::instance().factory(policy);
@@ -80,18 +84,39 @@ Session::Session(Engine *engine, i64 index, std::string name,
       name_(std::move(name)),
       pipeline_(pipeline)
 {
+    // The session's submission strand: the scheduler serializes the
+    // stateful front stages in submission order and delivers commits
+    // in order; with a pool and depth > 1 it overlaps each frame's
+    // CNN suffix with the next frames' front stages. Without a pool
+    // every frame is processed inline during submit(), exactly the
+    // legacy serial-engine behavior.
+    StageSchedulerOptions opts;
+    opts.depth = std::max<i64>(1, engine_->config_.pipeline_depth);
+    opts.store_outputs = engine_->store_outputs_;
+    scheduler_ = std::make_unique<StageScheduler>(
+        *pipeline_, engine_->executor_->pool(), opts,
+        [this](FrameCommit commit) {
+            record_commit(std::move(commit));
+        });
 }
 
 FrameTicket
 Session::submit(Tensor frame)
 {
+    // The gate makes {closed-check, epoch read, enqueue} one atomic
+    // step against Engine::close()/reset(), which acquire it after
+    // flipping their state: a submission racing teardown either
+    // lands before the drain or throws — it can never be silently
+    // accepted into a closing engine or carry a stale epoch into a
+    // reset stream.
+    std::lock_guard<std::mutex> gate(submit_mutex_);
+    engine_->ensure_open("Session::submit");
     require(frame.shape() == engine_->network().input_shape(),
             "session '" + name_ + "': frame shape " +
                 frame.shape().str() + " does not match network input " +
                 engine_->network().input_shape().str());
     FrameTicket ticket;
     ticket.session = index_;
-    bool schedule = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!has_times_) {
@@ -99,24 +124,11 @@ Session::submit(Tensor frame)
             last_done_ = first_submit_;
             has_times_ = true;
         }
-        ticket.frame = next_ticket_++;
         ticket.epoch = epoch_;
-        queue_.push_back(std::move(frame));
-        if (!in_flight_) {
-            in_flight_ = true;
-            schedule = true;
-        }
     }
-    if (schedule) {
-        ThreadPool *pool = engine_->executor_->pool();
-        if (pool != nullptr) {
-            pool->enqueue_detached([this]() { pump(); });
-        } else {
-            // Serial engines process inline on the submitting thread:
-            // deterministic, and no worker exists to hand off to.
-            pump();
-        }
-    }
+    // Enqueue outside the session mutex: without a pool the frame is
+    // processed inline here, and its commit takes the mutex.
+    ticket.frame = scheduler_->enqueue(std::move(frame));
     return ticket;
 }
 
@@ -152,55 +164,25 @@ Session::submit_all(const Sequence &seq)
 }
 
 void
-Session::pump()
-{
-    for (;;) {
-        Tensor frame;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (queue_.empty()) {
-                in_flight_ = false;
-                cv_.notify_all();
-                return;
-            }
-            frame = std::move(queue_.front());
-            queue_.pop_front();
-        }
-        FrameOutcome outcome;
-        Tensor output;
-        std::exception_ptr error;
-        try {
-            AmcFrameResult fr = pipeline_->process(frame);
-            outcome.is_key = fr.is_key;
-            outcome.top1 = top1(fr.output);
-            outcome.output_digest = tensor_digest(fr.output);
-            outcome.match_error = fr.features.match_error;
-            outcome.me_add_ops = fr.me_add_ops;
-            output = std::move(fr.output);
-        } catch (...) {
-            outcome.failed = true;
-            error = std::current_exception();
-        }
-        record_outcome(std::move(outcome), std::move(output),
-                       std::move(error));
-    }
-}
-
-void
-Session::record_outcome(FrameOutcome outcome, Tensor output,
-                        std::exception_ptr error)
+Session::record_commit(FrameCommit commit)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    FrameOutcome outcome;
     outcome.frame = done_base_ + static_cast<i64>(done_.size());
-    if (error) {
+    if (commit.error) {
+        outcome.failed = true;
         // Keep every frame's own diagnostic; error_ stays the first
         // failure, the one drain() keeps surfacing.
-        frame_errors_[outcome.frame] = error;
+        frame_errors_[outcome.frame] = commit.error;
         if (!error_) {
-            error_ = std::move(error);
+            error_ = commit.error;
         }
-    }
-    if (!outcome.failed) {
+    } else {
+        outcome.is_key = commit.is_key;
+        outcome.top1 = commit.top1;
+        outcome.output_digest = commit.output_digest;
+        outcome.match_error = commit.match_error;
+        outcome.me_add_ops = commit.me_add_ops;
         digest_ = digest_combine(digest_, outcome.output_digest);
         ++frames_;
         if (outcome.is_key) {
@@ -208,7 +190,7 @@ Session::record_outcome(FrameOutcome outcome, Tensor output,
         }
         me_add_ops_ += outcome.me_add_ops;
         if (engine_->store_outputs_) {
-            outputs_.push_back(std::move(output));
+            outputs_.push_back(std::move(commit.output));
         }
     }
     done_.push_back(outcome);
@@ -257,8 +239,8 @@ Session::wait(const FrameTicket &ticket)
 void
 Session::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&]() { return queue_.empty() && !in_flight_; });
+    scheduler_->drain();
+    std::lock_guard<std::mutex> lock(mutex_);
     // Sticky: a failed frame broke this stream's digest chain, so
     // every drain keeps failing until Engine::reset() discards it.
     if (error_) {
@@ -269,8 +251,7 @@ Session::drain()
 i64
 Session::submitted() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return next_ticket_;
+    return scheduler_->submitted();
 }
 
 i64
@@ -311,11 +292,15 @@ Session::forget_outcomes()
 void
 Session::reset_record()
 {
+    // Hold the submit gate across the whole reset: a submit that
+    // already passed the gate finishes its enqueue before we check
+    // the drained invariant; one that arrives later observes the new
+    // epoch and the restarted frame numbering together.
+    std::lock_guard<std::mutex> gate(submit_mutex_);
+    // Restart the strand's frame numbering (asserts it is drained).
+    scheduler_->reset_counters();
     std::lock_guard<std::mutex> lock(mutex_);
-    invariant(queue_.empty() && !in_flight_,
-              "session reset with work in flight");
     ++epoch_; // Pre-reset tickets must not match the new stream.
-    next_ticket_ = 0;
     done_base_ = 0;
     done_.clear();
     outputs_.clear();
@@ -356,13 +341,54 @@ Engine::Engine(const Network &net, EngineConfig config)
 Engine::~Engine()
 {
     // Strand tasks reference sessions and pipelines; nothing may be
-    // in flight when members start destructing.
+    // in flight when members start destructing, and submissions that
+    // race teardown must be rejected loudly rather than touch dying
+    // state.
     try {
-        flush();
+        close();
     } catch (...) {
         // A stream failure already surfaced (or never will); engine
         // teardown is not the place to throw.
     }
+}
+
+void
+Engine::ensure_open(const char *what) const
+{
+    if (closed_.load(std::memory_order_acquire)) {
+        throw ConfigError(std::string(what) + ": engine for network '" +
+                          net_->name() +
+                          "' is closed (close() was called or the "
+                          "engine is being destroyed); create a new "
+                          "Engine to submit more work");
+    }
+}
+
+void
+Engine::close()
+{
+    // Reject new ingestion first, then drain what is already in
+    // flight; completed results stay observable through poll/wait/
+    // report. Idempotent: later calls see closed_ already set and
+    // only re-drain (a no-op on a drained engine).
+    closed_.store(true, std::memory_order_release);
+    // Wait out submits that passed their closed-check before the
+    // store: each holds its session's submit gate until its frame is
+    // enqueued, so acquiring every gate here means the flush below
+    // sees every racing frame, and any submit arriving afterwards
+    // observes closed_ under the gate and throws.
+    std::vector<Session *> sessions;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessions.reserve(sessions_.size());
+        for (const auto &s : sessions_) {
+            sessions.push_back(s.get());
+        }
+    }
+    for (Session *s : sessions) {
+        std::lock_guard<std::mutex> gate(s->submit_mutex_);
+    }
+    flush();
 }
 
 AmcPipeline &
@@ -386,8 +412,12 @@ Engine::session(const std::string &name)
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = session_index_.find(name);
     if (it != session_index_.end()) {
+        // Existing sessions stay addressable after close() (their
+        // completed work is still observable); only creation and
+        // submission are rejected.
         return *sessions_[static_cast<size_t>(it->second)];
     }
+    ensure_open("Engine::session");
     const i64 index = static_cast<i64>(sessions_.size());
     AmcPipeline &pipeline = pipeline_locked(index);
     sessions_.push_back(std::unique_ptr<Session>(
@@ -425,6 +455,7 @@ Engine::base_report()
     report.target = config_.target;
     report.motion = config_.motion;
     report.num_threads = executor_->num_threads();
+    report.pipeline_depth = config_.pipeline_depth;
     // Per-layer kernel selection: all pipelines share one network and
     // one config, so stream 0's compiled plans describe every stream.
     if (executor_->num_pipelines() > 0) {
@@ -436,6 +467,7 @@ Engine::base_report()
 RunReport
 Engine::run(const std::vector<Sequence> &streams)
 {
+    ensure_open("Engine::run");
     flush();
     std::lock_guard<std::mutex> lock(mutex_);
     for (i64 i = 0; i < static_cast<i64>(streams.size()); ++i) {
@@ -469,7 +501,8 @@ Engine::run(const std::vector<Sequence> &streams)
     for (const auto &t : timings_) {
         merged.merge(*t);
     }
-    report.stages = stage_reports(merged.delta_from(before));
+    report.stages =
+        stage_reports(merged.delta_from(before), report.wall_ms);
     return report;
 }
 
@@ -511,7 +544,7 @@ Engine::report()
     for (const auto &t : timings_) {
         merged.merge(*t);
     }
-    report.stages = stage_reports(merged);
+    report.stages = stage_reports(merged, report.wall_ms);
     return report;
 }
 

@@ -33,9 +33,9 @@
 #ifndef EVA2_API_ENGINE_H
 #define EVA2_API_ENGINE_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,6 +45,7 @@
 
 #include "api/registry.h"
 #include "api/run_report.h"
+#include "runtime/stage_scheduler.h"
 #include "runtime/stream_executor.h"
 
 namespace eva2 {
@@ -78,6 +79,14 @@ struct EngineConfig
     i64 search_stride = 2;  ///< RFBME search step in pixels (> 0).
     /** Stream-level workers; 1 = serial inline, 0 = hardware default. */
     i64 num_threads = 0;
+    /**
+     * Frames of one stream software-pipelined across the FramePlan
+     * stage graph, up to this many in flight per stream: frame N+1's
+     * motion estimation overlaps frame N's CNN suffix on the worker
+     * pool. <= 1 runs every frame's stages strictly serially (the
+     * legacy shape). Output digests are bit-identical either way.
+     */
+    i64 pipeline_depth = 3;
     /** Retain every output tensor (tests; memory-heavy). */
     bool store_outputs = false;
     /** Feed the per-stage instrumentation layer (cheap; default on). */
@@ -206,11 +215,8 @@ class Session
     Session(Engine *engine, i64 index, std::string name,
             AmcPipeline *pipeline);
 
-    /** Strand body: process queued frames until the queue is empty. */
-    void pump();
-
-    void record_outcome(FrameOutcome outcome, Tensor output,
-                        std::exception_ptr error);
+    /** Commit sink: record one pipelined frame (in frame order). */
+    void record_commit(FrameCommit commit);
 
     /** Reject foreign, stale (pre-reset), or forgotten tickets. */
     void check_ticket(const FrameTicket &ticket) const;
@@ -227,11 +233,19 @@ class Session
     std::string name_;
     AmcPipeline *pipeline_;
 
+    /**
+     * Serializes submit() against Engine::close()/reset(): a submit
+     * holds this across its closed-check, epoch read, and enqueue,
+     * and close()/reset() acquire it after flipping their state, so
+     * a submission racing teardown either completes before the drain
+     * or observes the closed/reset state and fails loudly. Ordered
+     * before mutex_ (a submit's inline commit takes mutex_ while the
+     * gate is held; nothing takes the gate while holding mutex_).
+     */
+    mutable std::mutex submit_mutex_;
+
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<Tensor> queue_;
-    bool in_flight_ = false;
-    i64 next_ticket_ = 0;
     i64 epoch_ = 0;     ///< Bumped by Engine::reset().
     i64 done_base_ = 0; ///< Frame number of done_[0] (after trims).
     std::vector<FrameOutcome> done_;
@@ -248,6 +262,15 @@ class Session
     bool has_times_ = false;
     std::chrono::steady_clock::time_point first_submit_;
     std::chrono::steady_clock::time_point last_done_;
+
+    /**
+     * This session's submission strand: serializes the stateful
+     * front stages in submission order and (with a pool) overlaps
+     * each frame's CNN suffix with the next frames' fronts.
+     * Declared last: its destructor drains in-flight commits into
+     * the members above, so it must be destroyed before them.
+     */
+    std::unique_ptr<StageScheduler> scheduler_;
 };
 
 /**
@@ -306,6 +329,19 @@ class Engine
      */
     void reset();
 
+    /**
+     * Permanently close the engine for ingestion: drains all
+     * in-flight work, then rejects every later Session::submit(),
+     * Engine::run(), and session creation with a descriptive
+     * ConfigError instead of racing engine teardown. Idempotent;
+     * completed work stays observable (poll/wait/report). The
+     * destructor closes implicitly.
+     */
+    void close();
+
+    /** True once close() (or destruction) has begun. */
+    bool closed() const { return closed_.load(); }
+
     const EngineConfig &config() const { return config_; }
     const Network &network() const { return *net_; }
 
@@ -321,11 +357,15 @@ class Engine
      */
     AmcPipeline &pipeline_locked(i64 index);
 
+    /** Throw a descriptive ConfigError when the engine is closed. */
+    void ensure_open(const char *what) const;
+
     RunReport base_report();
 
     const Network *net_;
     EngineConfig config_;
     bool store_outputs_;
+    std::atomic<bool> closed_{false};
     std::unique_ptr<StreamExecutor> executor_;
 
     mutable std::mutex mutex_; ///< Guards sessions_ and timings_.

@@ -16,7 +16,7 @@ digest_hex(u64 digest)
 }
 
 std::vector<StageReport>
-stage_reports(const StageTimings &timings)
+stage_reports(const StageTimings &timings, double wall_ms)
 {
     std::vector<StageReport> out;
     for (i64 i = 0; i < kNumAmcStages; ++i) {
@@ -25,6 +25,7 @@ stage_reports(const StageTimings &timings)
         row.stage = amc_stage_name(stage);
         row.total_ms = timings.total_ms(stage);
         row.calls = timings.calls(stage);
+        row.occupancy = wall_ms > 0.0 ? row.total_ms / wall_ms : 0.0;
         out.push_back(std::move(row));
     }
     return out;
@@ -44,6 +45,7 @@ RunReport::to_json(int indent) const
     w.member("target", target);
     w.member("motion", motion);
     w.member("num_threads", num_threads);
+    w.member("pipeline_depth", pipeline_depth);
     w.end_object();
     w.member("wall_ms", wall_ms);
     w.member("frames", frames);
@@ -68,9 +70,15 @@ RunReport::to_json(int indent) const
     w.key("stages").begin_array();
     for (const StageReport &s : stages) {
         w.begin_object();
+        // Stage names flow through the shared util/json escape
+        // helper (JsonWriter::value), like every string here — a
+        // registered kernel or stage label with quotes or
+        // backslashes cannot corrupt the document.
         w.member("stage", s.stage);
         w.member("total_ms", s.total_ms);
         w.member("calls", s.calls);
+        w.member("mean_ms", s.mean_ms());
+        w.member("occupancy", s.occupancy);
         w.end_object();
     }
     w.end_array();

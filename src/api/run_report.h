@@ -27,6 +27,22 @@ struct StageReport
     std::string stage; ///< amc_stage_name() label.
     double total_ms = 0.0;
     i64 calls = 0;
+    /**
+     * Stage busy-time as a fraction of the run's wall time: the
+     * average number of concurrent executions of this stage across
+     * all streams. Under pipelined execution the busy fractions sum
+     * past 1.0 — that surplus is exactly the overlap the stage
+     * scheduler bought. 0 when the run recorded no wall time.
+     */
+    double occupancy = 0.0;
+
+    /** Mean latency of one call, in ms (0 when never called). */
+    double
+    mean_ms() const
+    {
+        return calls == 0 ? 0.0
+                          : total_ms / static_cast<double>(calls);
+    }
 };
 
 /** One stream's contribution to a run. */
@@ -60,6 +76,8 @@ struct RunReport
     std::string target;
     std::string motion;
     i64 num_threads = 0;
+    /** Frames in flight per stream (<= 1 = serial frame loop). */
+    i64 pipeline_depth = 0;
 
     double wall_ms = 0.0;
     i64 frames = 0;
@@ -93,8 +111,13 @@ struct RunReport
     std::string to_json(int indent = 2) const;
 };
 
-/** Convert an aggregated StageTimings into report rows (all stages). */
-std::vector<StageReport> stage_reports(const StageTimings &timings);
+/**
+ * Convert an aggregated StageTimings into report rows (all stages).
+ * `wall_ms` is the run's wall time occupancies are computed against;
+ * pass 0 when unknown (occupancies then report 0).
+ */
+std::vector<StageReport> stage_reports(const StageTimings &timings,
+                                       double wall_ms = 0.0);
 
 /** Format a digest the way reports print it ("0x" + 16 hex digits). */
 std::string digest_hex(u64 digest);

@@ -2,91 +2,11 @@
 
 namespace eva2 {
 
-void
-AmcOptions::validate(const Network &net) const
-{
-    require(search_radius > 0,
-            "AmcOptions: search_radius must be > 0, got " +
-                std::to_string(search_radius));
-    require(search_stride > 0,
-            "AmcOptions: search_stride must be > 0, got " +
-                std::to_string(search_stride));
-    require(search_stride <= search_radius,
-            "AmcOptions: search_stride (" +
-                std::to_string(search_stride) +
-                ") must not exceed search_radius (" +
-                std::to_string(search_radius) + ")");
-    require(storage_prune_rel >= 0.0,
-            "AmcOptions: storage_prune_rel must be >= 0, got " +
-                std::to_string(storage_prune_rel));
-    if (target_choice == TargetChoice::kExplicit) {
-        require(explicit_target >= 0 &&
-                    explicit_target < net.num_layers(),
-                "AmcOptions: explicit_target " +
-                    std::to_string(explicit_target) +
-                    " out of range for network " + net.name() +
-                    " with " + std::to_string(net.num_layers()) +
-                    " layers");
-        require(explicit_target <= net.last_spatial_index(),
-                "AmcOptions: explicit_target " +
-                    std::to_string(explicit_target) +
-                    " is past the last spatial layer (" +
-                    std::to_string(net.last_spatial_index()) +
-                    ") of network " + net.name() +
-                    "; AMC can only warp spatial activations");
-    }
-}
-
-i64
-AmcPipeline::resolve_target(const Network &net, TargetChoice choice,
-                            i64 explicit_target)
-{
-    switch (choice) {
-      case TargetChoice::kLastSpatial:
-        return net.default_target_index();
-      case TargetChoice::kEarly: {
-        const i64 pool = net.first_pool_index();
-        require(pool >= 0,
-                "network " + net.name() + " has no pooling layer for an "
-                "early target");
-        return pool;
-      }
-      case TargetChoice::kExplicit:
-        require(explicit_target >= 0 &&
-                    explicit_target < net.num_layers(),
-                "explicit target out of range");
-        return explicit_target;
-    }
-    throw InternalError("unreachable target choice");
-}
-
 AmcPipeline::AmcPipeline(const Network &net,
                          std::unique_ptr<KeyFramePolicy> policy,
                          AmcOptions opts)
-    : net_(&net),
-      policy_(std::move(policy)),
-      opts_(opts),
-      target_layer_((opts.validate(net),
-                     resolve_target(net, opts.target_choice,
-                                    opts.explicit_target)))
+    : plan_(net, std::move(policy), opts)
 {
-    if (!policy_) {
-        policy_ = std::make_unique<StaticRatePolicy>(1);
-    }
-    // Compile both layer ranges once: shapes resolved, arena slots
-    // assigned, kernels selected. The suffix runs on every frame, so
-    // this is where planned execution pays off.
-    prefix_plan_ = std::make_unique<ExecutionPlan>(
-        net, 0, target_layer_ + 1, net.input_shape(), opts_.plan);
-    suffix_plan_ = std::make_unique<ExecutionPlan>(
-        net, target_layer_ + 1, net.num_layers(),
-        prefix_plan_->out_shape(), opts_.plan);
-    target_rf_ = net.receptive_field_at(target_layer_);
-    rfbme_config_.rf_size = target_rf_.size;
-    rfbme_config_.rf_stride = target_rf_.stride;
-    rfbme_config_.rf_pad = target_rf_.pad;
-    rfbme_config_.search_radius = opts.search_radius;
-    rfbme_config_.search_stride = opts.search_stride;
 }
 
 ScratchArena &
@@ -95,13 +15,6 @@ AmcPipeline::arena() const
     return arena_override_ != nullptr
                ? *arena_override_
                : ScratchArena::for_current_thread();
-}
-
-std::vector<PlanRecord>
-AmcPipeline::plan_records() const
-{
-    return {PlanRecord{"prefix", prefix_plan_->describe()},
-            PlanRecord{"suffix", suffix_plan_->describe()}};
 }
 
 void
@@ -119,179 +32,59 @@ AmcPipeline::set_observer(AmcObserver *observer)
 void
 AmcPipeline::reset()
 {
-    has_key_ = false;
-    key_pixels_ = Tensor();
-    key_activation_ = Tensor();
-    key_activation_rle_ = RleActivation();
-    frames_since_key_ = 0;
-    stats_ = AmcStats();
-    policy_->reset();
-}
-
-const Tensor &
-AmcPipeline::stored_activation() const
-{
-    require(has_key_, "no key frame has been processed yet");
-    return key_activation_;
-}
-
-i64
-AmcPipeline::stored_activation_bytes() const
-{
-    require(has_key_, "no key frame has been processed yet");
-    return key_activation_rle_.encoded_bytes();
+    plan_.reset();
 }
 
 AmcFrameResult
-AmcPipeline::key_frame_path(const Tensor &frame)
+AmcPipeline::materialize(const FrontResult &front)
 {
+    const Tensor &output = plan_.run_suffix(0, arena(), observer_);
+    StageScope timer(observer_, AmcStage::kCommit);
     AmcFrameResult result;
-    result.is_key = true;
-    Tensor target;
-    {
-        StageScope timer(observer_, AmcStage::kPrefix);
-        // Copied out of the arena: the target activation escapes into
-        // key-frame storage and the frame result.
-        target = prefix_plan_->run(frame, arena());
-    }
-
-    // Store pixels and the target activation the way the hardware
-    // does: pixels in the key pixel buffer, the activation run-length
-    // encoded in the key frame activation buffer.
-    key_pixels_ = frame;
-    {
-        StageScope timer(observer_, AmcStage::kEncode);
-        RleParams rle_params;
-        if (opts_.storage_prune_rel > 0.0) {
-            double acc = 0.0;
-            for (i64 i = 0; i < target.size(); ++i) {
-                acc += static_cast<double>(target[i]) * target[i];
-            }
-            const double rms =
-                std::sqrt(acc / static_cast<double>(target.size()));
-            rle_params.zero_threshold =
-                static_cast<float>(opts_.storage_prune_rel * rms);
-        }
-        key_activation_rle_ = rle_encode(target, rle_params);
-        key_activation_ = opts_.quantize_storage
-                              ? rle_decode(key_activation_rle_)
-                              : target;
-    }
-    has_key_ = true;
-    frames_since_key_ = 0;
-
-    // Key frames are full, precise executions (Section II-A); the
-    // quantized RLE copy is only consumed by later predicted frames.
-    {
-        StageScope timer(observer_, AmcStage::kSuffix);
-        result.output = suffix_plan_->run(target, arena());
-    }
-    result.target_activation = std::move(target);
-    ++stats_.frames;
-    ++stats_.key_frames;
-    return result;
-}
-
-AmcFrameResult
-AmcPipeline::predicted_frame_path(const RfbmeResult &me)
-{
-    AmcFrameResult result;
-    result.is_key = false;
-    result.me_add_ops = me.add_ops;
-    result.features.match_error = me.mean_error;
-    result.features.motion_magnitude = me.field.total_magnitude();
-    result.features.frames_since_key = frames_since_key_;
-
-    Tensor predicted;
-    {
-        StageScope timer(observer_, AmcStage::kWarp);
-        if (opts_.motion_mode == MotionMode::kMemoization) {
-            predicted = key_activation_;
-        } else {
-            const MotionField field =
-                fit_field(me.field, key_activation_.height(),
-                          key_activation_.width());
-            predicted =
-                warp_activation(key_activation_, field,
-                                target_rf_.stride, opts_.interp);
-        }
-    }
-    {
-        StageScope timer(observer_, AmcStage::kSuffix);
-        result.output = suffix_plan_->run(predicted, arena());
-    }
-    result.target_activation = std::move(predicted);
-    ++stats_.frames;
+    result.is_key = front.is_key;
+    result.features = front.features;
+    result.me_add_ops = front.me_add_ops;
+    result.output = output;
+    result.target_activation = plan_.slot_activation(0);
     return result;
 }
 
 AmcFrameResult
 AmcPipeline::process(const Tensor &frame)
 {
-    require(frame.shape() == net_->input_shape(),
-            "frame shape " + frame.shape().str() +
-                " does not match network input " +
-                net_->input_shape().str());
-    if (!has_key_) {
-        return key_frame_path(frame);
-    }
-    ++frames_since_key_;
-    RfbmeResult me;
-    {
-        StageScope timer(observer_, AmcStage::kMotionEstimation);
-        me = rfbme(key_pixels_, frame, rfbme_config_);
-    }
-    FrameFeatures features;
-    features.match_error = me.mean_error;
-    features.motion_magnitude = me.field.total_magnitude();
-    features.frames_since_key = frames_since_key_;
-    bool is_key;
-    {
-        StageScope timer(observer_, AmcStage::kPolicy);
-        is_key = policy_->is_key_frame(features);
-    }
-    if (is_key) {
-        AmcFrameResult result = key_frame_path(frame);
-        result.features = features;
-        result.me_add_ops = me.add_ops;
-        return result;
-    }
-    return predicted_frame_path(me);
+    return materialize(plan_.run_front(frame, 0, arena(), observer_));
 }
 
 Tensor
 AmcPipeline::run_key(const Tensor &frame)
 {
-    require(frame.shape() == net_->input_shape(),
-            "frame shape does not match network input");
-    return key_frame_path(frame).output;
+    plan_.run_front_key(frame, 0, arena(), observer_);
+    return plan_.run_suffix(0, arena(), observer_);
 }
 
 AmcFrameResult
 AmcPipeline::run_predicted(const Tensor &frame)
 {
-    require(has_key_, "run_predicted: no stored key frame");
-    ++frames_since_key_;
-    RfbmeResult me;
-    {
-        StageScope timer(observer_, AmcStage::kMotionEstimation);
-        me = rfbme(key_pixels_, frame, rfbme_config_);
-    }
-    return predicted_frame_path(me);
+    return materialize(
+        plan_.run_front_predicted(frame, 0, arena(), observer_));
 }
 
 Tensor
 AmcPipeline::predicted_activation(const Tensor &frame)
 {
-    require(has_key_, "predicted_activation: no stored key frame");
-    if (opts_.motion_mode == MotionMode::kMemoization) {
-        return key_activation_;
+    require(plan_.has_key_frame(),
+            "predicted_activation: no stored key frame");
+    if (plan_.options().motion_mode == MotionMode::kMemoization) {
+        return plan_.stored_activation();
     }
-    const RfbmeResult me = rfbme(key_pixels_, frame, rfbme_config_);
+    const RfbmeResult me =
+        rfbme(plan_.key_pixels(), frame, plan_.rfbme_config());
+    const Tensor &key_activation = plan_.stored_activation();
     const MotionField field = fit_field(
-        me.field, key_activation_.height(), key_activation_.width());
-    return warp_activation(key_activation_, field, target_rf_.stride,
-                           opts_.interp);
+        me.field, key_activation.height(), key_activation.width());
+    return warp_activation(key_activation, field,
+                           plan_.target_rf().stride,
+                           plan_.options().interp);
 }
 
 } // namespace eva2

@@ -2,88 +2,25 @@
  * @file
  * The activation motion compensation pipeline (Section II, Figure 1).
  *
- * The pipeline owns the state EVA2 keeps between frames — the last key
- * frame's pixels and its target-layer activation (run-length encoded,
- * as in the hardware's key frame activation buffer) — and drives the
- * per-frame flow: motion estimation with RFBME, the key-frame policy
- * decision, either full CNN execution (key frames) or activation
- * warping plus suffix execution (predicted frames).
+ * AmcPipeline is the per-stream serial executor over the compiled
+ * FramePlan stage graph (core/frame_plan.h): each process() call runs
+ * one frame's stages front-to-back on the calling thread. All state —
+ * the last key frame's pixels and its target-layer activation
+ * (run-length encoded, as in the hardware's key frame activation
+ * buffer), policy state, counters — lives in the FramePlan; this
+ * class adds the classic one-call-per-frame surface, result
+ * materialization, and instrumentation plumbing. The runtime's
+ * stage scheduler drives the same FramePlan pipelined across frames
+ * instead (bit-identical outputs, overlapping stage execution).
  */
 #ifndef EVA2_CORE_AMC_PIPELINE_H
 #define EVA2_CORE_AMC_PIPELINE_H
 
 #include <memory>
 
-#include "cnn/execution_plan.h"
-#include "cnn/network.h"
-#include "core/instrumentation.h"
-#include "core/keyframe_policy.h"
-#include "core/warp.h"
-#include "flow/rfbme.h"
-#include "sparse/rle.h"
+#include "core/frame_plan.h"
 
 namespace eva2 {
-
-/** How the AMC target layer is chosen (Section II-C5, Table II). */
-enum class TargetChoice
-{
-    kLastSpatial, ///< Last layer before any non-spatial layer.
-    kEarly,       ///< First pooling layer (Table II's early target).
-    kExplicit,    ///< Caller supplies the index.
-};
-
-/** Whether predicted frames warp or merely reuse the activation. */
-enum class MotionMode
-{
-    kCompensation, ///< Warp by the estimated motion (detection nets).
-    kMemoization,  ///< Reuse unchanged (classification, Section IV-E1).
-};
-
-/** Pipeline configuration. */
-struct AmcOptions
-{
-    TargetChoice target_choice = TargetChoice::kLastSpatial;
-    i64 explicit_target = -1;
-    InterpMode interp = InterpMode::kBilinear;
-    MotionMode motion_mode = MotionMode::kCompensation;
-    i64 search_radius = 28; ///< RFBME search radius in pixels.
-    /**
-     * RFBME search step in pixels. 2 keeps the match-error floor (and
-     * the warp's vector quantization) well below the adaptive
-     * policies' useful threshold range; the hardware's parallel adder
-     * trees make the finer search cheap (Section III-A1).
-     */
-    i64 search_stride = 2;
-    /**
-     * Store the key activation through the Q8.8 RLE codec, as the
-     * hardware does; disable to isolate algorithmic error from
-     * quantization in experiments.
-     */
-    bool quantize_storage = true;
-    /**
-     * Near-zero pruning for storage, as a fraction of the target
-     * activation's RMS: values at or below this magnitude encode as
-     * zeros (Section II-C2 — near-zero values "can be safely ignored
-     * without a significant impact on output accuracy"). Pruning is
-     * what pushes RLE storage savings well past the dense baseline.
-     */
-    double storage_prune_rel = 0.12;
-    /**
-     * CNN execution plan compilation options (kernel selection,
-     * conv+ReLU fusion). The default — im2col/blocked-GEMM convs
-     * with fusion — is bit-identical to the seed direct path.
-     */
-    PlanOptions plan;
-
-    /**
-     * Validate caller-controllable fields; throws ConfigError with a
-     * descriptive message instead of letting a bad value reach the
-     * search loops (where a zero stride would hang or divide by
-     * zero). Called by AmcPipeline's constructor; `net` enables the
-     * explicit-target bounds check.
-     */
-    void validate(const Network &net) const;
-};
 
 /** Outcome of processing one frame. */
 struct AmcFrameResult
@@ -97,32 +34,17 @@ struct AmcFrameResult
     i64 me_add_ops = 0;       ///< RFBME arithmetic ops for this frame.
 };
 
-/** Running counters over a stream. */
-struct AmcStats
-{
-    i64 frames = 0;
-    i64 key_frames = 0;
-
-    i64 predicted_frames() const { return frames - key_frames; }
-
-    double
-    key_fraction() const
-    {
-        return frames == 0 ? 0.0
-                           : static_cast<double>(key_frames) /
-                                 static_cast<double>(frames);
-    }
-};
-
 /**
  * Stateful per-stream AMC executor over one network.
  *
  * Threading model: a pipeline is single-threaded — all mutable AMC
  * state (key pixels, the RLE activation buffer, policy state,
- * counters) lives here and is touched without synchronization. The
- * borrowed Network is only ever read, so any number of pipelines may
- * share one network from different threads; that is how the
- * runtime's StreamExecutor scales across streams.
+ * counters) lives in its FramePlan and is touched without
+ * synchronization. The borrowed Network is only ever read, so any
+ * number of pipelines may share one network from different threads;
+ * that is how the runtime's StreamExecutor scales across streams.
+ * (The stage scheduler spreads ONE pipeline's frames across threads,
+ * but serializes every stateful stage itself.)
  */
 class AmcPipeline
 {
@@ -157,25 +79,41 @@ class AmcPipeline
 
     /**
      * Install a per-stage instrumentation sink (borrowed; may be
-     * null to disable). The observer is invoked on the thread that
-     * runs the pipeline — one observer per pipeline needs no locks.
+     * null to disable). Under pipelined execution the observer is
+     * invoked from several threads — see AmcObserver::on_stage.
      * A freshly installed observer immediately receives on_plan()
      * for the compiled prefix and suffix plans.
      */
     void set_observer(AmcObserver *observer);
     AmcObserver *observer() const { return observer_; }
 
+    /**
+     * The compiled stage graph this pipeline executes. The runtime's
+     * stage scheduler drives it directly to software-pipeline frames.
+     */
+    FramePlan &frame_plan() { return plan_; }
+    const FramePlan &frame_plan() const { return plan_; }
+
     /** The compiled plan for layers [0, target]. */
-    const ExecutionPlan &prefix_plan() const { return *prefix_plan_; }
+    const ExecutionPlan &prefix_plan() const
+    {
+        return plan_.prefix_plan();
+    }
 
     /** The compiled plan for layers (target, end). */
-    const ExecutionPlan &suffix_plan() const { return *suffix_plan_; }
+    const ExecutionPlan &suffix_plan() const
+    {
+        return plan_.suffix_plan();
+    }
 
     /**
      * The kernel selection of both compiled plans, in {prefix,
      * suffix} order — what on_plan reports and RunReport echoes.
      */
-    std::vector<PlanRecord> plan_records() const;
+    std::vector<PlanRecord> plan_records() const
+    {
+        return plan_.plan_records();
+    }
 
     /**
      * Override the scratch arena planned execution cycles
@@ -185,50 +123,49 @@ class AmcPipeline
      */
     void set_arena(ScratchArena *arena) { arena_override_ = arena; }
 
-    i64 target_layer() const { return target_layer_; }
-    ReceptiveField target_rf() const { return target_rf_; }
-    const RfbmeConfig &rfbme_config() const { return rfbme_config_; }
-    const AmcOptions &options() const { return opts_; }
-    const AmcStats &stats() const { return stats_; }
-    const Network &network() const { return *net_; }
+    i64 target_layer() const { return plan_.target_layer(); }
+    ReceptiveField target_rf() const { return plan_.target_rf(); }
+    const RfbmeConfig &rfbme_config() const
+    {
+        return plan_.rfbme_config();
+    }
+    const AmcOptions &options() const { return plan_.options(); }
+    const AmcStats &stats() const { return plan_.stats(); }
+    const Network &network() const { return plan_.network(); }
 
     /** True once a key frame is stored (predictions are possible). */
-    bool has_key_frame() const { return has_key_; }
+    bool has_key_frame() const { return plan_.has_key_frame(); }
 
     /** Stored key activation (decoded); requires a stored key frame. */
-    const Tensor &stored_activation() const;
+    const Tensor &stored_activation() const
+    {
+        return plan_.stored_activation();
+    }
 
     /** Encoded size of the stored key activation, in bytes. */
-    i64 stored_activation_bytes() const;
+    i64 stored_activation_bytes() const
+    {
+        return plan_.stored_activation_bytes();
+    }
 
     /** Resolve a target layer index for a network and choice. */
-    static i64 resolve_target(const Network &net, TargetChoice choice,
-                              i64 explicit_target);
+    static i64
+    resolve_target(const Network &net, TargetChoice choice,
+                   i64 explicit_target)
+    {
+        return FramePlan::resolve_target(net, choice, explicit_target);
+    }
 
   private:
-    AmcFrameResult key_frame_path(const Tensor &frame);
-    AmcFrameResult predicted_frame_path(const RfbmeResult &me);
+    /** Materialize the slot-0 front+suffix into an AmcFrameResult. */
+    AmcFrameResult materialize(const FrontResult &front);
 
     /** The arena this execution cycles activations through. */
     ScratchArena &arena() const;
 
-    const Network *net_;
-    std::unique_ptr<KeyFramePolicy> policy_;
-    AmcOptions opts_;
-    i64 target_layer_;
-    ReceptiveField target_rf_;
-    RfbmeConfig rfbme_config_;
-    std::unique_ptr<ExecutionPlan> prefix_plan_;
-    std::unique_ptr<ExecutionPlan> suffix_plan_;
+    FramePlan plan_;
     ScratchArena *arena_override_ = nullptr;
-
     AmcObserver *observer_ = nullptr;
-    bool has_key_ = false;
-    Tensor key_pixels_;
-    Tensor key_activation_;
-    RleActivation key_activation_rle_;
-    i64 frames_since_key_ = 0;
-    AmcStats stats_;
 };
 
 } // namespace eva2

@@ -1,0 +1,338 @@
+#include "core/frame_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva2 {
+
+void
+AmcOptions::validate(const Network &net) const
+{
+    require(search_radius > 0,
+            "AmcOptions: search_radius must be > 0, got " +
+                std::to_string(search_radius));
+    require(search_stride > 0,
+            "AmcOptions: search_stride must be > 0, got " +
+                std::to_string(search_stride));
+    require(search_stride <= search_radius,
+            "AmcOptions: search_stride (" +
+                std::to_string(search_stride) +
+                ") must not exceed search_radius (" +
+                std::to_string(search_radius) + ")");
+    require(storage_prune_rel >= 0.0,
+            "AmcOptions: storage_prune_rel must be >= 0, got " +
+                std::to_string(storage_prune_rel));
+    if (target_choice == TargetChoice::kExplicit) {
+        require(explicit_target >= 0 &&
+                    explicit_target < net.num_layers(),
+                "AmcOptions: explicit_target " +
+                    std::to_string(explicit_target) +
+                    " out of range for network " + net.name() +
+                    " with " + std::to_string(net.num_layers()) +
+                    " layers");
+        require(explicit_target <= net.last_spatial_index(),
+                "AmcOptions: explicit_target " +
+                    std::to_string(explicit_target) +
+                    " is past the last spatial layer (" +
+                    std::to_string(net.last_spatial_index()) +
+                    ") of network " + net.name() +
+                    "; AMC can only warp spatial activations");
+    }
+}
+
+i64
+FramePlan::resolve_target(const Network &net, TargetChoice choice,
+                          i64 explicit_target)
+{
+    switch (choice) {
+      case TargetChoice::kLastSpatial:
+        return net.default_target_index();
+      case TargetChoice::kEarly: {
+        const i64 pool = net.first_pool_index();
+        require(pool >= 0,
+                "network " + net.name() + " has no pooling layer for an "
+                "early target");
+        return pool;
+      }
+      case TargetChoice::kExplicit:
+        require(explicit_target >= 0 &&
+                    explicit_target < net.num_layers(),
+                "explicit target out of range");
+        return explicit_target;
+    }
+    throw InternalError("unreachable target choice");
+}
+
+FramePlan::FramePlan(const Network &net,
+                     std::unique_ptr<KeyFramePolicy> policy,
+                     AmcOptions opts)
+    : net_(&net),
+      policy_(std::move(policy)),
+      opts_(opts),
+      target_layer_((opts.validate(net),
+                     resolve_target(net, opts.target_choice,
+                                    opts.explicit_target)))
+{
+    if (!policy_) {
+        policy_ = std::make_unique<StaticRatePolicy>(1);
+    }
+    // Compile both layer ranges once: shapes resolved, arena slots
+    // assigned, kernels selected. The suffix runs on every frame, so
+    // this is where planned execution pays off.
+    prefix_plan_ = std::make_unique<ExecutionPlan>(
+        net, 0, target_layer_ + 1, net.input_shape(), opts_.plan);
+    suffix_plan_ = std::make_unique<ExecutionPlan>(
+        net, target_layer_ + 1, net.num_layers(),
+        prefix_plan_->out_shape(), opts_.plan);
+    slot_ring_.ensure_slots(depth_);
+    target_rf_ = net.receptive_field_at(target_layer_);
+    rfbme_config_.rf_size = target_rf_.size;
+    rfbme_config_.rf_stride = target_rf_.stride;
+    rfbme_config_.rf_pad = target_rf_.pad;
+    rfbme_config_.search_radius = opts.search_radius;
+    rfbme_config_.search_stride = opts.search_stride;
+}
+
+std::vector<PlanRecord>
+FramePlan::plan_records() const
+{
+    return {PlanRecord{"prefix", prefix_plan_->describe()},
+            PlanRecord{"suffix", suffix_plan_->describe()}};
+}
+
+void
+FramePlan::set_depth(i64 depth)
+{
+    require(depth >= 1, "FramePlan: depth must be >= 1, got " +
+                            std::to_string(depth));
+    depth_ = depth;
+    // Create the whole ring now: a front creating slot tensors while
+    // another frame's suffix reads its own slot must not grow (and
+    // possibly reallocate) the slot vector under the reader.
+    slot_ring_.ensure_slots(depth_);
+}
+
+void
+FramePlan::check_slot(i64 slot) const
+{
+    // Per-frame hot path: no message construction on success.
+    if (slot < 0 || slot >= depth_) {
+        throw ConfigError("FramePlan: slot " + std::to_string(slot) +
+                          " outside the depth-" +
+                          std::to_string(depth_) + " ring");
+    }
+}
+
+Tensor &
+FramePlan::slot_tensor(i64 slot, const Shape &shape)
+{
+    check_slot(slot);
+    return slot_ring_.slot(slot, shape);
+}
+
+const Tensor &
+FramePlan::slot_activation(i64 slot) const
+{
+    check_slot(slot);
+    const Tensor *t = slot_ring_.peek(slot);
+    require(t != nullptr && !t->empty(),
+            "FramePlan: slot " + std::to_string(slot) +
+                " has no activation (no front half ran)");
+    return *t;
+}
+
+void
+FramePlan::reset()
+{
+    has_key_ = false;
+    key_pixels_ = Tensor();
+    key_activation_ = Tensor();
+    key_activation_rle_ = RleActivation();
+    frames_since_key_ = 0;
+    stats_ = AmcStats();
+    policy_->reset();
+}
+
+const Tensor &
+FramePlan::stored_activation() const
+{
+    require(has_key_, "no key frame has been processed yet");
+    return key_activation_;
+}
+
+const Tensor &
+FramePlan::key_pixels() const
+{
+    require(has_key_, "no key frame has been processed yet");
+    return key_pixels_;
+}
+
+i64
+FramePlan::stored_activation_bytes() const
+{
+    require(has_key_, "no key frame has been processed yet");
+    return key_activation_rle_.encoded_bytes();
+}
+
+void
+FramePlan::ingest_stage(const Tensor &frame, AmcObserver *obs) const
+{
+    StageScope timer(obs, AmcStage::kIngest);
+    // Per-frame hot path: no message construction on success.
+    if (frame.shape() != net_->input_shape()) {
+        throw ConfigError("frame shape " + frame.shape().str() +
+                          " does not match network input " +
+                          net_->input_shape().str());
+    }
+}
+
+void
+FramePlan::motion_stage(const Tensor &frame, AmcObserver *obs)
+{
+    StageScope timer(obs, AmcStage::kMotionEstimation);
+    rfbme_into(key_pixels_, frame, rfbme_config_, me_, me_ws_);
+}
+
+FrontResult
+FramePlan::key_stage(const Tensor &frame, i64 slot,
+                     ScratchArena &exec_arena, AmcObserver *obs)
+{
+    FrontResult result;
+    result.is_key = true;
+    Tensor &stored = slot_tensor(slot, prefix_plan_->out_shape());
+    {
+        StageScope timer(obs, AmcStage::kPrefix);
+        // Copied out of the execution arena into the stream's slot
+        // ring: the target activation outlives the prefix (the suffix
+        // may run it on another thread) and feeds key-frame storage.
+        const Tensor &target = prefix_plan_->run(frame, exec_arena);
+        stored.reshape_to(target.shape());
+        std::copy(target.data().begin(), target.data().end(),
+                  stored.data().begin());
+    }
+
+    // Store pixels and the target activation the way the hardware
+    // does: pixels in the key pixel buffer, the activation run-length
+    // encoded in the key frame activation buffer.
+    key_pixels_ = frame;
+    {
+        StageScope timer(obs, AmcStage::kEncode);
+        RleParams rle_params;
+        if (opts_.storage_prune_rel > 0.0) {
+            double acc = 0.0;
+            for (i64 i = 0; i < stored.size(); ++i) {
+                acc += static_cast<double>(stored[i]) * stored[i];
+            }
+            const double rms =
+                std::sqrt(acc / static_cast<double>(stored.size()));
+            rle_params.zero_threshold =
+                static_cast<float>(opts_.storage_prune_rel * rms);
+        }
+        key_activation_rle_ = rle_encode(stored, rle_params);
+        // Key frames are full, precise executions (Section II-A); the
+        // quantized RLE copy is only consumed by later predicted
+        // frames, so the slot keeps the precise activation.
+        key_activation_ = opts_.quantize_storage
+                              ? rle_decode(key_activation_rle_)
+                              : stored;
+    }
+    has_key_ = true;
+    frames_since_key_ = 0;
+    ++stats_.frames;
+    ++stats_.key_frames;
+    return result;
+}
+
+FrontResult
+FramePlan::predict_stage(i64 slot, AmcObserver *obs)
+{
+    FrontResult result;
+    result.is_key = false;
+    Tensor &predicted = slot_tensor(slot, key_activation_.shape());
+    if (opts_.motion_mode == MotionMode::kMemoization) {
+        StageScope timer(obs, AmcStage::kWarp);
+        predicted.reshape_to(key_activation_.shape());
+        std::copy(key_activation_.data().begin(),
+                  key_activation_.data().end(),
+                  predicted.data().begin());
+    } else {
+        {
+            StageScope timer(obs, AmcStage::kMotionField);
+            fit_field_into(me_.field, key_activation_.height(),
+                           key_activation_.width(), fitted_field_);
+        }
+        {
+            StageScope timer(obs, AmcStage::kWarp);
+            warp_activation_into(key_activation_, fitted_field_,
+                                 target_rf_.stride, opts_.interp,
+                                 predicted);
+        }
+    }
+    ++stats_.frames;
+    return result;
+}
+
+FrontResult
+FramePlan::run_front(const Tensor &frame, i64 slot,
+                     ScratchArena &exec_arena, AmcObserver *obs)
+{
+    ingest_stage(frame, obs);
+    if (!has_key_) {
+        // First frame of a stream: always a key frame, no motion
+        // estimation to run and no policy consulted.
+        return key_stage(frame, slot, exec_arena, obs);
+    }
+    ++frames_since_key_;
+    motion_stage(frame, obs);
+    FrameFeatures features;
+    features.match_error = me_.mean_error;
+    features.motion_magnitude = me_.field.total_magnitude();
+    features.frames_since_key = frames_since_key_;
+    bool is_key;
+    {
+        StageScope timer(obs, AmcStage::kPolicy);
+        is_key = policy_->is_key_frame(features);
+    }
+    FrontResult result = is_key ? key_stage(frame, slot, exec_arena, obs)
+                                : predict_stage(slot, obs);
+    result.features = features;
+    result.me_add_ops = me_.add_ops;
+    return result;
+}
+
+FrontResult
+FramePlan::run_front_key(const Tensor &frame, i64 slot,
+                         ScratchArena &exec_arena, AmcObserver *obs)
+{
+    ingest_stage(frame, obs);
+    return key_stage(frame, slot, exec_arena, obs);
+}
+
+FrontResult
+FramePlan::run_front_predicted(const Tensor &frame, i64 slot,
+                               ScratchArena &exec_arena,
+                               AmcObserver *obs)
+{
+    (void)exec_arena;
+    require(has_key_, "run_predicted: no stored key frame");
+    ingest_stage(frame, obs);
+    ++frames_since_key_;
+    motion_stage(frame, obs);
+    FrontResult result = predict_stage(slot, obs);
+    result.features.match_error = me_.mean_error;
+    result.features.motion_magnitude = me_.field.total_magnitude();
+    result.features.frames_since_key = frames_since_key_;
+    result.me_add_ops = me_.add_ops;
+    return result;
+}
+
+const Tensor &
+FramePlan::run_suffix(i64 slot, ScratchArena &exec_arena,
+                      AmcObserver *obs) const
+{
+    const Tensor &in = slot_activation(slot);
+    StageScope timer(obs, AmcStage::kSuffix);
+    return suffix_plan_->run(in, exec_arena);
+}
+
+} // namespace eva2

@@ -16,8 +16,12 @@ const char *
 amc_stage_name(AmcStage stage)
 {
     switch (stage) {
+      case AmcStage::kIngest:
+        return "ingest";
       case AmcStage::kMotionEstimation:
         return "motion_estimation";
+      case AmcStage::kMotionField:
+        return "motion_field";
       case AmcStage::kPolicy:
         return "policy";
       case AmcStage::kPrefix:
@@ -28,13 +32,34 @@ amc_stage_name(AmcStage stage)
         return "warp";
       case AmcStage::kSuffix:
         return "suffix";
+      case AmcStage::kCommit:
+        return "commit";
     }
     return "unknown";
+}
+
+StageTimings::StageTimings(const StageTimings &other)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    ms_ = other.ms_;
+    calls_ = other.calls_;
+}
+
+StageTimings &
+StageTimings::operator=(const StageTimings &other)
+{
+    if (this != &other) {
+        std::scoped_lock lock(mutex_, other.mutex_);
+        ms_ = other.ms_;
+        calls_ = other.calls_;
+    }
+    return *this;
 }
 
 void
 StageTimings::on_stage(AmcStage stage, double ms)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ms_[index_of(stage)] += ms;
     calls_[index_of(stage)] += 1;
 }
@@ -42,18 +67,21 @@ StageTimings::on_stage(AmcStage stage, double ms)
 double
 StageTimings::total_ms(AmcStage stage) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return ms_[index_of(stage)];
 }
 
 i64
 StageTimings::calls(AmcStage stage) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return calls_[index_of(stage)];
 }
 
 double
 StageTimings::total_ms() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     double total = 0.0;
     for (const double v : ms_) {
         total += v;
@@ -64,6 +92,16 @@ StageTimings::total_ms() const
 void
 StageTimings::merge(const StageTimings &other)
 {
+    if (&other == this) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t i = 0; i < static_cast<size_t>(kNumAmcStages);
+             ++i) {
+            ms_[i] += ms_[i];
+            calls_[i] += calls_[i];
+        }
+        return;
+    }
+    std::scoped_lock lock(mutex_, other.mutex_);
     for (size_t i = 0; i < static_cast<size_t>(kNumAmcStages); ++i) {
         ms_[i] += other.ms_[i];
         calls_[i] += other.calls_[i];
@@ -74,6 +112,10 @@ StageTimings
 StageTimings::delta_from(const StageTimings &baseline) const
 {
     StageTimings delta;
+    if (&baseline == this) {
+        return delta;
+    }
+    std::scoped_lock lock(mutex_, baseline.mutex_);
     for (size_t i = 0; i < static_cast<size_t>(kNumAmcStages); ++i) {
         delta.ms_[i] = ms_[i] - baseline.ms_[i];
         delta.calls_[i] = calls_[i] - baseline.calls_[i];
@@ -84,6 +126,7 @@ StageTimings::delta_from(const StageTimings &baseline) const
 void
 StageTimings::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ms_.fill(0.0);
     calls_.fill(0);
 }

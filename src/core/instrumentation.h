@@ -15,6 +15,7 @@
 
 #include <array>
 #include <chrono>
+#include <mutex>
 #include <string>
 
 #include "cnn/execution_plan.h"
@@ -22,18 +23,26 @@
 
 namespace eva2 {
 
-/** The instrumented stages of one AMC frame (Section II, Figure 1). */
+/**
+ * The instrumented stages of one AMC frame (Section II, Figure 1),
+ * in frame-path order: the FramePlan stage graph runs ingest →
+ * motion estimation → motion-field build → policy → (key branch:
+ * prefix → encode | predicted branch: warp) → suffix → commit.
+ */
 enum class AmcStage
 {
+    kIngest,           ///< Frame admission: shape check, bookkeeping.
     kMotionEstimation, ///< RFBME between stored key pixels and frame.
+    kMotionField,      ///< Fit the RFBME field to the activation grid.
     kPolicy,           ///< Key-frame decision on the motion features.
     kPrefix,           ///< CNN prefix up to the target layer (keys).
     kEncode,           ///< RLE encode/decode of the key activation.
     kWarp,             ///< Activation warp (predicted frames).
     kSuffix,           ///< CNN suffix after the target activation.
+    kCommit,           ///< In-order result delivery / materialization.
 };
 
-constexpr i64 kNumAmcStages = 6;
+constexpr i64 kNumAmcStages = 9;
 
 /** Stable lower-case stage name for reports ("motion_estimation"). */
 const char *amc_stage_name(AmcStage stage);
@@ -46,8 +55,12 @@ class AmcObserver
 
     /**
      * Called after a stage completes. Invoked on whichever thread
-     * runs the pipeline; a pipeline is single-threaded, so an
-     * observer owned by one pipeline needs no synchronization.
+     * runs the stage: under serial execution that is the one thread
+     * running the pipeline, but under pipelined frame execution
+     * (runtime/stage_scheduler) the suffix and commit stages of one
+     * stream report from pool workers concurrently with the front
+     * stages — observers must be internally synchronized (the
+     * standard StageTimings sink is).
      */
     virtual void on_stage(AmcStage stage, double ms) = 0;
 
@@ -60,10 +73,18 @@ class AmcObserver
     virtual void on_plan(const PlanRecord & /* plan */) {}
 };
 
-/** Accumulates total wall time and call counts per stage. */
+/**
+ * Accumulates total wall time and call counts per stage. Internally
+ * synchronized: with pipelined frame execution one stream's stages
+ * report concurrently from several threads.
+ */
 class StageTimings : public AmcObserver
 {
   public:
+    StageTimings() = default;
+    StageTimings(const StageTimings &other);
+    StageTimings &operator=(const StageTimings &other);
+
     void on_stage(AmcStage stage, double ms) override;
 
     double total_ms(AmcStage stage) const;
@@ -84,6 +105,7 @@ class StageTimings : public AmcObserver
     void reset();
 
   private:
+    mutable std::mutex mutex_;
     std::array<double, kNumAmcStages> ms_{};
     std::array<i64, kNumAmcStages> calls_{};
 };

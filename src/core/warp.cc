@@ -6,15 +6,13 @@
 
 namespace eva2 {
 
-MotionField
-fit_field(const MotionField &field, i64 h, i64 w)
+void
+fit_field_into(const MotionField &field, i64 h, i64 w, MotionField &out)
 {
-    if (field.height() == h && field.width() == w) {
-        return field;
-    }
+    require(&out != &field, "fit_field_into: out aliases input");
     require(field.height() > 0 && field.width() > 0,
             "fit_field: empty source field");
-    MotionField out(h, w);
+    out.resize_grid(h, w);
     for (i64 y = 0; y < h; ++y) {
         const i64 sy = std::min(y, field.height() - 1);
         for (i64 x = 0; x < w; ++x) {
@@ -22,13 +20,26 @@ fit_field(const MotionField &field, i64 h, i64 w)
             out.at(y, x) = field.at(sy, sx);
         }
     }
+}
+
+MotionField
+fit_field(const MotionField &field, i64 h, i64 w)
+{
+    if (field.height() == h && field.width() == w) {
+        return field;
+    }
+    MotionField out;
+    fit_field_into(field, h, w, out);
     return out;
 }
 
-Tensor
-warp_activation(const Tensor &key_activation, const MotionField &field,
-                i64 rf_stride, InterpMode mode)
+void
+warp_activation_into(const Tensor &key_activation,
+                     const MotionField &field, i64 rf_stride,
+                     InterpMode mode, Tensor &out)
 {
+    require(&out != &key_activation,
+            "warp_activation_into: out aliases the key activation");
     require(field.height() == key_activation.height() &&
                 field.width() == key_activation.width(),
             "warp_activation: field grid does not match activation");
@@ -38,7 +49,7 @@ warp_activation(const Tensor &key_activation, const MotionField &field,
     const i64 h = key_activation.height();
     const i64 w = key_activation.width();
     const double inv_stride = 1.0 / static_cast<double>(rf_stride);
-    Tensor out(key_activation.shape());
+    out.reshape_to(key_activation.shape());
 
     for (i64 y = 0; y < h; ++y) {
         for (i64 x = 0; x < w; ++x) {
@@ -59,6 +70,14 @@ warp_activation(const Tensor &key_activation, const MotionField &field,
             }
         }
     }
+}
+
+Tensor
+warp_activation(const Tensor &key_activation, const MotionField &field,
+                i64 rf_stride, InterpMode mode)
+{
+    Tensor out;
+    warp_activation_into(key_activation, field, rf_stride, mode, out);
     return out;
 }
 

@@ -44,11 +44,29 @@ Tensor warp_activation(const Tensor &key_activation,
                        InterpMode mode = InterpMode::kBilinear);
 
 /**
+ * warp_activation into a caller-owned tensor (reshaped in place, e.g.
+ * a ScratchArena slot), the allocation-free form the compiled frame
+ * path runs every predicted frame. Bit-identical to warp_activation.
+ * `out` must not alias `key_activation`.
+ */
+void warp_activation_into(const Tensor &key_activation,
+                          const MotionField &field, i64 rf_stride,
+                          InterpMode mode, Tensor &out);
+
+/**
  * Resize a motion field grid to (h, w) by cropping extra cells and
  * edge-extending missing ones. Receptive-field arithmetic and layer
  * flooring can disagree by a cell at the border; this reconciles them.
  */
 MotionField fit_field(const MotionField &field, i64 h, i64 w);
+
+/**
+ * fit_field into a caller-owned field (resized in place), the
+ * allocation-free form. Unlike fit_field it always copies, even when
+ * the grids already agree. `out` must not alias `field`.
+ */
+void fit_field_into(const MotionField &field, i64 h, i64 w,
+                    MotionField &out);
 
 } // namespace eva2
 

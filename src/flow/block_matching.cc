@@ -34,9 +34,9 @@ block_mad(const Tensor &key, const Tensor &current, i64 by, i64 bx,
     return acc / static_cast<double>(n);
 }
 
-MotionField
-exhaustive_block_match(const Tensor &key, const Tensor &current,
-                       const BlockMatchConfig &c)
+void
+exhaustive_block_match_into(const Tensor &key, const Tensor &current,
+                       const BlockMatchConfig &c, MotionField &out)
 {
     require(key.shape() == current.shape(),
             "block match: frame shape mismatch");
@@ -44,7 +44,8 @@ exhaustive_block_match(const Tensor &key, const Tensor &current,
             "block match: bad config");
     const i64 bh = key.height() / c.block_size;
     const i64 bw = key.width() / c.block_size;
-    MotionField field(bh, bw);
+    out.resize_grid(bh, bw);
+    MotionField &field = out;
     for (i64 by = 0; by < bh; ++by) {
         for (i64 bx = 0; bx < bw; ++bx) {
             double best = std::numeric_limits<double>::infinity();
@@ -66,18 +67,18 @@ exhaustive_block_match(const Tensor &key, const Tensor &current,
             field.at(by, bx) = best_off;
         }
     }
-    return field;
 }
 
-MotionField
-three_step_search(const Tensor &key, const Tensor &current,
-                  const BlockMatchConfig &c)
+void
+three_step_search_into(const Tensor &key, const Tensor &current,
+                  const BlockMatchConfig &c, MotionField &out)
 {
     require(key.shape() == current.shape(),
             "three step search: frame shape mismatch");
     const i64 bh = key.height() / c.block_size;
     const i64 bw = key.width() / c.block_size;
-    MotionField field(bh, bw);
+    out.resize_grid(bh, bw);
+    MotionField &field = out;
     for (i64 by = 0; by < bh; ++by) {
         for (i64 bx = 0; bx < bw; ++bx) {
             i64 cy = 0;
@@ -117,12 +118,11 @@ three_step_search(const Tensor &key, const Tensor &current,
                                     static_cast<double>(cx)};
         }
     }
-    return field;
 }
 
-MotionField
-diamond_search(const Tensor &key, const Tensor &current,
-               const BlockMatchConfig &c)
+void
+diamond_search_into(const Tensor &key, const Tensor &current,
+               const BlockMatchConfig &c, MotionField &out)
 {
     require(key.shape() == current.shape(),
             "diamond search: frame shape mismatch");
@@ -138,7 +138,8 @@ diamond_search(const Tensor &key, const Tensor &current,
 
     const i64 bh = key.height() / c.block_size;
     const i64 bw = key.width() / c.block_size;
-    MotionField field(bh, bw);
+    out.resize_grid(bh, bw);
+    MotionField &field = out;
     for (i64 by = 0; by < bh; ++by) {
         for (i64 bx = 0; bx < bw; ++bx) {
             const i64 oy = by * c.block_size;
@@ -195,7 +196,33 @@ diamond_search(const Tensor &key, const Tensor &current,
                                     static_cast<double>(cx)};
         }
     }
-    return field;
+}
+
+MotionField
+exhaustive_block_match(const Tensor &key, const Tensor &current,
+                       const BlockMatchConfig &config)
+{
+    MotionField out;
+    exhaustive_block_match_into(key, current, config, out);
+    return out;
+}
+
+MotionField
+three_step_search(const Tensor &key, const Tensor &current,
+                  const BlockMatchConfig &config)
+{
+    MotionField out;
+    three_step_search_into(key, current, config, out);
+    return out;
+}
+
+MotionField
+diamond_search(const Tensor &key, const Tensor &current,
+               const BlockMatchConfig &config)
+{
+    MotionField out;
+    diamond_search_into(key, current, config, out);
+    return out;
 }
 
 } // namespace eva2

@@ -32,12 +32,25 @@ MotionField exhaustive_block_match(const Tensor &key, const Tensor &current,
                                    const BlockMatchConfig &config);
 
 /**
+ * exhaustive_block_match into a caller-owned field (resized in
+ * place): the allocation-free form for per-frame serving loops.
+ */
+void exhaustive_block_match_into(const Tensor &key, const Tensor &current,
+                                 const BlockMatchConfig &config,
+                                 MotionField &out);
+
+/**
  * Three-step search: a logarithmic refinement that evaluates 9 points
  * per step with a halving step size. Much cheaper than exhaustive
  * search and usually close in quality (Li, Zeng, Liou 1994).
  */
 MotionField three_step_search(const Tensor &key, const Tensor &current,
                               const BlockMatchConfig &config);
+
+/** three_step_search into a caller-owned field (resized in place). */
+void three_step_search_into(const Tensor &key, const Tensor &current,
+                            const BlockMatchConfig &config,
+                            MotionField &out);
 
 /**
  * Diamond search: repeated large-diamond refinement followed by one
@@ -47,6 +60,11 @@ MotionField three_step_search(const Tensor &key, const Tensor &current,
  */
 MotionField diamond_search(const Tensor &key, const Tensor &current,
                            const BlockMatchConfig &config);
+
+/** diamond_search into a caller-owned field (resized in place). */
+void diamond_search_into(const Tensor &key, const Tensor &current,
+                         const BlockMatchConfig &config,
+                         MotionField &out);
 
 /**
  * Mean absolute difference between a block of `current` anchored at

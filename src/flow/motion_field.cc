@@ -4,11 +4,12 @@
 
 namespace eva2 {
 
-MotionField
-average_to_grid(const MotionField &dense, i64 out_h, i64 out_w, i64 size,
-                i64 stride, i64 pad)
+void
+average_to_grid_into(const MotionField &dense, i64 out_h, i64 out_w,
+                     i64 size, i64 stride, i64 pad, MotionField &out)
 {
-    MotionField out(out_h, out_w);
+    require(&out != &dense, "average_to_grid_into: out aliases input");
+    out.resize_grid(out_h, out_w);
     for (i64 uy = 0; uy < out_h; ++uy) {
         const i64 y_lo = std::max<i64>(0, uy * stride - pad);
         const i64 y_hi =
@@ -31,6 +32,14 @@ average_to_grid(const MotionField &dense, i64 out_h, i64 out_w, i64 size,
             }
         }
     }
+}
+
+MotionField
+average_to_grid(const MotionField &dense, i64 out_h, i64 out_w, i64 size,
+                i64 stride, i64 pad)
+{
+    MotionField out;
+    average_to_grid_into(dense, out_h, out_w, size, stride, pad, out);
     return out;
 }
 

@@ -83,6 +83,22 @@ class MotionField
     i64 width() const { return w_; }
     i64 size() const { return h_ * w_; }
 
+    /**
+     * Re-size the grid in place to (h, w), zero-filling every cell,
+     * without shrinking the underlying storage. This is the
+     * motion-field analogue of Tensor::reshape_to: a field reused as
+     * an estimator output performs no steady-state allocation once it
+     * has grown to the largest grid it is asked for.
+     */
+    void
+    resize_grid(i64 h, i64 w)
+    {
+        require(h >= 0 && w >= 0, "motion field dims must be >= 0");
+        h_ = h;
+        w_ = w;
+        v_.assign(static_cast<size_t>(h * w), Vec2{});
+    }
+
     Vec2 &
     at(i64 y, i64 x)
     {
@@ -148,6 +164,15 @@ class MotionField
  */
 MotionField average_to_grid(const MotionField &dense, i64 out_h, i64 out_w,
                             i64 size, i64 stride, i64 pad);
+
+/**
+ * average_to_grid into a caller-owned field (resized in place), the
+ * allocation-free form the compiled frame path uses. `out` must not
+ * alias `dense`.
+ */
+void average_to_grid_into(const MotionField &dense, i64 out_h, i64 out_w,
+                          i64 size, i64 stride, i64 pad,
+                          MotionField &out);
 
 } // namespace eva2
 

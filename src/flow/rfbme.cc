@@ -44,6 +44,20 @@ make_offsets(const RfbmeConfig &c)
     return offsets;
 }
 
+/** The workspace's offset grid, rebuilt only when the search changed. */
+const std::vector<Vec2> &
+cached_offsets(const RfbmeConfig &c, RfbmeWorkspace &ws)
+{
+    if (!ws.offsets_valid || ws.offsets_radius != c.search_radius ||
+        ws.offsets_stride != c.search_stride) {
+        ws.offsets = make_offsets(c);
+        ws.offsets_radius = c.search_radius;
+        ws.offsets_stride = c.search_stride;
+        ws.offsets_valid = true;
+    }
+    return ws.offsets;
+}
+
 /**
  * Full-tile range [t_lo, t_hi) covered by receptive field coordinate u
  * along one axis, clipped to the image's tile grid. A tile t covers
@@ -81,8 +95,10 @@ rfbme_out_size(i64 image_extent, const RfbmeConfig &config)
                          config.rf_pad);
 }
 
-RfbmeResult
-rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
+void
+rfbme_into(const Tensor &key, const Tensor &current,
+           const RfbmeConfig &config, RfbmeResult &result,
+           RfbmeWorkspace &ws)
 {
     validate(key, current, config);
     const i64 h = key.height();
@@ -92,12 +108,12 @@ rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
     const i64 tiles_x = w / s;
     const i64 out_h = rfbme_out_size(h, config);
     const i64 out_w = rfbme_out_size(w, config);
-    const std::vector<Vec2> offsets = make_offsets(config);
+    const std::vector<Vec2> &offsets = cached_offsets(config, ws);
 
-    RfbmeResult result;
-    result.field = MotionField(out_h, out_w);
+    result.field.resize_grid(out_h, out_w);
     result.rf_errors.assign(static_cast<size_t>(out_h * out_w),
                             std::numeric_limits<double>::infinity());
+    result.add_ops = 0;
 
     const i64 cells = out_h * out_w;
     const size_t plane = static_cast<size_t>((tiles_y + 1) * (tiles_x + 1));
@@ -113,17 +129,13 @@ rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
     const i64 offsets_per_chunk = 32;
     const i64 num_chunks = ceil_div(num_offsets, offsets_per_chunk);
 
-    struct ChunkBest
-    {
-        std::vector<double> best;
-        std::vector<i32> winner; ///< Offset index; -1 means none.
-        i64 add_ops = 0;
-    };
-    std::vector<ChunkBest> chunk_results(
-        static_cast<size_t>(num_chunks));
+    if (static_cast<i64>(ws.chunks.size()) < num_chunks) {
+        ws.chunks.resize(static_cast<size_t>(num_chunks));
+    }
 
     parallel_for(0, num_chunks, [&](i64 ci) {
-        ChunkBest &cb = chunk_results[static_cast<size_t>(ci)];
+        RfbmeWorkspace::Chunk &cb = ws.chunks[static_cast<size_t>(ci)];
+        cb.add_ops = 0;
         cb.best.assign(static_cast<size_t>(cells),
                        std::numeric_limits<double>::infinity());
         cb.winner.assign(static_cast<size_t>(cells), -1);
@@ -132,12 +144,14 @@ rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
         // plus their 2D prefix sums for O(1) receptive-field
         // aggregation (the software analogue of the diff tile
         // consumer's rolling sums). Fully rewritten per offset.
-        std::vector<double> prefix_diff(plane);
-        std::vector<double> prefix_count(plane);
-        std::vector<double> tile_diff(
-            static_cast<size_t>(tiles_y * tiles_x));
-        std::vector<double> tile_count(
-            static_cast<size_t>(tiles_y * tiles_x));
+        cb.prefix_diff.assign(plane, 0.0);
+        cb.prefix_count.assign(plane, 0.0);
+        cb.tile_diff.assign(static_cast<size_t>(tiles_y * tiles_x), 0.0);
+        cb.tile_count.assign(static_cast<size_t>(tiles_y * tiles_x), 0.0);
+        std::vector<double> &prefix_diff = cb.prefix_diff;
+        std::vector<double> &prefix_count = cb.prefix_count;
+        std::vector<double> &tile_diff = cb.tile_diff;
+        std::vector<double> &tile_count = cb.tile_count;
 
         const i64 oi_lo = ci * offsets_per_chunk;
         const i64 oi_hi =
@@ -253,9 +267,12 @@ rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
     // both inside chunks and here pick, per cell, the lowest-indexed
     // offset attaining the minimal error — exactly the offset the
     // serial running-minimum loop selects.
-    std::vector<double> best(static_cast<size_t>(cells),
-                             std::numeric_limits<double>::infinity());
-    for (const ChunkBest &cb : chunk_results) {
+    ws.merge_best.assign(static_cast<size_t>(cells),
+                         std::numeric_limits<double>::infinity());
+    std::vector<double> &best = ws.merge_best;
+    for (i64 ci = 0; ci < num_chunks; ++ci) {
+        const RfbmeWorkspace::Chunk &cb =
+            ws.chunks[static_cast<size_t>(ci)];
         result.add_ops += cb.add_ops;
         for (i64 cell = 0; cell < cells; ++cell) {
             const size_t idx = static_cast<size_t>(cell);
@@ -281,6 +298,14 @@ rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
             ? 0.0
             : result.total_error /
                   static_cast<double>(result.rf_errors.size());
+}
+
+RfbmeResult
+rfbme(const Tensor &key, const Tensor &current, const RfbmeConfig &config)
+{
+    RfbmeResult result;
+    RfbmeWorkspace ws;
+    rfbme_into(key, current, config, result, ws);
     return result;
 }
 

@@ -65,11 +65,54 @@ struct RfbmeResult
 };
 
 /**
+ * Reusable buffers for rfbme_into. A workspace amortizes every
+ * heap allocation RFBME needs — the candidate-offset grid, the
+ * per-chunk minimum/winner planes, and the tile/prefix-sum planes —
+ * so a per-stream workspace makes steady-state motion estimation
+ * allocation-free (the compiled frame path keeps one per stream).
+ * A workspace is not thread-safe; it belongs to one estimator call
+ * at a time. The offset grid is cached against the config that built
+ * it and rebuilt only when the search geometry changes.
+ */
+struct RfbmeWorkspace
+{
+    /** Per-chunk buffers of the parallel candidate-offset search. */
+    struct Chunk
+    {
+        std::vector<double> best;
+        std::vector<i32> winner;
+        std::vector<double> prefix_diff;
+        std::vector<double> prefix_count;
+        std::vector<double> tile_diff;
+        std::vector<double> tile_count;
+        i64 add_ops = 0;
+    };
+
+    std::vector<Vec2> offsets;
+    std::vector<Chunk> chunks;
+    std::vector<double> merge_best;
+
+    bool offsets_valid = false;
+    i64 offsets_radius = -1;
+    i64 offsets_stride = -1;
+};
+
+/**
  * Run optimized RFBME between a stored key frame and the current
  * frame. Both frames must be single-channel and the same size.
  */
 RfbmeResult rfbme(const Tensor &key, const Tensor &current,
                   const RfbmeConfig &config);
+
+/**
+ * rfbme into a caller-owned result and workspace, both resized in
+ * place: the allocation-free form the compiled frame path runs every
+ * candidate frame. Bit-identical to rfbme() — same chunking, same
+ * ascending-offset merge.
+ */
+void rfbme_into(const Tensor &key, const Tensor &current,
+                const RfbmeConfig &config, RfbmeResult &result,
+                RfbmeWorkspace &ws);
 
 /**
  * Reference implementation without tile reuse: every receptive field

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "eval/metrics.h"
+#include "runtime/stage_scheduler.h"
 
 namespace eva2 {
 
@@ -183,6 +184,92 @@ StreamExecutor::run_stream(i64 index, const Sequence &seq)
     return result;
 }
 
+void
+StreamExecutor::run_pipelined(const std::vector<Sequence> &streams,
+                              BatchResult &batch)
+{
+    const i64 n = static_cast<i64>(streams.size());
+
+    // Per-stream result builders, written only by the stream's own
+    // in-order commit flushes (the scheduler serializes them).
+    struct Builder
+    {
+        StreamResult result;
+        AmcStats before;
+        std::exception_ptr error;
+    };
+    std::vector<Builder> builders(static_cast<size_t>(n));
+    std::vector<std::unique_ptr<StageScheduler>> schedulers;
+    schedulers.reserve(static_cast<size_t>(n));
+    for (i64 i = 0; i < n; ++i) {
+        Builder &b = builders[static_cast<size_t>(i)];
+        const Sequence &seq = streams[static_cast<size_t>(i)];
+        AmcPipeline &pipeline = *pipelines_[static_cast<size_t>(i)];
+        b.result.name = seq.name;
+        b.result.stream_index = i;
+        b.result.digest = kFnvOffset;
+        b.result.frames.reserve(seq.frames.size());
+        b.before = pipeline.stats();
+        StageSchedulerOptions opts;
+        opts.depth = opts_.pipeline_depth;
+        opts.store_outputs = opts_.store_outputs;
+        const bool store = opts_.store_outputs;
+        schedulers.push_back(std::make_unique<StageScheduler>(
+            pipeline, pool_.get(), opts,
+            [&b, store](FrameCommit commit) {
+                if (commit.error) {
+                    if (!b.error) {
+                        b.error = commit.error;
+                    }
+                    return;
+                }
+                FrameRecord record;
+                record.is_key = commit.is_key;
+                record.top1 = commit.top1;
+                record.output_digest = commit.output_digest;
+                record.match_error = commit.match_error;
+                b.result.digest = digest_combine(b.result.digest,
+                                                 record.output_digest);
+                b.result.me_add_ops += commit.me_add_ops;
+                b.result.frames.push_back(record);
+                if (store) {
+                    b.result.outputs.push_back(
+                        std::move(commit.output));
+                }
+            }));
+    }
+
+    // The caller only enqueues and drains; the fronts and suffixes
+    // fan out on the pool (or run inline here when there is none),
+    // so no pool worker ever blocks waiting for another task.
+    for (i64 i = 0; i < n; ++i) {
+        for (const LabeledFrame &frame :
+             streams[static_cast<size_t>(i)].frames) {
+            schedulers[static_cast<size_t>(i)]->enqueue_ref(
+                &frame.image);
+        }
+    }
+    std::exception_ptr error;
+    for (i64 i = 0; i < n; ++i) {
+        schedulers[static_cast<size_t>(i)]->drain();
+    }
+    for (i64 i = 0; i < n; ++i) {
+        Builder &b = builders[static_cast<size_t>(i)];
+        const AmcStats after =
+            pipelines_[static_cast<size_t>(i)]->stats();
+        b.result.stats.frames = after.frames - b.before.frames;
+        b.result.stats.key_frames =
+            after.key_frames - b.before.key_frames;
+        batch.streams[static_cast<size_t>(i)] = std::move(b.result);
+        if (b.error && !error) {
+            error = b.error;
+        }
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
+}
+
 BatchResult
 StreamExecutor::run(const std::vector<Sequence> &streams)
 {
@@ -193,6 +280,15 @@ StreamExecutor::run(const std::vector<Sequence> &streams)
 
     BatchResult batch;
     batch.streams.resize(static_cast<size_t>(n));
+    if (pipelined()) {
+        const auto start = std::chrono::steady_clock::now();
+        run_pipelined(streams, batch);
+        const auto stop = std::chrono::steady_clock::now();
+        batch.wall_ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+        return batch;
+    }
     const auto start = std::chrono::steady_clock::now();
     if (!pool_ || n <= 1) {
         for (i64 i = 0; i < n; ++i) {

@@ -7,9 +7,14 @@
  * state) is per-stream by construction, so the natural unit of
  * parallelism is the stream: the StreamExecutor owns one AmcPipeline
  * per stream, all sharing one read-only Network, and drives them
- * concurrently on a ThreadPool. Frames within a stream stay strictly
- * ordered (temporal redundancy is the whole point), so results are
- * bit-identical to serial execution no matter how streams interleave.
+ * concurrently on a ThreadPool. Within a stream, frames are
+ * additionally software-pipelined across the FramePlan stages
+ * (runtime/stage_scheduler.h) when pipeline_depth > 1: frame N+1's
+ * motion estimation overlaps frame N's CNN suffix, which keeps cores
+ * busy even with fewer streams than workers. Frames within a stream
+ * still *commit* strictly ordered (temporal redundancy is the whole
+ * point), so results are bit-identical to serial execution no matter
+ * how streams or stages interleave.
  *
  * CNN execution memory is per *worker*, not per stream: pipelines run
  * their compiled ExecutionPlans against the executing thread's
@@ -71,6 +76,15 @@ struct StreamExecutorOptions
     i64 num_threads = 0;
     /** Retain every output tensor in StreamResult::outputs. */
     bool store_outputs = false;
+    /**
+     * Frames of one stream software-pipelined across FramePlan
+     * stages (runtime/stage_scheduler): frame N+1's motion
+     * estimation overlaps frame N's CNN suffix, with up to this many
+     * frames in flight per stream. <= 1 disables pipelining (the
+     * legacy strictly serial frame loop). Outputs are bit-identical
+     * either way; this is purely an execution-shape knob.
+     */
+    i64 pipeline_depth = 3;
 };
 
 /** Per-frame record kept by the aggregation layer. */
@@ -171,9 +185,20 @@ class StreamExecutor
     /** Stream-level worker pool; null when num_threads() == 1. */
     ThreadPool *pool() { return pool_.get(); }
 
+    /** True when run() pipelines frames across FramePlan stages. */
+    bool pipelined() const { return opts_.pipeline_depth > 1; }
+
   private:
     AmcPipeline &pipeline_for(i64 index);
     StreamResult run_stream(i64 index, const Sequence &seq);
+
+    /**
+     * Pipelined batch execution: every stream's frames flow through
+     * a StageScheduler; the caller's thread only enqueues and
+     * drains, so pool workers never block on sub-tasks.
+     */
+    void run_pipelined(const std::vector<Sequence> &streams,
+                       BatchResult &batch);
 
     const Network *net_;
     StreamExecutorOptions opts_;

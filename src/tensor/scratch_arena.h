@@ -67,6 +67,23 @@ class ScratchArena
         return slots_[static_cast<size_t>(id)].get();
     }
 
+    /**
+     * Pre-create slots [0, count) as empty tensors. An arena shared
+     * across threads with per-slot ownership (the FramePlan slot
+     * ring: each in-flight frame owns one slot) must create every
+     * slot up front — slot() growing the slot vector while another
+     * thread peek()s it would race on the vector's buffer. Slot
+     * *contents* need no such care; distinct slots are distinct
+     * tensors.
+     */
+    void
+    ensure_slots(i64 count)
+    {
+        while (static_cast<i64>(slots_.size()) < count) {
+            slots_.push_back(std::make_unique<Tensor>());
+        }
+    }
+
     /** Slots created so far. */
     i64 num_slots() const { return static_cast<i64>(slots_.size()); }
 

@@ -23,6 +23,50 @@
 
 namespace eva2 {
 
+/**
+ * Escape a string for embedding inside a JSON string literal (no
+ * surrounding quotes added). The one escaping routine every report
+ * path shares — stage names, kernel names, stream/session names all
+ * pass through here, so a name containing quotes, backslashes, or
+ * control characters can never corrupt a saved report.
+ */
+inline std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
 /** Push-style JSON writer with pretty printing. */
 class JsonWriter
 {
@@ -247,35 +291,7 @@ class JsonWriter
     write_string(const std::string &s)
     {
         out_ += '"';
-        for (const char c : s) {
-            switch (c) {
-              case '"':
-                out_ += "\\\"";
-                break;
-              case '\\':
-                out_ += "\\\\";
-                break;
-              case '\n':
-                out_ += "\\n";
-                break;
-              case '\r':
-                out_ += "\\r";
-                break;
-              case '\t':
-                out_ += "\\t";
-                break;
-              default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x",
-                                  static_cast<unsigned>(
-                                      static_cast<unsigned char>(c)));
-                    out_ += buf;
-                } else {
-                    out_ += c;
-                }
-            }
-        }
+        out_ += json_escape(s);
         out_ += '"';
     }
 

@@ -536,6 +536,64 @@ TEST(Engine, SessionsAreStableAndNamed)
     EXPECT_EQ(engine.find_session("nope"), nullptr);
 }
 
+TEST(Engine, ClosedEngineRejectsSubmissionDescriptively)
+{
+    // Satellite regression: submitting after close()/teardown must be
+    // a loud, descriptive error — not undefined behavior against a
+    // half-destroyed engine.
+    EngineFixture fx;
+    Engine engine(fx.net, fx.config(2));
+    Session &cam = engine.session("cam");
+    const FrameTicket t = cam.submit(fx.streams[0].frames[0].image);
+    cam.wait(t);
+
+    engine.close();
+    EXPECT_TRUE(engine.closed());
+    engine.close(); // Idempotent.
+
+    try {
+        cam.submit(fx.streams[0].frames[1].image);
+        FAIL() << "submit after close did not throw";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("closed"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(engine.run(fx.streams), ConfigError);
+    EXPECT_THROW(engine.session("new_cam"), ConfigError);
+
+    // Completed work stays observable: the existing session is still
+    // addressable and its outcome, report, and digests survive.
+    EXPECT_EQ(&engine.session("cam"), &cam);
+    ASSERT_TRUE(cam.poll(t).has_value());
+    EXPECT_TRUE(cam.poll(t)->is_key);
+    const RunReport report = engine.report();
+    EXPECT_EQ(report.frames, 1);
+}
+
+TEST(Engine, PipelineDepthConfigIsValidatedAndEchoed)
+{
+    EngineFixture fx;
+    EngineConfig bad = fx.config(2);
+    bad.pipeline_depth = -1;
+    EXPECT_THROW(Engine(fx.net, bad), ConfigError);
+
+    EngineConfig serial_frames = fx.config(2);
+    serial_frames.pipeline_depth = 1;
+    Engine a(fx.net, serial_frames);
+    EngineConfig pipelined = fx.config(2);
+    pipelined.pipeline_depth = 4;
+    Engine b(fx.net, pipelined);
+    const RunReport ra = a.run(fx.streams);
+    const RunReport rb = b.run(fx.streams);
+    EXPECT_EQ(ra.pipeline_depth, 1);
+    EXPECT_EQ(rb.pipeline_depth, 4);
+    // The execution-shape knob must not change a single output bit.
+    EXPECT_EQ(ra.digest, rb.digest);
+    EXPECT_NE(ra.to_json(0).find("\"pipeline_depth\":1"),
+              std::string::npos);
+}
+
 // --------------------------------------------------------------------
 // RunReport and JSON
 
@@ -610,6 +668,69 @@ TEST(RunReport, JsonIsWellFormedAndCarriesHeadlineNumbers)
         EXPECT_NE(json.find(key), std::string::npos) << key;
     }
     EXPECT_NE(json.find("\"static:interval=2\""), std::string::npos);
+}
+
+TEST(JsonEscape, SharedHelperCoversQuotesBackslashesAndControls)
+{
+    // The one escape routine every report path shares (satellite):
+    // stage/kernel/stream names with hostile characters cannot
+    // corrupt a saved report.
+    EXPECT_EQ(json_escape("plain_name"), "plain_name");
+    EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+    EXPECT_EQ(json_escape("nl\nrc\r"), "nl\\nrc\\r");
+    EXPECT_EQ(json_escape(std::string("bell\x01") + "x"),
+              "bell\\u0001x");
+
+    // A report whose stage/kernel-bearing names carry quotes and
+    // backslashes still serializes through the helper: the raw name
+    // never appears unescaped.
+    RunReport report;
+    report.network = "net\"quoted\\name";
+    StageReport stage;
+    stage.stage = "stage\"x";
+    report.stages.push_back(stage);
+    PlanRecord plan;
+    plan.scope = "prefix";
+    PlanStepInfo step;
+    step.layer = "conv\\1";
+    step.kernel = "gemm\"fused";
+    plan.steps.push_back(step);
+    report.plan.push_back(plan);
+    const std::string json = report.to_json(0);
+    EXPECT_EQ(json.find("net\"quoted"), std::string::npos);
+    EXPECT_NE(json.find("net\\\"quoted\\\\name"), std::string::npos);
+    EXPECT_NE(json.find("stage\\\"x"), std::string::npos);
+    EXPECT_NE(json.find("conv\\\\1"), std::string::npos);
+    EXPECT_NE(json.find("gemm\\\"fused"), std::string::npos);
+}
+
+TEST(StageReportTest, OccupancyAndMeanLatencyRows)
+{
+    StageTimings timings;
+    timings.on_stage(AmcStage::kSuffix, 30.0);
+    timings.on_stage(AmcStage::kSuffix, 10.0);
+    timings.on_stage(AmcStage::kMotionEstimation, 60.0);
+    const std::vector<StageReport> rows =
+        stage_reports(timings, /*wall_ms=*/50.0);
+    ASSERT_EQ(rows.size(), static_cast<size_t>(kNumAmcStages));
+    for (const StageReport &row : rows) {
+        if (row.stage == "suffix") {
+            EXPECT_DOUBLE_EQ(row.total_ms, 40.0);
+            EXPECT_EQ(row.calls, 2);
+            EXPECT_DOUBLE_EQ(row.mean_ms(), 20.0);
+            EXPECT_DOUBLE_EQ(row.occupancy, 0.8);
+        } else if (row.stage == "motion_estimation") {
+            // Busy past the wall clock: overlapped execution.
+            EXPECT_DOUBLE_EQ(row.occupancy, 1.2);
+        } else {
+            EXPECT_DOUBLE_EQ(row.occupancy, 0.0);
+            EXPECT_DOUBLE_EQ(row.mean_ms(), 0.0);
+        }
+    }
+    // Without a wall time, occupancies are simply absent (0).
+    EXPECT_DOUBLE_EQ(stage_reports(timings)[0].occupancy, 0.0);
 }
 
 TEST(JsonWriterTest, EscapesAndNests)

@@ -88,6 +88,42 @@ TEST(Warp, FitFieldCropsAndExtends)
     EXPECT_EQ(shrunk.height(), 2);
 }
 
+TEST(WarpInto, MatchesAllocatingFormsWithoutAllocating)
+{
+    const Tensor key = random_activation(Shape{3, 12, 12}, 41);
+    MotionField field = MotionField::uniform(12, 12, Vec2{3.0, -1.5});
+    field.at(4, 7) = Vec2{-2.0, 2.5};
+
+    for (const InterpMode mode :
+         {InterpMode::kBilinear, InterpMode::kNearest}) {
+        const Tensor expect = warp_activation(key, field, 2, mode);
+        Tensor out;
+        warp_activation_into(key, field, 2, mode, out);
+        EXPECT_TRUE(out == expect);
+
+        // Steady state: re-warping into the same tensor reuses its
+        // buffer — the per-predicted-frame guarantee the compiled
+        // frame path is pinned to.
+        const u64 before = Tensor::buffer_allocations();
+        warp_activation_into(key, field, 2, mode, out);
+        EXPECT_EQ(Tensor::buffer_allocations() - before, 0u);
+        EXPECT_TRUE(out == expect);
+    }
+}
+
+TEST(WarpInto, FitFieldIntoMatchesAndCopiesEvenWhenSameSize)
+{
+    MotionField f(3, 3);
+    f.at(2, 2) = Vec2{1.0, 1.0};
+    MotionField out;
+    fit_field_into(f, 4, 4, out);
+    EXPECT_DOUBLE_EQ(out.at(3, 3).dy, 1.0);
+    fit_field_into(f, 3, 3, out);
+    EXPECT_EQ(out.height(), 3);
+    EXPECT_DOUBLE_EQ(out.at(2, 2).dx, 1.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 0).dx, 0.0);
+}
+
 /** Property sweep: warping by any integer-cell uniform field equals
  * plain translation at every receptive-field stride and both
  * interpolation modes. */

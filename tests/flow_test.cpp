@@ -373,5 +373,129 @@ TEST(OpticalFlow, ZeroFlowOnIdenticalFrames)
     EXPECT_LT(hs.mean_magnitude(), 0.05);
 }
 
+// --------------------------------------------------------------------
+// Allocation-free *_into forms: bit-identical to the allocating
+// wrappers, and steady-state reuse neither allocates tensor buffers
+// nor regrows the caller-owned workspaces (pinned by buffer-address
+// stability across repeated calls).
+
+bool
+fields_equal(const MotionField &a, const MotionField &b)
+{
+    if (a.height() != b.height() || a.width() != b.width()) {
+        return false;
+    }
+    for (i64 y = 0; y < a.height(); ++y) {
+        for (i64 x = 0; x < a.width(); ++x) {
+            if (a.at(y, x) != b.at(y, x)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+TEST(RfbmeInto, MatchesAllocatingFormAndReusesWorkspace)
+{
+    const Tensor key = noise_frame(64, 64, 31);
+    const Tensor cur = translate(key, 3.0, -2.0);
+    RfbmeConfig config;
+    config.search_radius = 8;
+
+    const RfbmeResult expect = rfbme(key, cur, config);
+
+    RfbmeResult result;
+    RfbmeWorkspace ws;
+    rfbme_into(key, cur, config, result, ws);
+    EXPECT_TRUE(fields_equal(result.field, expect.field));
+    EXPECT_EQ(result.rf_errors, expect.rf_errors);
+    EXPECT_EQ(result.add_ops, expect.add_ops);
+    EXPECT_DOUBLE_EQ(result.mean_error, expect.mean_error);
+
+    // Steady state: the second run reuses every buffer in place.
+    const Vec2 *field_buf = &result.field.at(0, 0);
+    const double *errors_buf = result.rf_errors.data();
+    const Vec2 *offsets_buf = ws.offsets.data();
+    const double *chunk_buf = ws.chunks.empty()
+                                  ? nullptr
+                                  : ws.chunks.front().best.data();
+    const u64 before = Tensor::buffer_allocations();
+    rfbme_into(key, cur, config, result, ws);
+    EXPECT_EQ(Tensor::buffer_allocations() - before, 0u);
+    EXPECT_EQ(&result.field.at(0, 0), field_buf);
+    EXPECT_EQ(result.rf_errors.data(), errors_buf);
+    EXPECT_EQ(ws.offsets.data(), offsets_buf);
+    if (chunk_buf != nullptr) {
+        EXPECT_EQ(ws.chunks.front().best.data(), chunk_buf);
+    }
+    EXPECT_TRUE(fields_equal(result.field, expect.field));
+}
+
+TEST(RfbmeInto, WorkspaceSurvivesAConfigChange)
+{
+    const Tensor key = noise_frame(48, 48, 33);
+    const Tensor cur = translate(key, -2.0, 1.0);
+    RfbmeConfig small;
+    small.search_radius = 4;
+    RfbmeConfig big;
+    big.search_radius = 10;
+
+    RfbmeResult result;
+    RfbmeWorkspace ws;
+    rfbme_into(key, cur, small, result, ws);
+    rfbme_into(key, cur, big, result, ws);
+    const RfbmeResult expect = rfbme(key, cur, big);
+    EXPECT_TRUE(fields_equal(result.field, expect.field));
+    EXPECT_EQ(result.add_ops, expect.add_ops);
+}
+
+TEST(BlockMatchingInto, MatchesAllocatingFormsWithoutAllocating)
+{
+    const Tensor key = noise_frame(48, 48, 35);
+    const Tensor cur = translate(key, 2.0, 3.0);
+    BlockMatchConfig config;
+    config.search_radius = 6;
+
+    MotionField out;
+    exhaustive_block_match_into(key, cur, config, out);
+    EXPECT_TRUE(
+        fields_equal(out, exhaustive_block_match(key, cur, config)));
+    three_step_search_into(key, cur, config, out);
+    EXPECT_TRUE(
+        fields_equal(out, three_step_search(key, cur, config)));
+    diamond_search_into(key, cur, config, out);
+    EXPECT_TRUE(fields_equal(out, diamond_search(key, cur, config)));
+
+    // Steady state: repeated searches into the same field reuse its
+    // grid in place and touch no tensor buffers.
+    const Vec2 *buf = &out.at(0, 0);
+    const u64 before = Tensor::buffer_allocations();
+    exhaustive_block_match_into(key, cur, config, out);
+    three_step_search_into(key, cur, config, out);
+    diamond_search_into(key, cur, config, out);
+    EXPECT_EQ(Tensor::buffer_allocations() - before, 0u);
+    EXPECT_EQ(&out.at(0, 0), buf);
+}
+
+TEST(MotionFieldInto, ResizeGridZeroFillsAndAverageIntoMatches)
+{
+    MotionField f = MotionField::uniform(4, 4, Vec2{1.0, 2.0});
+    f.resize_grid(2, 3);
+    EXPECT_EQ(f.height(), 2);
+    EXPECT_EQ(f.width(), 3);
+    for (i64 y = 0; y < 2; ++y) {
+        for (i64 x = 0; x < 3; ++x) {
+            EXPECT_EQ(f.at(y, x), (Vec2{0.0, 0.0}));
+        }
+    }
+
+    const MotionField dense =
+        MotionField::uniform(16, 16, Vec2{2.0, -1.0});
+    MotionField out;
+    average_to_grid_into(dense, 7, 7, 4, 2, 1, out);
+    EXPECT_TRUE(
+        fields_equal(out, average_to_grid(dense, 7, 7, 4, 2, 1)));
+}
+
 } // namespace
 } // namespace eva2

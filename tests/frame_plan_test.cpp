@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the compiled FramePlan stage graph and its pipelined
+ * execution: stage-level parity with the serial AmcPipeline facade,
+ * the digest-identity sweep over scenarios x policies x kernels
+ * (pipelined vs serial frame execution), and the zero-allocation
+ * guarantee of the full ingest-to-commit predicted-frame path.
+ */
+#include <gtest/gtest.h>
+
+#include "api/registry.h"
+#include "cnn/model_zoo.h"
+#include "runtime/stage_scheduler.h"
+#include "runtime/stream_executor.h"
+#include "runtime/thread_pool.h"
+#include "video/scenarios.h"
+
+namespace eva2 {
+namespace {
+
+AmcOptions
+small_options()
+{
+    AmcOptions opts;
+    opts.search_radius = 10;
+    return opts;
+}
+
+/** A small single-stream workload on the scaled AlexNet. */
+struct PlanFixture
+{
+    Network net;
+    std::vector<Sequence> streams;
+
+    PlanFixture()
+        : net(build_scaled(alexnet_spec(),
+                           [] {
+                               ScaledBuildOptions o;
+                               o.input = Shape{1, 96, 96};
+                               return o;
+                           }()))
+    {
+        streams = multi_stream_set(/*seed=*/5, /*num_streams=*/1,
+                                   /*frames_per_stream=*/4,
+                                   /*size=*/96);
+    }
+};
+
+TEST(FramePlan, StageHalvesMatchTheSerialFacade)
+{
+    PlanFixture fx;
+    // Serial reference through the classic facade.
+    AmcPipeline reference(fx.net,
+                          std::make_unique<StaticRatePolicy>(2),
+                          small_options());
+    // The same frames through explicit front/suffix stage calls.
+    AmcPipeline staged(fx.net, std::make_unique<StaticRatePolicy>(2),
+                       small_options());
+    FramePlan &plan = staged.frame_plan();
+    plan.set_depth(2);
+    ScratchArena arena;
+    for (i64 f = 0; f < static_cast<i64>(fx.streams[0].size()); ++f) {
+        const Tensor &frame = fx.streams[0][f].image;
+        const AmcFrameResult expect = reference.process(frame);
+        const FrontResult front =
+            plan.run_front(frame, f % 2, arena, nullptr);
+        const Tensor &out = plan.run_suffix(f % 2, arena, nullptr);
+        EXPECT_EQ(front.is_key, expect.is_key) << "frame " << f;
+        EXPECT_EQ(front.me_add_ops, expect.me_add_ops);
+        EXPECT_DOUBLE_EQ(front.features.match_error,
+                         expect.features.match_error);
+        EXPECT_TRUE(out == expect.output) << "frame " << f;
+        EXPECT_TRUE(plan.slot_activation(f % 2) ==
+                    expect.target_activation)
+            << "frame " << f;
+    }
+    EXPECT_EQ(plan.stats().frames, reference.stats().frames);
+    EXPECT_EQ(plan.stats().key_frames, reference.stats().key_frames);
+}
+
+TEST(FramePlan, SlotRingRejectsOutOfDepthSlots)
+{
+    PlanFixture fx;
+    AmcPipeline pipeline(fx.net, nullptr, small_options());
+    FramePlan &plan = pipeline.frame_plan();
+    ScratchArena arena;
+    EXPECT_EQ(plan.depth(), 1);
+    EXPECT_THROW(
+        plan.run_front(fx.streams[0][0].image, 1, arena, nullptr),
+        ConfigError);
+    EXPECT_THROW(plan.set_depth(0), ConfigError);
+    plan.set_depth(3);
+    plan.run_front(fx.streams[0][0].image, 2, arena, nullptr);
+    EXPECT_NO_THROW(plan.run_suffix(2, arena, nullptr));
+    // Slots the front never wrote have no activation to read.
+    EXPECT_THROW(plan.run_suffix(1, arena, nullptr), ConfigError);
+}
+
+TEST(FramePlan, ForcedPathsMatchFacadeForcedPaths)
+{
+    PlanFixture fx;
+    AmcPipeline a(fx.net, nullptr, small_options());
+    AmcPipeline b(fx.net, nullptr, small_options());
+    ScratchArena arena;
+
+    const Tensor key_out = a.run_key(fx.streams[0][0].image);
+    b.frame_plan().run_front_key(fx.streams[0][0].image, 0, arena,
+                                 nullptr);
+    EXPECT_TRUE(key_out ==
+                b.frame_plan().run_suffix(0, arena, nullptr));
+
+    const AmcFrameResult pred = a.run_predicted(fx.streams[0][1].image);
+    const FrontResult front = b.frame_plan().run_front_predicted(
+        fx.streams[0][1].image, 0, arena, nullptr);
+    EXPECT_FALSE(front.is_key);
+    EXPECT_EQ(front.me_add_ops, pred.me_add_ops);
+    EXPECT_TRUE(pred.output ==
+                b.frame_plan().run_suffix(0, arena, nullptr));
+}
+
+/**
+ * The acceptance sweep: for every scenario kind in the multi-stream
+ * serving set, every key-frame policy, and both CNN kernels, the
+ * pipelined FramePlan path must reproduce the legacy serial frame
+ * loop's per-stream digests bit for bit.
+ */
+TEST(FramePlanSweep, PipelinedDigestsMatchSerialEverywhere)
+{
+    Network net = build_scaled(alexnet_spec(), [] {
+        ScaledBuildOptions o;
+        o.input = Shape{1, 96, 96};
+        return o;
+    }());
+    // 5 streams cycle through all scenario kinds (objects, pan,
+    // occlusion, static, chaotic).
+    const std::vector<Sequence> streams =
+        multi_stream_set(/*seed=*/7, /*num_streams=*/5,
+                         /*frames_per_stream=*/4, /*size=*/96);
+
+    const std::vector<std::string> policies = {
+        "every_frame",
+        "static:interval=3",
+        "adaptive_error:th=0.05,max_gap=6",
+        "adaptive_motion:th=60,max_gap=6",
+    };
+    const std::vector<ConvKernel> kernels = {ConvKernel::kIm2colGemm,
+                                             ConvKernel::kDirect};
+
+    for (const std::string &policy : policies) {
+        for (const ConvKernel kernel : kernels) {
+            auto options = [&](i64 depth, i64 threads) {
+                StreamExecutorOptions o;
+                o.num_threads = threads;
+                o.pipeline_depth = depth;
+                o.amc = small_options();
+                o.amc.plan.conv_kernel = kernel;
+                o.make_policy = [policy](i64) {
+                    return PolicyRegistry::instance().make(policy);
+                };
+                return o;
+            };
+            StreamExecutor serial(net, options(1, 1));
+            StreamExecutor pipelined(net, options(3, 4));
+            const BatchResult a = serial.run(streams);
+            const BatchResult b = pipelined.run(streams);
+            ASSERT_EQ(a.streams.size(), b.streams.size());
+            for (size_t i = 0; i < a.streams.size(); ++i) {
+                EXPECT_EQ(a.streams[i].digest, b.streams[i].digest)
+                    << "policy " << policy << ", kernel "
+                    << conv_kernel_name(kernel) << ", stream "
+                    << a.streams[i].name;
+                EXPECT_EQ(a.streams[i].stats.key_frames,
+                          b.streams[i].stats.key_frames);
+                EXPECT_EQ(a.streams[i].me_add_ops,
+                          b.streams[i].me_add_ops);
+            }
+            EXPECT_EQ(a.digest(), b.digest())
+                << "policy " << policy << ", kernel "
+                << conv_kernel_name(kernel);
+        }
+    }
+}
+
+TEST(FramePlanSweep, MemoizationModeMatchesToo)
+{
+    Network net = build_scaled(alexnet_spec(), [] {
+        ScaledBuildOptions o;
+        o.input = Shape{1, 96, 96};
+        return o;
+    }());
+    const std::vector<Sequence> streams =
+        classification_test_set(/*seed=*/11, /*num_sequences=*/2,
+                                /*frames_per_sequence=*/4,
+                                /*size=*/96);
+    auto options = [&](i64 depth, i64 threads) {
+        StreamExecutorOptions o;
+        o.num_threads = threads;
+        o.pipeline_depth = depth;
+        o.amc = small_options();
+        o.amc.motion_mode = MotionMode::kMemoization;
+        o.make_policy = [](i64) {
+            return std::make_unique<StaticRatePolicy>(3);
+        };
+        return o;
+    };
+    StreamExecutor serial(net, options(1, 1));
+    StreamExecutor pipelined(net, options(3, 4));
+    EXPECT_EQ(serial.run(streams).digest(),
+              pipelined.run(streams).digest());
+}
+
+/**
+ * The allocation acceptance bar: once warm, a predicted frame's whole
+ * journey — ingest, RFBME, motion-field build, warp, suffix, digest,
+ * commit — performs zero tensor-buffer allocations.
+ */
+TEST(FramePlanAllocation, SteadyStatePredictedFramesAllocateNothing)
+{
+    Network net = build_scaled(alexnet_spec(), [] {
+        ScaledBuildOptions o;
+        o.input = Shape{1, 96, 96};
+        return o;
+    }());
+    // A huge static interval: after the first key frame, everything
+    // is a predicted frame.
+    StreamExecutorOptions opts;
+    opts.num_threads = 1; // Inline: the global counter stays ours.
+    opts.pipeline_depth = 3;
+    opts.amc = small_options();
+    opts.make_policy = [](i64) {
+        return std::make_unique<StaticRatePolicy>(1000);
+    };
+    StreamExecutor exec(net, opts);
+
+    const std::vector<Sequence> warmup =
+        multi_stream_set(/*seed=*/13, 1, 3, 96);
+    const std::vector<Sequence> steady =
+        multi_stream_set(/*seed=*/13, 1, 6, 96);
+    exec.run(warmup); // Key frame + slot/workspace growth.
+
+    const u64 before = Tensor::buffer_allocations();
+    const BatchResult batch = exec.run(steady);
+    const u64 after = Tensor::buffer_allocations();
+    EXPECT_EQ(batch.total_key_frames(), 0)
+        << "steady-state run unexpectedly re-keyed";
+    EXPECT_EQ(batch.total_frames(), 6);
+    EXPECT_EQ(after - before, 0u)
+        << "predicted frames allocated tensor buffers";
+}
+
+TEST(StageScheduler, CommitsInOrderAcrossDepths)
+{
+    PlanFixture fx;
+    const std::vector<Sequence> streams =
+        multi_stream_set(/*seed=*/21, 1, 8, 96);
+    for (const i64 depth : {1, 2, 4}) {
+        ThreadPool pool(3);
+        AmcPipeline pipeline(fx.net,
+                             std::make_unique<StaticRatePolicy>(3),
+                             small_options());
+        std::vector<i64> order;
+        StageSchedulerOptions opts;
+        opts.depth = depth;
+        StageScheduler scheduler(
+            pipeline, &pool, opts, [&order](FrameCommit commit) {
+                order.push_back(commit.frame);
+            });
+        for (const LabeledFrame &frame : streams[0].frames) {
+            scheduler.enqueue(frame.image);
+        }
+        scheduler.drain();
+        ASSERT_EQ(order.size(), streams[0].frames.size());
+        for (size_t i = 0; i < order.size(); ++i) {
+            EXPECT_EQ(order[i], static_cast<i64>(i))
+                << "depth " << depth;
+        }
+        EXPECT_EQ(scheduler.committed(), scheduler.submitted());
+    }
+}
+
+TEST(StageScheduler, BadFrameCommitsItsErrorAndTheStreamContinues)
+{
+    PlanFixture fx;
+    ThreadPool pool(2);
+    AmcPipeline pipeline(fx.net, nullptr, small_options());
+    i64 failures = 0;
+    i64 successes = 0;
+    StageScheduler scheduler(pipeline, &pool, {},
+                             [&](FrameCommit commit) {
+                                 if (commit.error) {
+                                     ++failures;
+                                 } else {
+                                     ++successes;
+                                 }
+                             });
+    scheduler.enqueue(fx.streams[0][0].image);
+    scheduler.enqueue(Tensor(1, 8, 8)); // Wrong shape: ingest throws.
+    scheduler.enqueue(fx.streams[0][1].image);
+    scheduler.drain();
+    EXPECT_EQ(failures, 1);
+    EXPECT_EQ(successes, 2);
+}
+
+} // namespace
+} // namespace eva2

@@ -282,6 +282,52 @@ TEST(StreamExecutor, StreamFailurePropagatesWithoutCrashing)
     EXPECT_EQ(batch.total_frames(), 3 * 4);
 }
 
+TEST(StreamExecutor, PipelinedFramesBitIdenticalAcrossDepthsAndPools)
+{
+    // The stage scheduler's pipelined execution (fronts serialized,
+    // suffixes fanned out, commits in order) must be bit-identical
+    // to the legacy serial frame loop for every depth/pool shape.
+    // Run under TSan in CI, this is also the data-race gate for the
+    // scheduler's synchronization.
+    StreamFixture fx;
+    StreamExecutorOptions serial_opts = fx.options(1);
+    serial_opts.pipeline_depth = 1;
+    StreamExecutor serial(fx.net, serial_opts);
+    const BatchResult reference = serial.run(fx.streams);
+
+    for (const i64 depth : {2, 3, 5}) {
+        for (const i64 threads : {1, 2, 4}) {
+            StreamExecutorOptions opts = fx.options(threads);
+            opts.pipeline_depth = depth;
+            StreamExecutor pipelined(fx.net, opts);
+            const BatchResult got = pipelined.run(fx.streams);
+            EXPECT_EQ(got.digest(), reference.digest())
+                << "depth " << depth << ", threads " << threads;
+            ASSERT_EQ(got.streams.size(), reference.streams.size());
+            for (size_t i = 0; i < got.streams.size(); ++i) {
+                EXPECT_EQ(got.streams[i].frames.size(),
+                          reference.streams[i].frames.size());
+                EXPECT_EQ(got.streams[i].me_add_ops,
+                          reference.streams[i].me_add_ops);
+            }
+        }
+    }
+}
+
+TEST(StreamExecutor, PipelinedFailurePropagatesAndExecutorRecovers)
+{
+    StreamFixture fx;
+    StreamExecutorOptions opts = fx.options(4);
+    opts.pipeline_depth = 3;
+    StreamExecutor exec(fx.net, opts);
+    std::vector<Sequence> bad = fx.streams;
+    bad[1].frames[0].image = Tensor(1, 8, 8);
+    EXPECT_THROW(exec.run(bad), ConfigError);
+    exec.reset_streams();
+    const BatchResult batch = exec.run(fx.streams);
+    EXPECT_EQ(batch.total_frames(), 3 * 4);
+}
+
 TEST(TensorDigest, SensitiveToValuesAndShape)
 {
     Tensor a(1, 2, 2);
