@@ -118,10 +118,10 @@ main()
             params.zero_threshold =
                 static_cast<float>(0.1 * rms(act));
             RleActivation enc = rle_encode(act, params);
-            // Account the actual gap width instead of the default.
-            const i64 bits_per_entry = bits + 16;
-            const i64 encoded_bits = enc.num_entries() * bits_per_entry;
-            savings += 1.0 - static_cast<double>(encoded_bits) /
+            // bits_per_entry() now derives the gap width from
+            // max_zero_gap, so the codec's own bit accounting is the
+            // per-width accounting this sweep used to hand-compute.
+            savings += 1.0 - static_cast<double>(enc.encoded_bits()) /
                                  static_cast<double>(enc.dense_bytes() * 8);
             entries += enc.num_entries();
         }
@@ -148,12 +148,12 @@ main()
             params.max_zero_gap =
                 static_cast<u16>((1u << bits) - 1);
             const RleActivation enc = rle_encode(extreme, params);
-            const i64 encoded_bits = enc.num_entries() * (bits + 16);
             t3.row({std::to_string(bits),
                     std::to_string(enc.num_entries()),
-                    fmt_pct(1.0 - static_cast<double>(encoded_bits) /
-                                      static_cast<double>(
-                                          enc.dense_bytes() * 8))});
+                    fmt_pct(1.0 -
+                            static_cast<double>(enc.encoded_bits()) /
+                                static_cast<double>(
+                                    enc.dense_bytes() * 8))});
         }
     }
     t3.print();

@@ -54,6 +54,11 @@ main()
     EngineConfig config;
     config.policy = kPolicySpec;
     config.num_threads = threads;
+    // Cross-stream suffix batching: with eight concurrent feeds, the
+    // sessions' CNN suffixes merge into shared batched plan runs
+    // (docs/suffix_batching.md). Bit-identical to batch=off — the
+    // replay below still checks against the serial reference.
+    config.batch = "auto:max=8,delay_us=500";
     Engine engine(net, config);
 
     for (i64 round = 0; round < kRounds; ++round) {
@@ -109,6 +114,14 @@ main()
     std::cout << "    total stage occupancy: " << 100.0 * busy
               << "% of the serving window (pipeline depth "
               << engine.config().pipeline_depth << ")\n";
+
+    // How full the cross-stream suffix batches ran: mean occupancy
+    // near 1 would mean the delay window never found company and
+    // batching bought nothing this run.
+    std::cout << "\nsuffix batching (" << engine.config().batch
+              << "): " << report.batching.batches << " batches, "
+              << report.batching.items << " suffixes, mean occupancy "
+              << report.batching.mean_occupancy() << "\n";
 
     // Replay the same traffic serially on the legacy internal API and
     // compare: frame-level parallel ingestion must be bit-identical.

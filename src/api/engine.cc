@@ -51,6 +51,35 @@ resolve_amc(const EngineConfig &config, const Network &net)
     return amc;
 }
 
+SuffixBatchOptions
+resolve_batch(const std::string &spec)
+{
+    const ComponentSpec s = parse_component_spec(spec);
+    SuffixBatchOptions out;
+    if (s.kind == "off") {
+        s.allow_only({});
+        return out;
+    }
+    if (s.kind == "auto") {
+        s.allow_only({"max", "delay_us"});
+        out.enabled = true;
+        out.max_batch = s.integer("max", out.max_batch);
+        out.max_delay_us = s.integer("delay_us", out.max_delay_us);
+        require(out.max_batch >= 1 &&
+                    out.max_batch <= kMaxSuffixBatch,
+                "batch spec '" + spec + "': max must be in [1, " +
+                    std::to_string(kMaxSuffixBatch) + "], got " +
+                    std::to_string(out.max_batch));
+        require(out.max_delay_us >= 0,
+                "batch spec '" + spec +
+                    "': delay_us must be >= 0, got " +
+                    std::to_string(out.max_delay_us));
+        return out;
+    }
+    throw ConfigError("unknown batch spec '" + spec +
+                      "' (known: off, auto[:max=N,delay_us=U])");
+}
+
 } // namespace
 
 StreamExecutorOptions
@@ -67,6 +96,7 @@ EngineConfig::resolve(const Network &net) const
     opts.num_threads = num_threads;
     opts.store_outputs = store_outputs;
     opts.pipeline_depth = pipeline_depth;
+    opts.suffix_batch = resolve_batch(batch);
     // The factory is shared across streams; each call builds a fresh
     // stateful policy instance. Validated eagerly by factory().
     auto make = PolicyRegistry::instance().factory(policy);
@@ -93,6 +123,11 @@ Session::Session(Engine *engine, i64 index, std::string name,
     StageSchedulerOptions opts;
     opts.depth = std::max<i64>(1, engine_->config_.pipeline_depth);
     opts.store_outputs = engine_->store_outputs_;
+    // With batch=auto the suffix stage becomes enqueue-to-batcher:
+    // this session's suffixes execute batched with every other
+    // session's. Sessions are created under the engine mutex, which
+    // serializes the batcher's lazy creation.
+    opts.batcher = engine_->executor_->suffix_batcher();
     scheduler_ = std::make_unique<StageScheduler>(
         *pipeline_, engine_->executor_->pool(), opts,
         [this](FrameCommit commit) {
@@ -454,8 +489,10 @@ Engine::base_report()
     report.kernel = config_.kernel;
     report.target = config_.target;
     report.motion = config_.motion;
+    report.batch = config_.batch;
     report.num_threads = executor_->num_threads();
     report.pipeline_depth = config_.pipeline_depth;
+    report.batching = executor_->suffix_batch_stats();
     // Per-layer kernel selection: all pipelines share one network and
     // one config, so stream 0's compiled plans describe every stream.
     if (executor_->num_pipelines() > 0) {
@@ -473,15 +510,20 @@ Engine::run(const std::vector<Sequence> &streams)
     for (i64 i = 0; i < static_cast<i64>(streams.size()); ++i) {
         pipeline_locked(i);
     }
-    // Snapshot the (lifetime-cumulative) timing sinks so the report's
-    // stage rows cover exactly this run, like its frames and wall_ms.
+    // Snapshot the (lifetime-cumulative) timing and batching sinks so
+    // the report's stage rows and occupancy cover exactly this run,
+    // like its frames and wall_ms.
     StageTimings before;
     for (const auto &t : timings_) {
         before.merge(*t);
     }
+    const SuffixBatchStats batch_before =
+        executor_->suffix_batch_stats();
     const BatchResult batch = executor_->run(streams);
 
     RunReport report = base_report();
+    report.batching =
+        executor_->suffix_batch_stats().delta_from(batch_before);
     report.wall_ms = batch.wall_ms;
     report.digest = batch.digest();
     for (const StreamResult &s : batch.streams) {

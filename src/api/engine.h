@@ -75,6 +75,24 @@ struct EngineConfig
     std::string target = "last_spatial";
     /** Predicted frames: "compensation" (warp) or "memoization". */
     std::string motion = "compensation";
+    /**
+     * Cross-stream suffix batching spec:
+     *
+     *   "off"                        each stream's CNN suffix runs as
+     *                                its own task (the legacy shape);
+     *   "auto[:max=N,delay_us=U]"    suffix-ready activations from
+     *                                all streams collect into shared
+     *                                BatchedExecutionPlan runs of up
+     *                                to N samples (default 8), a
+     *                                partial batch dispatching once
+     *                                its oldest item has waited U
+     *                                microseconds (default 200).
+     *
+     * Batching changes only the execution shape: per-stream digests
+     * are bit-identical to "off". RunReport::batching reports how
+     * full the batches actually ran.
+     */
+    std::string batch = "off";
     i64 search_radius = 28; ///< RFBME search radius in pixels (> 0).
     i64 search_stride = 2;  ///< RFBME search step in pixels (> 0).
     /** Stream-level workers; 1 = serial inline, 0 = hardware default. */

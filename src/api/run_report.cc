@@ -44,6 +44,7 @@ RunReport::to_json(int indent) const
     w.member("kernel", kernel);
     w.member("target", target);
     w.member("motion", motion);
+    w.member("batch", batch);
     w.member("num_threads", num_threads);
     w.member("pipeline_depth", pipeline_depth);
     w.end_object();
@@ -99,6 +100,16 @@ RunReport::to_json(int indent) const
         w.end_object();
     }
     w.end_array();
+    w.key("suffix_batching").begin_object();
+    w.member("batches", batching.batches);
+    w.member("items", batching.items);
+    w.member("mean_occupancy", batching.mean_occupancy());
+    w.key("occupancy_histogram").begin_array();
+    for (const i64 count : batching.occupancy) {
+        w.value(count);
+    }
+    w.end_array();
+    w.end_object();
     w.end_object();
     return w.str();
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/instrumentation.h"
+#include "runtime/suffix_batcher.h"
 #include "util/common.h"
 
 namespace eva2 {
@@ -75,6 +76,8 @@ struct RunReport
     std::string kernel;
     std::string target;
     std::string motion;
+    /** Suffix batching spec echo ("off" or "auto:max=..,.."). */
+    std::string batch;
     i64 num_threads = 0;
     /** Frames in flight per stream (<= 1 = serial frame loop). */
     i64 pipeline_depth = 0;
@@ -90,6 +93,15 @@ struct RunReport
     std::vector<StageReport> stages;
     /** Kernel selection of the compiled plans ({prefix, suffix}). */
     std::vector<PlanRecord> plan;
+    /**
+     * Cross-stream suffix batching occupancy for this run: how many
+     * batches were dispatched, how full they ran (the histogram is
+     * indexed by batch size - 1), and the mean. All zero when
+     * batching is off — and worth watching when it is on, since mean
+     * occupancy near 1 means the delay window never found company
+     * and batching is buying nothing.
+     */
+    SuffixBatchStats batching;
 
     double
     key_fraction() const

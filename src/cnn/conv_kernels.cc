@@ -1,5 +1,7 @@
 #include "cnn/conv_kernels.h"
 
+#include <cstring>
+
 #include "runtime/parallel_for.h"
 #include "util/math_util.h"
 
@@ -51,6 +53,42 @@ gemm_tile(const float *weights, const float *biases, const float *col,
     }
 }
 
+/**
+ * Pack tap row `k` of one sample into a column matrix whose rows are
+ * `row_stride` wide: the sample's output pixels land at columns
+ * [col_offset, col_offset + oh*ow). The single-sample packer uses
+ * row_stride == oh*ow and offset 0; the batched packer lays samples
+ * side by side in wider rows.
+ */
+void
+pack_tap_row(const Tensor &in, const ConvGeometry &g,
+             const Shape &out_shape, float *dst, i64 row_stride,
+             i64 col_offset, i64 k)
+{
+    const i64 kx = k % g.kernel;
+    const i64 ky = (k / g.kernel) % g.kernel;
+    const i64 ic = k / (g.kernel * g.kernel);
+    const i64 ih = in.height();
+    const i64 iw = in.width();
+    float *row = dst + k * row_stride + col_offset;
+    const float *plane = in.channel(ic).data();
+    for (i64 oy = 0; oy < out_shape.h; ++oy) {
+        const i64 y = oy * g.stride - g.pad + ky;
+        float *r = row + oy * out_shape.w;
+        if (y < 0 || y >= ih) {
+            for (i64 ox = 0; ox < out_shape.w; ++ox) {
+                r[ox] = 0.0f;
+            }
+            continue;
+        }
+        const float *src = plane + y * iw;
+        for (i64 ox = 0; ox < out_shape.w; ++ox) {
+            const i64 x = ox * g.stride - g.pad + kx;
+            r[ox] = (x < 0 || x >= iw) ? 0.0f : src[x];
+        }
+    }
+}
+
 } // namespace
 
 void
@@ -60,34 +98,13 @@ im2col_pack(const Tensor &in, const ConvGeometry &g,
     const i64 taps = im2col_rows(g);
     const i64 n = out_shape.h * out_shape.w;
     col.reshape_to(Shape{1, taps, n});
-    const i64 ih = in.height();
-    const i64 iw = in.width();
     float *dst = col.data().data();
     // Rows are independent (one (ic, ky, kx) tap each) and written
     // disjointly, so splitting them across threads is deterministic.
     parallel_for(
         0, taps,
         [&](i64 k) {
-            const i64 kx = k % g.kernel;
-            const i64 ky = (k / g.kernel) % g.kernel;
-            const i64 ic = k / (g.kernel * g.kernel);
-            float *row = dst + k * n;
-            const float *plane = in.channel(ic).data();
-            for (i64 oy = 0; oy < out_shape.h; ++oy) {
-                const i64 y = oy * g.stride - g.pad + ky;
-                float *r = row + oy * out_shape.w;
-                if (y < 0 || y >= ih) {
-                    for (i64 ox = 0; ox < out_shape.w; ++ox) {
-                        r[ox] = 0.0f;
-                    }
-                    continue;
-                }
-                const float *src = plane + y * iw;
-                for (i64 ox = 0; ox < out_shape.w; ++ox) {
-                    const i64 x = ox * g.stride - g.pad + kx;
-                    r[ox] = (x < 0 || x >= iw) ? 0.0f : src[x];
-                }
-            }
+            pack_tap_row(in, g, out_shape, dst, n, 0, k);
         },
         ParallelForOptions{/*grain=*/4, /*pool=*/nullptr});
 }
@@ -154,6 +171,53 @@ conv_im2col_gemm(const Tensor &in, const ConvGeometry &g,
         const i64 jn = std::min<i64>(kTileN, n - j0);
         gemm_tile(weights, biases, packed, g.out_c, taps, n, j0, jn,
                   dst, fuse_relu);
+    });
+}
+
+void
+conv_im2col_gemm_batched(const Tensor *const *ins, i64 nb,
+                         const ConvGeometry &g, const float *weights,
+                         const float *biases, Tensor *const *outs,
+                         Tensor &col, Tensor &gemm_out, bool fuse_relu)
+{
+    require(nb >= 1, "batched conv: batch must be >= 1");
+    const Shape os = outs[0]->shape();
+    const i64 taps = im2col_rows(g);
+    const i64 pix = os.h * os.w;
+    const i64 ncols = nb * pix;
+    col.reshape_to(Shape{1, taps, ncols});
+    gemm_out.reshape_to(Shape{1, g.out_c, ncols});
+    float *packed = col.data().data();
+    // Pack every sample side by side: sample i's output pixels occupy
+    // columns [i*pix, (i+1)*pix) of every tap row.
+    parallel_for(
+        0, taps,
+        [&](i64 k) {
+            for (i64 i = 0; i < nb; ++i) {
+                pack_tap_row(*ins[i], g, os, packed, ncols, i * pix, k);
+            }
+        },
+        ParallelForOptions{/*grain=*/4, /*pool=*/nullptr});
+    // One GEMM over the whole batch's columns. Tiles may span sample
+    // boundaries; each output element's accumulation is per-column,
+    // so the grouping cannot change any result bit.
+    float *dst = gemm_out.data().data();
+    const i64 tiles = ceil_div(ncols, kTileN);
+    parallel_for(0, tiles, [&](i64 t) {
+        const i64 j0 = t * kTileN;
+        const i64 jn = std::min<i64>(kTileN, ncols - j0);
+        gemm_tile(weights, biases, packed, g.out_c, taps, ncols, j0, jn,
+                  dst, fuse_relu);
+    });
+    // Scatter the interleaved [out_c][nb*pix] product back to each
+    // sample's CHW tensor (plain copies: values are already final).
+    parallel_for(0, nb, [&](i64 i) {
+        float *sample = outs[i]->data().data();
+        const float *src = dst + i * pix;
+        for (i64 m = 0; m < g.out_c; ++m) {
+            std::memcpy(sample + m * pix, src + m * ncols,
+                        static_cast<size_t>(pix) * sizeof(float));
+        }
     });
 }
 

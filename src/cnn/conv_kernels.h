@@ -75,6 +75,31 @@ void conv_im2col_gemm(const Tensor &in, const ConvGeometry &g,
                       const float *weights, const float *biases,
                       Tensor &out, Tensor &col, bool fuse_relu);
 
+/**
+ * Batched im2col + blocked GEMM over `nb` same-shape inputs in one
+ * pass: every sample's output pixels are packed side by side into one
+ * K x (nb * pixels) column matrix, multiplied by the weight matrix in
+ * shared 32-wide tiles, and scattered back to the per-sample output
+ * tensors (`outs[i]` pre-shaped to the layer's output shape).
+ *
+ * Why batch: one sample's late-suffix plane is often smaller than a
+ * GEMM tile, so the per-tile weight stream is amortized over a
+ * fraction of a tile; concatenating samples fills the tiles and
+ * streams each weight row once per 32 output pixels *of the whole
+ * batch*. Bit-exactness is untouched — each output element still
+ * starts from its bias and accumulates taps in ascending k into one
+ * accumulator, so every sample's result is bit-identical to a
+ * batch-of-1 conv_im2col_gemm call.
+ *
+ * `col` and `gemm_out` are caller-owned workspaces (arena slots),
+ * reshaped here and reusable across calls and layers.
+ */
+void conv_im2col_gemm_batched(const Tensor *const *ins, i64 nb,
+                              const ConvGeometry &g,
+                              const float *weights, const float *biases,
+                              Tensor *const *outs, Tensor &col,
+                              Tensor &gemm_out, bool fuse_relu);
+
 } // namespace eva2
 
 #endif // EVA2_CNN_CONV_KERNELS_H

@@ -142,6 +142,123 @@ class ExecutionPlan
     std::vector<Step> steps_;
 };
 
+/**
+ * A layer range of a Network, compiled for N same-shape inputs
+ * executed in one pass — the cross-stream form of ExecutionPlan.
+ *
+ * At serving scale the CNN suffix runs on *every* frame of *every*
+ * stream (only the prefix is skipped on predicted frames), so its
+ * per-sample cost is the number that bounds frames/sec per machine.
+ * Executing many streams' suffixes as one batch buys what batch-of-1
+ * execution cannot:
+ *
+ *  - FC layers become matrix-matrix products: each weight row is
+ *    streamed from memory once per *batch* instead of once per
+ *    sample (FcLayer::forward_batched);
+ *  - conv layers pack all samples' output pixels into one im2col
+ *    matrix, so GEMM tiles that a single small late-suffix plane
+ *    would leave mostly empty are filled, and the per-tile weight
+ *    stream is amortized across the batch
+ *    (conv_im2col_gemm_batched);
+ *  - pointwise layers run per sample through the same forward_into
+ *    bodies the unbatched plan uses.
+ *
+ * Bit-exactness: every output element of every sample is computed
+ * with exactly the accumulation order of the unbatched plan, so each
+ * sample's result — and therefore each stream's digest chain — is
+ * bit-identical to batch-of-1 execution. Batching is purely an
+ * execution-shape knob.
+ *
+ * Memory: lane activations ping-pong through 2*max_batch arena
+ * slots, plus one shared im2col slot and one shared GEMM output
+ * slot; after warm-up a run performs zero heap allocations. Like
+ * ExecutionPlan, a compiled batched plan is immutable and may be
+ * shared by any number of threads, each running against its own
+ * arena.
+ */
+class BatchedExecutionPlan
+{
+  public:
+    /**
+     * Compile layers [begin, end) of `net` for up to `max_batch`
+     * inputs of shape `in_shape` (1 <= max_batch <= kMaxSuffixBatch).
+     * The network is borrowed and must outlive the plan.
+     */
+    BatchedExecutionPlan(const Network &net, i64 begin, i64 end,
+                         Shape in_shape, i64 max_batch,
+                         PlanOptions opts = {});
+
+    /** Compile the batched form of an existing single-sample plan. */
+    BatchedExecutionPlan(const ExecutionPlan &plan, i64 max_batch)
+        : BatchedExecutionPlan(plan.network(), plan.begin(), plan.end(),
+                               plan.in_shape(), max_batch,
+                               plan.options())
+    {
+    }
+
+    /**
+     * Execute samples inputs[0..n) (1 <= n <= max_batch, all of shape
+     * in_shape()) in one pass, cycling activations through `arena`.
+     * On return outs[i] points at the arena slot holding sample i's
+     * final activation (or at inputs[i] for an empty range) — valid
+     * until the arena is next written.
+     *
+     * Aliasing: the ExecutionPlan rule, applied lane by lane —
+     * inputs[i] may be lane i's *own* previous output (chaining two
+     * batched runs through one arena shifts that lane's ping-pong
+     * parity). Inputs must not alias a *different* lane's slots or
+     * the shared im2col/GEMM slots; callers that permute lane order
+     * between chained runs copy instead.
+     *
+     * Zero steady-state allocations once the arena has grown to this
+     * plan's largest shapes.
+     */
+    void run(const Tensor *const *inputs, i64 n, const Tensor **outs,
+             ScratchArena &arena) const;
+
+    Shape in_shape() const { return in_shape_; }
+    Shape out_shape() const { return out_shape_; }
+    i64 begin() const { return begin_; }
+    i64 end() const { return end_; }
+    i64 max_batch() const { return max_batch_; }
+    i64 num_steps() const { return static_cast<i64>(steps_.size()); }
+    const PlanOptions &options() const { return opts_; }
+    const Network &network() const { return *net_; }
+
+  private:
+    struct Step
+    {
+        const Layer *layer = nullptr;
+        i64 layer_index = 0;
+        Shape out_shape;
+        ConvKernel conv_kernel = ConvKernel::kDirect;
+        bool fuse_relu = false;
+        i64 parity = 0;    ///< Lane ping-pong side this step writes.
+        bool batched_conv = false; ///< conv_im2col_gemm_batched step.
+        bool batched_fc = false;   ///< FcLayer::forward_batched step.
+        Shape col_shape;   ///< Per-sample im2col dimensions.
+    };
+
+    /** Arena slot of lane `lane`'s ping-pong side `parity`. */
+    i64
+    lane_slot(i64 lane, i64 parity) const
+    {
+        return lane * 2 + parity;
+    }
+
+    i64 col_slot() const { return max_batch_ * 2; }
+    i64 gemm_slot() const { return max_batch_ * 2 + 1; }
+
+    const Network *net_;
+    i64 begin_;
+    i64 end_;
+    Shape in_shape_;
+    Shape out_shape_;
+    i64 max_batch_;
+    PlanOptions opts_;
+    std::vector<Step> steps_;
+};
+
 } // namespace eva2
 
 #endif // EVA2_CNN_EXECUTION_PLAN_H

@@ -30,6 +30,22 @@ class FcLayer : public Layer
     Tensor forward(const Tensor &in) const override;
     void forward_into(const Tensor &in,
                       const ForwardCtx &ctx) const override;
+
+    /**
+     * Batched forward over `nb` same-shape inputs: for each output
+     * neuron, the weight row is loaded once and dotted against every
+     * sample before moving on. An unbatched FC is a matrix-vector
+     * product that re-streams the whole weight matrix per sample;
+     * batching turns it into a matrix-matrix product whose weight
+     * traffic is amortized across the batch — the dominant win of
+     * cross-stream suffix batching, since FC weights are the largest
+     * tensors the suffix touches. Per-sample accumulation (bias, then
+     * ascending input index) is identical to forward_into, so each
+     * sample's output is bit-identical to a batch-of-1 call.
+     */
+    void forward_batched(const Tensor *const *ins, i64 nb,
+                         Tensor *const *outs, bool fuse_relu) const;
+
     Shape out_shape(const Shape &in) const override;
     LayerKind kind() const override { return LayerKind::kFc; }
     i64 macs(const Shape & /* in */) const override

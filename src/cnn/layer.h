@@ -56,6 +56,16 @@ enum class ConvKernel
 const char *conv_kernel_name(ConvKernel kernel);
 
 /**
+ * Hard upper bound on batched layer execution (the cross-stream
+ * suffix batch size of BatchedExecutionPlan and the batched layer
+ * kernels it drives). It exists so batched runs can keep their
+ * per-lane bookkeeping on the stack (no per-call allocation) and is
+ * far above any useful batch — past ~16 the marginal weight-reuse
+ * win is gone while batch-formation latency keeps growing.
+ */
+constexpr i64 kMaxSuffixBatch = 64;
+
+/**
  * Execution context for allocation-free forwarding. The destination
  * (and any kernel workspace) is owned by the caller — in planned
  * execution, by a per-worker ScratchArena — so the layer writes in

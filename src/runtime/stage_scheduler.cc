@@ -1,5 +1,7 @@
 #include "runtime/stage_scheduler.h"
 
+#include <algorithm>
+
 #include "eval/metrics.h"
 #include "runtime/stream_executor.h"
 
@@ -113,7 +115,16 @@ StageScheduler::pump_front()
         } catch (...) {
             ctx.error = std::current_exception();
         }
-        if (pool_ != nullptr) {
+        if (opts_.batcher != nullptr && !ctx.error) {
+            // Suffix-as-enqueue: the batcher executes this slot's
+            // activation inside a cross-stream batched plan run and
+            // calls back on_suffix_done. The activation reference
+            // stays valid because the slot cannot be reused until
+            // this frame commits (the depth window).
+            opts_.batcher->submit(
+                &pipeline_->frame_plan().slot_activation(slot), this,
+                index, observer());
+        } else if (pool_ != nullptr) {
             pool_->enqueue_detached(
                 [this, index]() { run_suffix(index); });
         } else {
@@ -127,24 +138,46 @@ StageScheduler::run_suffix(i64 index)
 {
     const i64 slot = index % opts_.depth;
     const FrameCtx &ctx = ctx_[static_cast<size_t>(slot)];
+    if (ctx.error) {
+        finish_frame(index, nullptr, nullptr);
+        return;
+    }
+    try {
+        const Tensor &out = pipeline_->frame_plan().run_suffix(
+            slot, ScratchArena::for_current_thread(), observer());
+        finish_frame(index, &out, nullptr);
+    } catch (...) {
+        finish_frame(index, nullptr, std::current_exception());
+    }
+}
+
+void
+StageScheduler::on_suffix_done(i64 token, const Tensor *out,
+                               std::exception_ptr error)
+{
+    finish_frame(token, out, error);
+}
+
+void
+StageScheduler::finish_frame(i64 index, const Tensor *out,
+                             std::exception_ptr error)
+{
+    const i64 slot = index % opts_.depth;
+    const FrameCtx &ctx = ctx_[static_cast<size_t>(slot)];
     FrameCommit commit;
     commit.frame = index;
     if (ctx.error) {
         commit.error = ctx.error;
+    } else if (error) {
+        commit.error = error;
     } else {
-        try {
-            const Tensor &out = pipeline_->frame_plan().run_suffix(
-                slot, ScratchArena::for_current_thread(), observer());
-            commit.is_key = ctx.is_key;
-            commit.top1 = top1(out);
-            commit.output_digest = tensor_digest(out);
-            commit.match_error = ctx.match_error;
-            commit.me_add_ops = ctx.me_add_ops;
-            if (opts_.store_outputs) {
-                commit.output = out;
-            }
-        } catch (...) {
-            commit.error = std::current_exception();
+        commit.is_key = ctx.is_key;
+        commit.top1 = top1(*out);
+        commit.output_digest = tensor_digest(*out);
+        commit.match_error = ctx.match_error;
+        commit.me_add_ops = ctx.me_add_ops;
+        if (opts_.store_outputs) {
+            commit.output = *out;
         }
     }
     {
@@ -218,11 +251,31 @@ StageScheduler::drain()
     // commit still has to reacquire the mutex once to retire, and
     // drain() may gate destruction, so it must not slip out early on
     // a spurious wakeup between those two critical sections.
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&]() {
+    auto done = [&]() {
         return committed_ == next_index_ && !front_active_ &&
                !flushing_;
-    });
+    };
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (opts_.batcher == nullptr) {
+        cv_.wait(lock, done);
+        return;
+    }
+    // With a batcher, frames of this stream may be parked in partial
+    // batches waiting for other streams; flush so they dispatch now
+    // instead of waiting out max_delay_us. Our still-running fronts
+    // can submit more items after any single flush, so re-flush at
+    // the batcher's own delay cadence — no tighter, since a shared
+    // batcher's pending items belong to *other* streams too, and a
+    // draining stream must not collapse their batch-formation window
+    // below what the delay timer already guarantees.
+    const auto cadence = std::chrono::microseconds(
+        std::max<i64>(1000, opts_.batcher->max_delay_us()));
+    while (!done()) {
+        lock.unlock();
+        opts_.batcher->flush();
+        lock.lock();
+        cv_.wait_for(lock, cadence, done);
+    }
 }
 
 void

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/amc_pipeline.h"
+#include "runtime/suffix_batcher.h"
 #include "runtime/thread_pool.h"
 
 namespace eva2 {
@@ -73,6 +74,16 @@ struct StageSchedulerOptions
     i64 depth = 3;
     /** Copy every output tensor into its FrameCommit. */
     bool store_outputs = false;
+    /**
+     * Cross-stream suffix batcher shared with other streams'
+     * schedulers, or null to run each suffix as its own task. When
+     * set, the suffix stage becomes enqueue-to-batcher: the front
+     * half hands the slot activation to the batcher, which executes
+     * it inside a BatchedExecutionPlan run with other streams' ready
+     * suffixes and routes the result back into this scheduler's
+     * in-order commit flush. Digests are bit-identical either way.
+     */
+    SuffixBatcher *batcher = nullptr;
 };
 
 /**
@@ -84,7 +95,7 @@ struct StageSchedulerOptions
  * invoked serially, in frame order, on whichever thread flushed the
  * commit (a pool worker, or the enqueueing thread without a pool).
  */
-class StageScheduler
+class StageScheduler : public SuffixBatchClient
 {
   public:
     using CommitFn = std::function<void(FrameCommit)>;
@@ -103,7 +114,7 @@ class StageScheduler
                    StageSchedulerOptions opts, CommitFn on_commit);
 
     /** Drains before destruction. */
-    ~StageScheduler();
+    ~StageScheduler() override;
 
     StageScheduler(const StageScheduler &) = delete;
     StageScheduler &operator=(const StageScheduler &) = delete;
@@ -139,6 +150,15 @@ class StageScheduler
 
     i64 depth() const { return opts_.depth; }
 
+    /**
+     * SuffixBatchClient: a batched suffix execution for frame `token`
+     * completed (on the batch worker's thread). Routes the result
+     * into the in-order commit flush exactly like a locally-run
+     * suffix.
+     */
+    void on_suffix_done(i64 token, const Tensor *out,
+                        std::exception_ptr error) override;
+
   private:
     /** Front-half results parked between the front and its suffix. */
     struct FrameCtx
@@ -169,6 +189,14 @@ class StageScheduler
 
     /** Back half + in-order commit flush for one frame. */
     void run_suffix(i64 index);
+
+    /**
+     * Build frame `index`'s commit from its suffix output (or error)
+     * and feed the in-order flush. Shared by the locally-run suffix
+     * path and the batcher completion path.
+     */
+    void finish_frame(i64 index, const Tensor *out,
+                      std::exception_ptr error);
 
     /** Deliver ready commits in frame order (sole flusher). */
     void flush_ready();

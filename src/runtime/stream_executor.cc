@@ -1,5 +1,6 @@
 #include "runtime/stream_executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -137,6 +138,32 @@ StreamExecutor::StreamExecutor(const Network &net,
 
 StreamExecutor::~StreamExecutor() = default;
 
+SuffixBatcher *
+StreamExecutor::suffix_batcher()
+{
+    if (!opts_.suffix_batch.enabled) {
+        return nullptr;
+    }
+    if (!batcher_) {
+        // Every pipeline shares one network and one config, so
+        // stream 0's compiled suffix describes them all; its batched
+        // form is what every stream's scheduler enqueues into.
+        const ExecutionPlan &suffix =
+            pipeline_for(0).frame_plan().suffix_plan();
+        batched_suffix_ = std::make_unique<BatchedExecutionPlan>(
+            suffix, opts_.suffix_batch.max_batch);
+        batcher_ = std::make_unique<SuffixBatcher>(
+            *batched_suffix_, pool_.get(), opts_.suffix_batch);
+    }
+    return batcher_.get();
+}
+
+SuffixBatchStats
+StreamExecutor::suffix_batch_stats() const
+{
+    return batcher_ ? batcher_->stats() : SuffixBatchStats{};
+}
+
 AmcPipeline &
 StreamExecutor::pipeline_for(i64 index)
 {
@@ -211,8 +238,9 @@ StreamExecutor::run_pipelined(const std::vector<Sequence> &streams,
         b.result.frames.reserve(seq.frames.size());
         b.before = pipeline.stats();
         StageSchedulerOptions opts;
-        opts.depth = opts_.pipeline_depth;
+        opts.depth = std::max<i64>(1, opts_.pipeline_depth);
         opts.store_outputs = opts_.store_outputs;
+        opts.batcher = suffix_batcher();
         const bool store = opts_.store_outputs;
         schedulers.push_back(std::make_unique<StageScheduler>(
             pipeline, pool_.get(), opts,
@@ -280,7 +308,7 @@ StreamExecutor::run(const std::vector<Sequence> &streams)
 
     BatchResult batch;
     batch.streams.resize(static_cast<size_t>(n));
-    if (pipelined()) {
+    if (uses_stage_scheduler()) {
         const auto start = std::chrono::steady_clock::now();
         run_pipelined(streams, batch);
         const auto stop = std::chrono::steady_clock::now();

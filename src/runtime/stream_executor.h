@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/amc_pipeline.h"
+#include "runtime/suffix_batcher.h"
 #include "runtime/thread_pool.h"
 #include "video/frame.h"
 
@@ -85,6 +86,14 @@ struct StreamExecutorOptions
      * either way; this is purely an execution-shape knob.
      */
     i64 pipeline_depth = 3;
+    /**
+     * Cross-stream suffix batching (runtime/suffix_batcher.h): when
+     * enabled, every stream's CNN suffix is collected into shared
+     * BatchedExecutionPlan runs under the max_batch/max_delay_us
+     * policy instead of executing as per-stream batch-of-1 tasks.
+     * Outputs are bit-identical either way.
+     */
+    SuffixBatchOptions suffix_batch;
 };
 
 /** Per-frame record kept by the aggregation layer. */
@@ -185,10 +194,33 @@ class StreamExecutor
     /** Stream-level worker pool; null when num_threads() == 1. */
     ThreadPool *pool() { return pool_.get(); }
 
-    /** True when run() pipelines frames across FramePlan stages. */
-    bool pipelined() const { return opts_.pipeline_depth > 1; }
+    /**
+     * True when run() routes frames through StageSchedulers — frame
+     * pipelining (depth > 1), suffix batching, or both — rather than
+     * the strictly serial frame loop. Outputs are bit-identical
+     * either way; this only predicts the execution shape.
+     */
+    bool pipelined() const { return uses_stage_scheduler(); }
+
+    /**
+     * The shared cross-stream suffix batcher, created (with its
+     * BatchedExecutionPlan) on first use; null when suffix batching
+     * is disabled. Not thread-safe against itself — callers (the
+     * Engine under its lock, or the single run() thread) serialize
+     * creation.
+     */
+    SuffixBatcher *suffix_batcher();
+
+    /** Batch occupancy counters; empty stats when disabled. */
+    SuffixBatchStats suffix_batch_stats() const;
 
   private:
+    /** True when run() routes frames through StageSchedulers. */
+    bool
+    uses_stage_scheduler() const
+    {
+        return opts_.pipeline_depth > 1 || opts_.suffix_batch.enabled;
+    }
     AmcPipeline &pipeline_for(i64 index);
     StreamResult run_stream(i64 index, const Sequence &seq);
 
@@ -209,6 +241,15 @@ class StreamExecutor
      * pool's workers join before the pipelines they touch die.
      */
     std::unique_ptr<ThreadPool> pool_;
+    /**
+     * Suffix-batching machinery, created on demand when enabled.
+     * Declared after pool_ so the batcher (whose destructor waits
+     * out in-flight batches) dies before the pool its batches run
+     * on, and after pipelines_ since the batched plan borrows the
+     * shared network through pipeline 0's compiled suffix.
+     */
+    std::unique_ptr<BatchedExecutionPlan> batched_suffix_;
+    std::unique_ptr<SuffixBatcher> batcher_;
 };
 
 } // namespace eva2

@@ -14,12 +14,30 @@ RleActivation::num_entries() const
     return n;
 }
 
+void
+RleParams::validate() const
+{
+    require(max_zero_gap >= 1,
+            "RleParams: max_zero_gap must be >= 1 (a zero-width gap "
+            "field cannot encode any run; the encoder would loop "
+            "forever splitting it)");
+    require(zero_threshold >= 0.0f,
+            "RleParams: zero_threshold must be >= 0, got " +
+                std::to_string(zero_threshold));
+}
+
 i64
 RleActivation::encoded_bytes() const
 {
     // Round the per-entry bit width up to whole bytes per entry.
     const i64 entry_bytes = (params.bits_per_entry() + 7) / 8;
     return num_entries() * entry_bytes;
+}
+
+i64
+RleActivation::encoded_bits() const
+{
+    return num_entries() * params.bits_per_entry();
 }
 
 i64
@@ -42,6 +60,7 @@ RleActivation::storage_savings() const
 RleActivation
 rle_encode(const Tensor &activation, const RleParams &params)
 {
+    params.validate();
     RleActivation out;
     out.shape = activation.shape();
     out.params = params;

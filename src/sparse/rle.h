@@ -40,13 +40,44 @@ struct RleEntry
 /** Hardware-facing parameters of the encoding. */
 struct RleParams
 {
-    /** Maximum gap representable; longer runs split (8-bit field). */
+    /**
+     * Maximum gap representable; longer runs split into placeholder
+     * entries. Must be >= 1: a zero-width gap field could not encode
+     * any run at all (the encoder validates and rejects it). The
+     * default matches the hardware's 8-bit field.
+     */
     u16 max_zero_gap = 255;
     /** Magnitudes at or below this encode as zero. */
     float zero_threshold = 0.0f;
 
-    /** Bits per encoded entry: the gap field plus a 16-bit value. */
-    i64 bits_per_entry() const { return 8 + 16; }
+    /**
+     * Width of the gap field in bits: the narrowest field that can
+     * hold max_zero_gap (8 for the default 255, up to 16 for 65535).
+     */
+    i64
+    gap_bits() const
+    {
+        i64 bits = 1;
+        while ((u32{1} << bits) - 1 < max_zero_gap) {
+            ++bits;
+        }
+        return bits;
+    }
+
+    /**
+     * Bits per encoded entry: the gap field plus a 16-bit value. The
+     * gap width follows max_zero_gap — a wider configured gap costs
+     * bits on every entry, which is exactly the trade-off the storage
+     * ablation sweeps.
+     */
+    i64 bits_per_entry() const { return gap_bits() + 16; }
+
+    /**
+     * Throw ConfigError on unusable parameters. Called by rle_encode:
+     * a max_zero_gap of 0 would loop forever splitting runs that can
+     * never shrink, and a negative threshold is always a caller bug.
+     */
+    void validate() const;
 };
 
 /** The run-length encoded form of one channel plane. */
@@ -63,8 +94,15 @@ struct RleActivation
     RleParams params;
     std::vector<RleChannel> channels;
 
-    /** Encoded size in bytes (entries x entry width). */
+    /** Encoded size in bytes (entries x byte-rounded entry width). */
     i64 encoded_bytes() const;
+
+    /**
+     * Exact encoded size in bits (entries x bits_per_entry), without
+     * the per-entry byte rounding — the hardware buffer accounting
+     * the storage ablations report.
+     */
+    i64 encoded_bits() const;
 
     /** Dense 16-bit baseline size in bytes. */
     i64 dense_bytes() const;

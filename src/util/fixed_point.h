@@ -41,10 +41,18 @@ class Fixed
 
     constexpr Fixed() = default;
 
-    /** Quantize a double to the nearest representable value. */
+    /**
+     * Quantize a double to the nearest representable value. NaN maps
+     * to zero (a NaN activation carries no magnitude the hardware
+     * datapath could represent); funnelling it through the clamp and
+     * integer cast instead would be undefined behaviour.
+     */
     static Fixed
     from_double(double v)
     {
+        if (std::isnan(v)) {
+            return Fixed();
+        }
         double scaled = std::round(v * static_cast<double>(one_raw));
         scaled = std::clamp(scaled, static_cast<double>(min_raw),
                             static_cast<double>(max_raw));
@@ -96,8 +104,17 @@ class Fixed
     operator*(Fixed o) const
     {
         i64 wide = static_cast<i64>(raw_) * static_cast<i64>(o.raw_);
-        wide += i64{1} << (FracBits - 1); // round half up
-        return from_raw(static_cast<i32>(wide >> FracBits));
+        // Integer-only formats (FracBits == 0) have no fractional bits
+        // to round away; the unguarded rounding term would be a shift
+        // by -1, which is undefined.
+        if constexpr (FracBits > 0) {
+            wide += i64{1} << (FracBits - 1); // round half up
+        }
+        // Saturate from the wide value: the shifted product of an
+        // integer-only format can exceed i32 before clamping.
+        Fixed f;
+        f.raw_ = saturate(wide >> FracBits);
+        return f;
     }
 
     bool operator==(const Fixed &o) const { return raw_ == o.raw_; }
@@ -118,7 +135,15 @@ class Fixed
 /** EVA2's 16-bit activation format. */
 using Q88 = Fixed<8, 8>;
 
-/** Fractional motion-vector component in [0, 1) with 8-bit precision. */
+/**
+ * Fractional motion-vector component with 8-bit precision, covering
+ * [0, 1] *inclusive*: the warp engine's bilinear fractions (the fu/fv
+ * inputs of hw/warp_engine_sim's interpolate_q88) round to raw values
+ * in [0, 256], and the carry case rounds to exactly 1.0 (raw 256)
+ * before being renormalized into the integer coordinate. Fixed<1, 8>
+ * saturates at raw 255 and cannot represent that carry, so the type
+ * needs two integer bits; its full representable range is [-2, 2).
+ */
 using QFrac = Fixed<2, 8>;
 
 } // namespace eva2

@@ -6,6 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
 #include "sparse/rle.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
@@ -159,6 +162,124 @@ TEST_P(GapWidthSweep, RoundTripAndEntryMonotonicity)
 
 INSTANTIATE_TEST_SUITE_P(GapWidths, GapWidthSweep,
                          ::testing::Values(1, 3, 15, 63, 255, 4095));
+
+TEST(Rle, ZeroMaxGapIsRejectedNotAnInfiniteLoop)
+{
+    // Regression: max_zero_gap == 0 used to hang rle_encode forever
+    // (the run-splitting loop subtracted 0 from the gap each pass).
+    RleParams params;
+    params.max_zero_gap = 0;
+    Tensor t(1, 1, 4);
+    t[2] = 1.0f; // Any zero run at all triggered the hang.
+    EXPECT_THROW(rle_encode(t, params), ConfigError);
+    EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(Rle, NegativeThresholdIsRejected)
+{
+    RleParams params;
+    params.zero_threshold = -0.5f;
+    EXPECT_THROW(rle_encode(Tensor(1, 2, 2), params), ConfigError);
+}
+
+TEST(Rle, GapWidthFollowsMaxZeroGap)
+{
+    // Regression: bits_per_entry() hardcoded an 8-bit gap field, so
+    // encoded_bytes()/storage_savings() under-counted storage for
+    // configurations with wider fields (max_zero_gap up to 65535).
+    RleParams params;
+    EXPECT_EQ(params.gap_bits(), 8);
+    EXPECT_EQ(params.bits_per_entry(), 24);
+    params.max_zero_gap = 1;
+    EXPECT_EQ(params.gap_bits(), 1);
+    params.max_zero_gap = 2;
+    EXPECT_EQ(params.gap_bits(), 2);
+    params.max_zero_gap = 255;
+    EXPECT_EQ(params.gap_bits(), 8);
+    params.max_zero_gap = 256;
+    EXPECT_EQ(params.gap_bits(), 9);
+    params.max_zero_gap = 4095;
+    EXPECT_EQ(params.gap_bits(), 12);
+    EXPECT_EQ(params.bits_per_entry(), 28);
+    params.max_zero_gap = 65535;
+    EXPECT_EQ(params.gap_bits(), 16);
+    EXPECT_EQ(params.bits_per_entry(), 32);
+}
+
+TEST(Rle, StorageAccountingUsesTheConfiguredGapWidth)
+{
+    Tensor t = sparse_tensor({2, 8, 8}, 0.3, 21);
+    RleParams wide;
+    wide.max_zero_gap = 4095; // 12-bit gaps: 28 bits, 4 bytes/entry.
+    RleActivation enc = rle_encode(t, wide);
+    EXPECT_EQ(enc.encoded_bytes(), enc.num_entries() * 4);
+    EXPECT_EQ(enc.encoded_bits(), enc.num_entries() * 28);
+    RleParams narrow;
+    narrow.max_zero_gap = 15; // 4-bit gaps: 20 bits, 3 bytes/entry.
+    RleActivation enc2 = rle_encode(t, narrow);
+    EXPECT_EQ(enc2.encoded_bytes(), enc2.num_entries() * 3);
+    EXPECT_EQ(enc2.encoded_bits(), enc2.num_entries() * 20);
+}
+
+/**
+ * Hostile-parameter property sweep: round trips must hold for every
+ * combination of narrow/wide gap fields, nonzero thresholds, and
+ * degenerate planes (all zero, no zeros, values below the Q8.8
+ * resolution).
+ */
+TEST(Rle, HostileParamRoundTrips)
+{
+    const std::vector<u16> gaps = {1, 2, 255};
+    const std::vector<float> thresholds = {0.0f, 0.01f, 0.25f};
+    std::vector<std::pair<const char *, Tensor>> planes;
+    planes.emplace_back("all_zero", Tensor(2, 5, 5));
+    {
+        Tensor dense(2, 5, 5);
+        dense.fill(1.25f);
+        planes.emplace_back("no_zero", std::move(dense));
+    }
+    {
+        // Values below the Q8.8 resolution (1/256) quantize to zero
+        // even with threshold 0, exercising the quantize-then-gap
+        // interaction.
+        Tensor tiny(1, 4, 4);
+        for (i64 i = 0; i < tiny.size(); ++i) {
+            tiny[i] = (i % 2 == 0) ? 0.001f : 0.5f;
+        }
+        planes.emplace_back("sub_resolution", std::move(tiny));
+    }
+    planes.emplace_back("sparse", sparse_tensor({3, 7, 7}, 0.2, 77));
+    for (const u16 gap : gaps) {
+        for (const float th : thresholds) {
+            for (const auto &plane : planes) {
+                RleParams params;
+                params.max_zero_gap = gap;
+                params.zero_threshold = th;
+                const RleActivation enc =
+                    rle_encode(plane.second, params);
+                const Tensor back = rle_decode(enc);
+                // The decoded plane must equal quantize-then-prune of
+                // the original: every surviving value Q8.8-quantized,
+                // every pruned/zero value exactly 0.
+                const Tensor q = quantize_q88(plane.second);
+                ASSERT_EQ(back.shape(), plane.second.shape());
+                for (i64 i = 0; i < q.size(); ++i) {
+                    const float expect =
+                        std::fabs(plane.second[i]) <= th ? 0.0f : q[i];
+                    EXPECT_EQ(back[i], expect)
+                        << plane.first << " gap " << gap
+                        << " threshold " << th << " index " << i;
+                }
+                // No entry may exceed the configured gap field.
+                for (const RleChannel &ch : enc.channels) {
+                    for (const RleEntry &e : ch.entries) {
+                        EXPECT_LE(e.zero_gap, gap);
+                    }
+                }
+            }
+        }
+    }
+}
 
 TEST(Rle, EmptyTensor)
 {

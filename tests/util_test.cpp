@@ -5,6 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "util/fixed_point.h"
 #include "util/math_util.h"
 #include "util/rng.h"
@@ -193,6 +196,84 @@ TEST(Fixed, RoundTripAllFormats)
     check_format_roundtrip<Fixed<2, 8>>();
     check_format_roundtrip<Fixed<4, 12>>();
     check_format_roundtrip<Fixed<12, 4>>();
+    check_format_roundtrip<Fixed<8, 0>>();
+    check_format_roundtrip<Fixed<16, 0>>();
+}
+
+TEST(Fixed, IntegerOnlyFormatsMultiplyWithoutUb)
+{
+    // Regression: operator* computed `1 << (FracBits - 1)` — a shift
+    // by -1 (undefined) for the FracBits == 0 formats the
+    // static_assert permits.
+    using I8 = Fixed<8, 0>;
+    EXPECT_EQ((I8::from_double(5) * I8::from_double(7)).to_double(),
+              35.0);
+    EXPECT_EQ((I8::from_double(-6) * I8::from_double(4)).to_double(),
+              -24.0);
+    // Min/max products saturate instead of wrapping.
+    using I16 = Fixed<16, 0>;
+    EXPECT_EQ((I16::max_value() * I16::max_value()).raw(),
+              I16::max_raw);
+    EXPECT_EQ((I16::min_value() * I16::min_value()).raw(),
+              I16::max_raw);
+    EXPECT_EQ((I16::max_value() * I16::min_value()).raw(),
+              I16::min_raw);
+}
+
+TEST(Fixed, FractionalMinMaxProductsSaturate)
+{
+    EXPECT_EQ((Q88::max_value() * Q88::max_value()).raw(),
+              Q88::max_raw);
+    EXPECT_EQ((Q88::min_value() * Q88::min_value()).raw(),
+              Q88::max_raw);
+    EXPECT_EQ((Q88::max_value() * Q88::min_value()).raw(),
+              Q88::min_raw);
+    // Saturated addition/subtraction at the rails.
+    EXPECT_EQ((Q88::max_value() + Q88::max_value()).raw(),
+              Q88::max_raw);
+    EXPECT_EQ((Q88::min_value() - Q88::max_value()).raw(),
+              Q88::min_raw);
+}
+
+TEST(Fixed, FromDoubleIsNanSafe)
+{
+    // Regression: NaN used to flow through std::clamp and a
+    // static_cast<i32> — both undefined on NaN. It now quantizes to
+    // zero, like a value with no representable magnitude.
+    using I16 = Fixed<16, 0>;
+    EXPECT_EQ(Q88::from_double(std::nan("")).raw(), 0);
+    EXPECT_EQ(I16::from_double(-std::nan("")).raw(), 0);
+    // Infinities saturate like any out-of-range magnitude.
+    EXPECT_EQ(Q88::from_double(
+                  std::numeric_limits<double>::infinity())
+                  .raw(),
+              Q88::max_raw);
+    EXPECT_EQ(Q88::from_double(
+                  -std::numeric_limits<double>::infinity())
+                  .raw(),
+              Q88::min_raw);
+}
+
+TEST(Fixed, QFracCoversTheWarpEngineFractionDomain)
+{
+    // hw/warp_engine_sim rounds bilinear fractions to raw values in
+    // [0, 256] — [0, 1] *inclusive*, since the carry case rounds to
+    // exactly 1.0 before renormalizing into the integer coordinate.
+    // QFrac therefore needs two integer bits: Fixed<1, 8> saturates
+    // at raw 255 and cannot represent the carry.
+    EXPECT_EQ(QFrac::from_double(0.0).raw(), 0);
+    EXPECT_EQ(QFrac::from_double(1.0).raw(), 256);
+    EXPECT_DOUBLE_EQ(QFrac::from_double(1.0).to_double(), 1.0);
+    EXPECT_GE(static_cast<i64>(QFrac::max_raw), 256);
+    EXPECT_DOUBLE_EQ(QFrac::resolution(), 1.0 / 256.0);
+    // The 8-bit fraction grid round-trips exactly.
+    for (i64 f = 0; f <= 256; ++f) {
+        const double v = static_cast<double>(f) / 256.0;
+        EXPECT_EQ(QFrac::from_double(v).raw(), f);
+    }
+    // Fixed<1, 8> demonstrably cannot hold the carry value.
+    using QNarrow = Fixed<1, 8>;
+    EXPECT_LT(static_cast<i64>(QNarrow::max_raw), 256);
 }
 
 } // namespace
