@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "eval/metrics.h"
+#include "simd/simd_kernels.h"
 
 namespace eva2 {
 
@@ -490,6 +491,7 @@ Engine::base_report()
     report.target = config_.target;
     report.motion = config_.motion;
     report.batch = config_.batch;
+    report.simd_isa = simd_supported() ? simd_isa_name() : "scalar";
     report.num_threads = executor_->num_threads();
     report.pipeline_depth = config_.pipeline_depth;
     report.batching = executor_->suffix_batch_stats();

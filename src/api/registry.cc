@@ -282,6 +282,21 @@ KernelRegistry::KernelRegistry()
         // fusion defaults off here.
         plan.fuse_conv_relu = spec.integer("fuse", 0) != 0;
     });
+    // gemm + per-shape autotuning over the SIMD micro-kernel variants
+    // (kernel_tuner.h). The tuned kernels are bounded-divergence vs
+    // the scalar oracle, never bit-exact — see docs/simd_kernels.md
+    // for the verification contract. Falls back to scalar gemm when
+    // SIMD is unsupported on the running machine.
+    add("tuned", [](const ComponentSpec &spec, PlanOptions &plan) {
+        spec.allow_only({"fuse", "budget_us"});
+        plan.conv_kernel = ConvKernel::kIm2colGemm;
+        plan.fuse_conv_relu = spec.integer("fuse", 1) != 0;
+        plan.tune = true;
+        plan.tune_budget_us = spec.integer("budget_us", 20000);
+        require(plan.tune_budget_us > 0,
+                "kernel spec '" + spec.text +
+                    "': budget_us must be > 0");
+    });
 }
 
 KernelRegistry &

@@ -45,6 +45,7 @@ RunReport::to_json(int indent) const
     w.member("target", target);
     w.member("motion", motion);
     w.member("batch", batch);
+    w.member("simd_isa", simd_isa);
     w.member("num_threads", num_threads);
     w.member("pipeline_depth", pipeline_depth);
     w.end_object();
@@ -92,6 +93,7 @@ RunReport::to_json(int indent) const
             w.begin_object();
             w.member("layer", s.layer);
             w.member("kernel", s.kernel);
+            w.member("variant", s.variant);
             w.member("fused_relu", s.fused_relu);
             w.member("out", s.out.str());
             w.end_object();

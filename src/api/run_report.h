@@ -78,6 +78,12 @@ struct RunReport
     std::string motion;
     /** Suffix batching spec echo ("off" or "auto:max=..,.."). */
     std::string batch;
+    /**
+     * SIMD ISA the kernels can use on this machine ("avx2", "sse2",
+     * "neon"), or "scalar" when the build or CPU has none — the
+     * compiled ISA only counts if the running CPU supports it.
+     */
+    std::string simd_isa;
     i64 num_threads = 0;
     /** Frames in flight per stream (<= 1 = serial frame loop). */
     i64 pipeline_depth = 0;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/simd_kernels.h"
+
 namespace eva2 {
 
 Tensor
@@ -18,6 +20,13 @@ void
 ReluLayer::forward_into(const Tensor &in, const ForwardCtx &ctx) const
 {
     Tensor &out = *ctx.out;
+    // Lane-parallel max(x, 0) is bit-exact vs this loop, so SIMD is
+    // safe to take whenever the machine has it — no tuner or
+    // divergence gate involved.
+    if (simd_supported()) {
+        relu_simd(in.data().data(), out.data().data(), in.size());
+        return;
+    }
     for (i64 i = 0; i < in.size(); ++i) {
         out[i] = in[i] > 0.0f ? in[i] : 0.0f;
     }

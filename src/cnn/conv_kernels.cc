@@ -89,7 +89,49 @@ pack_tap_row(const Tensor &in, const ConvGeometry &g,
     }
 }
 
+/**
+ * Full GEMM over `ncols` packed columns, split across threads in
+ * disjoint column strips. kScalar runs the blocked reference tile;
+ * SIMD variants run their register-tile strip kernel at the variant's
+ * preferred strip width. Either way strips write disjoint columns and
+ * per-output accumulation order is fixed, so the split is
+ * deterministic and thread-count-invariant.
+ */
+void
+run_gemm(GemmVariant variant, const float *weights, const float *biases,
+         const float *packed, i64 out_c, i64 taps, i64 ncols,
+         float *dst, bool fuse_relu)
+{
+    const i64 width = variant == GemmVariant::kScalar
+                          ? kTileN
+                          : gemm_strip_width(variant);
+    const i64 strips = ceil_div(ncols, width);
+    parallel_for(0, strips, [&](i64 s) {
+        const i64 j0 = s * width;
+        const i64 jn = std::min<i64>(width, ncols - j0);
+        if (variant == GemmVariant::kScalar) {
+            gemm_tile(weights, biases, packed, out_c, taps, ncols, j0,
+                      jn, dst, fuse_relu);
+        } else {
+            gemm_strip_simd(variant, weights, biases, packed, out_c,
+                            taps, ncols, j0, jn, dst, fuse_relu);
+        }
+    });
+}
+
 } // namespace
+
+void
+gemm_strip_scalar(const float *weights, const float *biases,
+                  const float *col, i64 out_c, i64 taps, i64 n, i64 j0,
+                  i64 jn, float *out, bool fuse_relu)
+{
+    for (i64 t0 = 0; t0 < jn; t0 += kTileN) {
+        const i64 tn = std::min<i64>(kTileN, jn - t0);
+        gemm_tile(weights, biases, col, out_c, taps, n, j0 + t0, tn,
+                  out, fuse_relu);
+    }
+}
 
 void
 im2col_pack(const Tensor &in, const ConvGeometry &g,
@@ -155,7 +197,7 @@ conv_direct(const Tensor &in, const ConvGeometry &g,
 void
 conv_im2col_gemm(const Tensor &in, const ConvGeometry &g,
                  const float *weights, const float *biases, Tensor &out,
-                 Tensor &col, bool fuse_relu)
+                 Tensor &col, bool fuse_relu, GemmVariant variant)
 {
     const Shape os = out.shape();
     im2col_pack(in, g, os, col);
@@ -163,22 +205,16 @@ conv_im2col_gemm(const Tensor &in, const ConvGeometry &g,
     const i64 n = os.h * os.w;
     const float *packed = col.data().data();
     float *dst = out.data().data();
-    // Tiles write disjoint output columns; per-output accumulation
-    // order is unchanged, so the split is deterministic.
-    const i64 tiles = ceil_div(n, kTileN);
-    parallel_for(0, tiles, [&](i64 t) {
-        const i64 j0 = t * kTileN;
-        const i64 jn = std::min<i64>(kTileN, n - j0);
-        gemm_tile(weights, biases, packed, g.out_c, taps, n, j0, jn,
-                  dst, fuse_relu);
-    });
+    run_gemm(variant, weights, biases, packed, g.out_c, taps, n, dst,
+             fuse_relu);
 }
 
 void
 conv_im2col_gemm_batched(const Tensor *const *ins, i64 nb,
                          const ConvGeometry &g, const float *weights,
                          const float *biases, Tensor *const *outs,
-                         Tensor &col, Tensor &gemm_out, bool fuse_relu)
+                         Tensor &col, Tensor &gemm_out, bool fuse_relu,
+                         GemmVariant variant)
 {
     require(nb >= 1, "batched conv: batch must be >= 1");
     const Shape os = outs[0]->shape();
@@ -202,13 +238,8 @@ conv_im2col_gemm_batched(const Tensor *const *ins, i64 nb,
     // boundaries; each output element's accumulation is per-column,
     // so the grouping cannot change any result bit.
     float *dst = gemm_out.data().data();
-    const i64 tiles = ceil_div(ncols, kTileN);
-    parallel_for(0, tiles, [&](i64 t) {
-        const i64 j0 = t * kTileN;
-        const i64 jn = std::min<i64>(kTileN, ncols - j0);
-        gemm_tile(weights, biases, packed, g.out_c, taps, ncols, j0, jn,
-                  dst, fuse_relu);
-    });
+    run_gemm(variant, weights, biases, packed, g.out_c, taps, ncols,
+             dst, fuse_relu);
     // Scatter the interleaved [out_c][nb*pix] product back to each
     // sample's CHW tensor (plain copies: values are already final).
     parallel_for(0, nb, [&](i64 i) {

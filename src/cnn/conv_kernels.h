@@ -28,6 +28,7 @@
 #ifndef EVA2_CNN_CONV_KERNELS_H
 #define EVA2_CNN_CONV_KERNELS_H
 
+#include "simd/simd_kernels.h"
 #include "tensor/tensor.h"
 
 namespace eva2 {
@@ -67,13 +68,28 @@ void conv_direct(const Tensor &in, const ConvGeometry &g,
                  bool fuse_relu);
 
 /**
- * im2col + blocked GEMM convolution; bit-identical to conv_direct
- * (see file comment). `col` is the packing workspace (any shape; it
- * is reshaped here and reusable across calls and layers).
+ * The scalar blocked GEMM over one column strip [j0, j0+jn): the
+ * bit-exact reference micro-kernel (internally tiled at the blocked
+ * kernel's native width). Exposed so the tuner and tests can race the
+ * reference against the SIMD variants on identical inputs.
+ */
+void gemm_strip_scalar(const float *weights, const float *biases,
+                       const float *col, i64 out_c, i64 taps, i64 n,
+                       i64 j0, i64 jn, float *out, bool fuse_relu);
+
+/**
+ * im2col + blocked GEMM convolution; with the default kScalar variant,
+ * bit-identical to conv_direct (see file comment). `col` is the
+ * packing workspace (any shape; it is reshaped here and reusable
+ * across calls and layers). A SIMD `variant` (tuner-selected, see
+ * kernel_tuner.h) computes the same GEMM with fused multiply-adds —
+ * bounded divergence vs the scalar reference, never bit-exact; it
+ * requires simd_supported().
  */
 void conv_im2col_gemm(const Tensor &in, const ConvGeometry &g,
                       const float *weights, const float *biases,
-                      Tensor &out, Tensor &col, bool fuse_relu);
+                      Tensor &out, Tensor &col, bool fuse_relu,
+                      GemmVariant variant = GemmVariant::kScalar);
 
 /**
  * Batched im2col + blocked GEMM over `nb` same-shape inputs in one
@@ -98,7 +114,8 @@ void conv_im2col_gemm_batched(const Tensor *const *ins, i64 nb,
                               const ConvGeometry &g,
                               const float *weights, const float *biases,
                               Tensor *const *outs, Tensor &col,
-                              Tensor &gemm_out, bool fuse_relu);
+                              Tensor &gemm_out, bool fuse_relu,
+                              GemmVariant variant = GemmVariant::kScalar);
 
 } // namespace eva2
 

@@ -55,13 +55,15 @@ ConvLayer::forward_into(const Tensor &in, const ForwardCtx &ctx) const
     if (ctx.conv_kernel == ConvKernel::kIm2colGemm) {
         if (ctx.scratch != nullptr) {
             conv_im2col_gemm(in, g, weights_.data(), biases_.data(),
-                             *ctx.out, *ctx.scratch, ctx.fuse_relu);
+                             *ctx.out, *ctx.scratch, ctx.fuse_relu,
+                             ctx.conv_variant);
         } else {
             // No caller workspace: still correct, just not
             // allocation-free.
             Tensor col;
             conv_im2col_gemm(in, g, weights_.data(), biases_.data(),
-                             *ctx.out, col, ctx.fuse_relu);
+                             *ctx.out, col, ctx.fuse_relu,
+                             ctx.conv_variant);
         }
         return;
     }

@@ -3,6 +3,7 @@
 #include "cnn/conv_kernels.h"
 #include "cnn/conv_layer.h"
 #include "cnn/fc_layer.h"
+#include "cnn/kernel_tuner.h"
 
 namespace eva2 {
 
@@ -13,6 +14,22 @@ namespace {
 constexpr i64 kActSlotA = 0;
 constexpr i64 kActSlotB = 1;
 constexpr i64 kColSlot = 2;
+
+/** Human-readable variant for one compiled step (reports). */
+std::string
+step_variant(const Layer &layer, ConvKernel kernel,
+             GemmVariant conv_variant, bool simd_fc)
+{
+    if (layer.kind() == LayerKind::kConv) {
+        return kernel == ConvKernel::kIm2colGemm
+                   ? gemm_variant_name(conv_variant)
+                   : "";
+    }
+    if (layer.kind() == LayerKind::kFc) {
+        return simd_fc ? "simd" : "scalar";
+    }
+    return "";
+}
 
 } // namespace
 
@@ -54,6 +71,20 @@ ExecutionPlan::ExecutionPlan(const Network &net, i64 begin, i64 end,
                 step.fuse_relu = true;
                 ++i;
             }
+            if (opts.tune &&
+                step.conv_kernel == ConvKernel::kIm2colGemm) {
+                // After the fuse decision: fusion is part of the
+                // tuning key (it changes the kernel's epilogue).
+                const WindowGeometry g = layer.geometry();
+                step.conv_variant = tune_conv_gemm(
+                    ConvGeometry{s.c, step.out_shape.c, g.kernel,
+                                 g.stride, g.pad},
+                    step.out_shape.h, step.out_shape.w, step.fuse_relu,
+                    opts.tune_budget_us);
+            }
+        } else if (opts.tune && layer.kind() == LayerKind::kFc) {
+            step.simd_fc = tune_fc_simd(s.size(), step.out_shape.size(),
+                                        opts.tune_budget_us);
         }
         s = step.out_shape;
         parity ^= 1;
@@ -89,6 +120,8 @@ ExecutionPlan::run(const Tensor &in, ScratchArena &arena) const
         ForwardCtx ctx;
         ctx.out = &out;
         ctx.conv_kernel = step.conv_kernel;
+        ctx.conv_variant = step.conv_variant;
+        ctx.simd_fc = step.simd_fc;
         ctx.fuse_relu = step.fuse_relu;
         if (step.col_slot >= 0) {
             // Pre-resolved im2col dimensions, so the kernel's own
@@ -154,8 +187,24 @@ BatchedExecutionPlan::BatchedExecutionPlan(const Network &net, i64 begin,
                 step.fuse_relu = true;
                 ++i;
             }
+            if (opts.tune &&
+                step.conv_kernel == ConvKernel::kIm2colGemm) {
+                // Same key as the unbatched plan (per-sample shape),
+                // so both agree on one variant per layer.
+                const WindowGeometry g = layer.geometry();
+                step.conv_variant = tune_conv_gemm(
+                    ConvGeometry{s.c, step.out_shape.c, g.kernel,
+                                 g.stride, g.pad},
+                    step.out_shape.h, step.out_shape.w, step.fuse_relu,
+                    opts.tune_budget_us);
+            }
         } else if (layer.kind() == LayerKind::kFc) {
             step.batched_fc = true;
+            if (opts.tune) {
+                step.simd_fc = tune_fc_simd(
+                    s.size(), step.out_shape.size(),
+                    opts.tune_budget_us);
+            }
         }
         s = step.out_shape;
         parity ^= 1;
@@ -225,15 +274,18 @@ BatchedExecutionPlan::run(const Tensor *const *inputs, i64 n,
                 Shape{1, g.out_c, n * step.col_shape.w});
             conv_im2col_gemm_batched(cur, n, g, conv->weights().data(),
                                      conv->biases().data(), louts, col,
-                                     gemm_out, step.fuse_relu);
+                                     gemm_out, step.fuse_relu,
+                                     step.conv_variant);
         } else if (step.batched_fc) {
             static_cast<const FcLayer *>(step.layer)->forward_batched(
-                cur, n, louts, /*fuse_relu=*/false);
+                cur, n, louts, /*fuse_relu=*/false, step.simd_fc);
         } else {
             for (i64 i = 0; i < n; ++i) {
                 ForwardCtx ctx;
                 ctx.out = louts[i];
                 ctx.conv_kernel = step.conv_kernel;
+                ctx.conv_variant = step.conv_variant;
+                ctx.simd_fc = step.simd_fc;
                 ctx.fuse_relu = step.fuse_relu;
                 step.layer->forward_into(*cur[i], ctx);
             }
@@ -261,6 +313,8 @@ ExecutionPlan::describe() const
         info.kernel = step.layer->kind() == LayerKind::kConv
                           ? conv_kernel_name(step.conv_kernel)
                           : layer_kind_name(step.layer->kind());
+        info.variant = step_variant(*step.layer, step.conv_kernel,
+                                    step.conv_variant, step.simd_fc);
         info.fused_relu = step.fuse_relu;
         info.out = step.out_shape;
         out.push_back(std::move(info));

@@ -44,6 +44,19 @@ struct PlanOptions
      * Bit-identical to the separate pass.
      */
     bool fuse_conv_relu = true;
+    /**
+     * Autotune kernels per layer shape (the `kernel=tuned` registry
+     * spec): at compile time every conv layer's GEMM micro-kernel
+     * variant and every FC layer's dot kernel are picked by
+     * KernelTuner contests on synthetic data of the real shape,
+     * cached process-wide so each shape tunes once. The SIMD winners
+     * are bounded-divergence vs the scalar reference (fma, tree
+     * reductions) — see docs/simd_kernels.md for the verification
+     * contract. No-op when SIMD is unsupported on this machine.
+     */
+    bool tune = false;
+    /** Per-contest tuning budget in microseconds (tune only). */
+    i64 tune_budget_us = 20000;
 };
 
 /** One compiled step, as exposed for reports and tests. */
@@ -52,6 +65,12 @@ struct PlanStepInfo
     i64 layer_index = 0;  ///< Index in the source network.
     std::string layer;    ///< Layer report name.
     std::string kernel;   ///< Selected kernel name.
+    /**
+     * Chosen micro-kernel variant: the GEMM register tile for gemm
+     * convs ("scalar", "mr2xnv4", ...), "simd"/"scalar" for FC
+     * layers, empty for steps with no variant dimension.
+     */
+    std::string variant;
     bool fused_relu = false;
     Shape out;            ///< Pre-resolved output shape.
 };
@@ -127,6 +146,10 @@ class ExecutionPlan
         i64 layer_index = 0;
         Shape out_shape;
         ConvKernel conv_kernel = ConvKernel::kDirect;
+        /** Tuner-picked GEMM variant (kScalar unless opts.tune). */
+        GemmVariant conv_variant = GemmVariant::kScalar;
+        /** Tuner-picked SIMD FC dot kernel (false unless opts.tune). */
+        bool simd_fc = false;
         bool fuse_relu = false;
         i64 out_slot = 0;
         i64 col_slot = -1; ///< im2col workspace slot, or -1.
@@ -232,6 +255,13 @@ class BatchedExecutionPlan
         i64 layer_index = 0;
         Shape out_shape;
         ConvKernel conv_kernel = ConvKernel::kDirect;
+        /** Tuner-picked GEMM variant (kScalar unless opts.tune). The
+         * contest runs on the per-sample shape; the batched GEMM
+         * reuses the pick for every batch size (same key as the
+         * unbatched plan, so both agree on one variant). */
+        GemmVariant conv_variant = GemmVariant::kScalar;
+        /** Tuner-picked SIMD FC dot kernel (false unless opts.tune). */
+        bool simd_fc = false;
         bool fuse_relu = false;
         i64 parity = 0;    ///< Lane ping-pong side this step writes.
         bool batched_conv = false; ///< conv_im2col_gemm_batched step.

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "simd/simd_kernels.h"
 #include "tensor/tensor.h"
 
 namespace eva2 {
@@ -89,6 +90,17 @@ struct ForwardCtx
      * they elide the ReLU step): the kernel writes max(acc, 0).
      */
     bool fuse_relu = false;
+    /**
+     * GEMM micro-kernel variant for im2col conv (tuner-selected by
+     * `kernel=tuned` plans; kScalar is the bit-exact reference). SIMD
+     * variants are bounded-divergence and require simd_supported().
+     */
+    GemmVariant conv_variant = GemmVariant::kScalar;
+    /**
+     * Run FC layers through the SIMD dot kernel (tuner-selected, see
+     * kernel_tuner.h). Bounded-divergence; requires simd_supported().
+     */
+    bool simd_fc = false;
 };
 
 /**

@@ -1,10 +1,72 @@
 #include "core/warp.h"
 
 #include <cmath>
+#include <vector>
 
+#include "simd/simd_kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace eva2 {
+
+namespace {
+
+/**
+ * Per-pixel warp coefficients, precomputed once per call and applied
+ * to every channel. The source coordinate depends only on (y, x), so
+ * hoisting the floor/fraction/bounds work out of the channel loop is
+ * a pure win — the original code recomputed it c_count times — and it
+ * is what lets the per-channel apply loop vectorize: the SIMD kernels
+ * consume these arrays directly. thread_local so concurrent warps
+ * (pipelined frames, parallel streams) never share; plain vectors, so
+ * the Tensor buffer-allocation counter (the zero-alloc tests' probe)
+ * is untouched, and capacity persists across calls.
+ */
+struct WarpWorkspace
+{
+    // Bilinear: four corner offsets, their validity masks (0 / -1:
+    // *select* masks, not multiplicands — see warp_apply_bilinear_simd
+    // on why multiplying by 0.0 would not be bit-exact), and the
+    // interpolation weights.
+    std::vector<i32> o00, o01, o10, o11;
+    std::vector<i32> k00, k01, k10, k11;
+    std::vector<double> wx0, wx1, wy0, wy1;
+    // Nearest: source offset, -1 when out of bounds.
+    std::vector<i32> off;
+};
+
+WarpWorkspace &
+workspace()
+{
+    thread_local WarpWorkspace ws;
+    return ws;
+}
+
+/**
+ * Scalar bilinear apply over one plane: the exact expression tree of
+ * bilinear_sample (and of warp_apply_bilinear_simd), for builds and
+ * machines where the SIMD kernels may not run.
+ */
+void
+apply_bilinear_scalar(const float *plane, const WarpWorkspace &ws,
+                      i64 n, float *out)
+{
+    for (i64 p = 0; p < n; ++p) {
+        const double v00 =
+            ws.k00[p] ? static_cast<double>(plane[ws.o00[p]]) : 0.0;
+        const double v01 =
+            ws.k01[p] ? static_cast<double>(plane[ws.o01[p]]) : 0.0;
+        const double v10 =
+            ws.k10[p] ? static_cast<double>(plane[ws.o10[p]]) : 0.0;
+        const double v11 =
+            ws.k11[p] ? static_cast<double>(plane[ws.o11[p]]) : 0.0;
+        const double top = v00 * ws.wx0[p] + v01 * ws.wx1[p];
+        const double bot = v10 * ws.wx0[p] + v11 * ws.wx1[p];
+        out[p] =
+            static_cast<float>(top * ws.wy0[p] + bot * ws.wy1[p]);
+    }
+}
+
+} // namespace
 
 void
 fit_field_into(const MotionField &field, i64 h, i64 w, MotionField &out)
@@ -48,26 +110,90 @@ warp_activation_into(const Tensor &key_activation,
     const i64 c_count = key_activation.channels();
     const i64 h = key_activation.height();
     const i64 w = key_activation.width();
+    const i64 n = h * w;
     const double inv_stride = 1.0 / static_cast<double>(rf_stride);
     out.reshape_to(key_activation.shape());
 
+    WarpWorkspace &ws = workspace();
+    const bool simd = simd_supported();
+    if (mode == InterpMode::kNearest) {
+        ws.off.resize(static_cast<size_t>(n));
+        for (i64 y = 0; y < h; ++y) {
+            for (i64 x = 0; x < w; ++x) {
+                const Vec2 v = field.at(y, x);
+                const i64 ny = static_cast<i64>(std::lround(
+                    static_cast<double>(y) + v.dy * inv_stride));
+                const i64 nx = static_cast<i64>(std::lround(
+                    static_cast<double>(x) + v.dx * inv_stride));
+                const bool inb =
+                    ny >= 0 && ny < h && nx >= 0 && nx < w;
+                ws.off[static_cast<size_t>(y * w + x)] =
+                    inb ? static_cast<i32>(ny * w + nx) : -1;
+            }
+        }
+        for (i64 c = 0; c < c_count; ++c) {
+            const float *plane = key_activation.channel(c).data();
+            float *dst = out.data().data() + c * n;
+            if (simd) {
+                warp_apply_nearest_simd(plane, ws.off.data(), n, dst);
+            } else {
+                for (i64 p = 0; p < n; ++p) {
+                    dst[p] =
+                        ws.off[static_cast<size_t>(p)] >= 0
+                            ? plane[ws.off[static_cast<size_t>(p)]]
+                            : 0.0f;
+                }
+            }
+        }
+        return;
+    }
+
+    const auto grow = [n](auto &v) {
+        v.resize(static_cast<size_t>(n));
+    };
+    grow(ws.o00), grow(ws.o01), grow(ws.o10), grow(ws.o11);
+    grow(ws.k00), grow(ws.k01), grow(ws.k10), grow(ws.k11);
+    grow(ws.wx0), grow(ws.wx1), grow(ws.wy0), grow(ws.wy1);
     for (i64 y = 0; y < h; ++y) {
         for (i64 x = 0; x < w; ++x) {
             const Vec2 v = field.at(y, x);
-            const double sy = static_cast<double>(y) + v.dy * inv_stride;
-            const double sx = static_cast<double>(x) + v.dx * inv_stride;
-            if (mode == InterpMode::kNearest) {
-                const i64 ny = static_cast<i64>(std::lround(sy));
-                const i64 nx = static_cast<i64>(std::lround(sx));
-                for (i64 c = 0; c < c_count; ++c) {
-                    out.at(c, y, x) = key_activation.at_padded(c, ny, nx);
-                }
-            } else {
-                for (i64 c = 0; c < c_count; ++c) {
-                    out.at(c, y, x) =
-                        bilinear_sample(key_activation, c, sy, sx);
-                }
-            }
+            const double sy =
+                static_cast<double>(y) + v.dy * inv_stride;
+            const double sx =
+                static_cast<double>(x) + v.dx * inv_stride;
+            const i64 y0 = static_cast<i64>(std::floor(sy));
+            const i64 x0 = static_cast<i64>(std::floor(sx));
+            const double fy = sy - static_cast<double>(y0);
+            const double fx = sx - static_cast<double>(x0);
+            const size_t p = static_cast<size_t>(y * w + x);
+            ws.wx0[p] = 1.0 - fx;
+            ws.wx1[p] = fx;
+            ws.wy0[p] = 1.0 - fy;
+            ws.wy1[p] = fy;
+            const auto corner = [&](i64 cy, i64 cx, std::vector<i32> &o,
+                                    std::vector<i32> &k) {
+                const bool inb =
+                    cy >= 0 && cy < h && cx >= 0 && cx < w;
+                o[p] = inb ? static_cast<i32>(cy * w + cx) : 0;
+                k[p] = inb ? -1 : 0;
+            };
+            corner(y0, x0, ws.o00, ws.k00);
+            corner(y0, x0 + 1, ws.o01, ws.k01);
+            corner(y0 + 1, x0, ws.o10, ws.k10);
+            corner(y0 + 1, x0 + 1, ws.o11, ws.k11);
+        }
+    }
+    for (i64 c = 0; c < c_count; ++c) {
+        const float *plane = key_activation.channel(c).data();
+        float *dst = out.data().data() + c * n;
+        if (simd) {
+            warp_apply_bilinear_simd(
+                plane, ws.o00.data(), ws.o01.data(), ws.o10.data(),
+                ws.o11.data(), ws.k00.data(), ws.k01.data(),
+                ws.k10.data(), ws.k11.data(), ws.wx0.data(),
+                ws.wx1.data(), ws.wy0.data(), ws.wy1.data(), n, dst);
+        } else {
+            apply_bilinear_scalar(plane, ws, n, dst);
         }
     }
 }

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * The one ISA-flagged translation unit: every explicit-SIMD kernel
+ * variant is implemented here against the Vec wrapper, and the build
+ * compiles this file (alone) with elevated ISA flags — `-mavx2 -mfma
+ * -ffp-contract=off` on x86_64 when EVA2_SIMD is ON. Nothing in this
+ * file runs unless the caller checked simd_supported() first, so the
+ * binary stays runnable on machines without the elevated ISA.
+ */
+#include "simd/simd_kernels.h"
+
+#include <algorithm>
+
+#include "simd/vec.h"
+
+namespace eva2 {
+
+using simd::VecF;
+
+const char *
+gemm_variant_name(GemmVariant v)
+{
+    switch (v) {
+      case GemmVariant::kScalar: return "scalar";
+      case GemmVariant::kMr1xNv4: return "mr1xnv4";
+      case GemmVariant::kMr2xNv2: return "mr2xnv2";
+      case GemmVariant::kMr2xNv4: return "mr2xnv4";
+      case GemmVariant::kMr4xNv2: return "mr4xnv2";
+      case GemmVariant::kMr4xNv3: return "mr4xnv3";
+    }
+    return "unknown";
+}
+
+const std::vector<GemmVariant> &
+simd_gemm_variants()
+{
+    static const std::vector<GemmVariant> variants = {
+        GemmVariant::kMr1xNv4, GemmVariant::kMr2xNv2,
+        GemmVariant::kMr2xNv4, GemmVariant::kMr4xNv2,
+        GemmVariant::kMr4xNv3,
+    };
+    return variants;
+}
+
+bool
+simd_compiled()
+{
+    return simd::compiled_simd();
+}
+
+bool
+simd_supported()
+{
+#if defined(EVA2_SIMD_ISA_AVX2)
+    // Compiled for AVX2+FMA: only dispatch when the running CPU has
+    // both (the rest of the binary is baseline-ISA, so the check
+    // itself is safe to execute anywhere).
+    static const bool ok = __builtin_cpu_supports("avx2") &&
+                           __builtin_cpu_supports("fma");
+    return ok;
+#else
+    // SSE2 is the x86_64 baseline and NEON the AArch64 baseline: if
+    // the TU compiled for them at all, the CPU has them. The scalar
+    // fallback reports unsupported so callers keep the reference
+    // kernels (identical numerics, no pointless indirection).
+    return simd::compiled_simd();
+#endif
+}
+
+const char *
+simd_isa_name()
+{
+    return simd::kIsaName;
+}
+
+i64
+simd_lanes()
+{
+    return VecF::kLanes;
+}
+
+namespace {
+
+/**
+ * One full register tile of the GEMM: MR weight rows by NV vectors
+ * of output pixels, all accumulators live in registers. Loads each
+ * packed-column vector once per k and reuses it across the MR rows —
+ * the arithmetic-intensity win the scalar blocked kernel (one row at
+ * a time) cannot have. Per output element the accumulation is still
+ * ascending-k into a single chain; fma is the only numeric
+ * difference from the scalar reference.
+ */
+template <int MR, int NV>
+void
+gemm_register_tile(const float *weights, const float *biases,
+                   const float *col, i64 m0, i64 taps, i64 n, i64 j0,
+                   float *out, bool fuse_relu)
+{
+    constexpr i64 L = VecF::kLanes;
+    VecF acc[MR][NV];
+    for (int r = 0; r < MR; ++r) {
+        const VecF b = VecF::broadcast(biases[m0 + r]);
+        for (int v = 0; v < NV; ++v) {
+            acc[r][v] = b;
+        }
+    }
+    for (i64 k = 0; k < taps; ++k) {
+        const float *brow = col + k * n + j0;
+        VecF bv[NV];
+        for (int v = 0; v < NV; ++v) {
+            bv[v] = VecF::load(brow + v * L);
+        }
+        const float *wcol = weights + m0 * taps + k;
+        for (int r = 0; r < MR; ++r) {
+            const VecF wv = VecF::broadcast(wcol[r * taps]);
+            for (int v = 0; v < NV; ++v) {
+                acc[r][v] = acc[r][v].fma(wv, bv[v]);
+            }
+        }
+    }
+    const VecF zero = VecF::zero();
+    for (int r = 0; r < MR; ++r) {
+        float *c = out + (m0 + r) * n + j0;
+        for (int v = 0; v < NV; ++v) {
+            const VecF res =
+                fuse_relu ? max(acc[r][v], zero) : acc[r][v];
+            res.store(c + v * L);
+        }
+    }
+}
+
+/**
+ * Tail columns of a strip (fewer than one vector): scalar, ascending
+ * k, explicit mul+add. Deterministic for a given (shape, variant);
+ * the bounded-divergence gate covers the whole tensor either way.
+ */
+void
+gemm_scalar_tail(const float *weights, const float *biases,
+                 const float *col, i64 out_c, i64 taps, i64 n, i64 j0,
+                 i64 jn, float *out, bool fuse_relu)
+{
+    for (i64 m = 0; m < out_c; ++m) {
+        const float *w = weights + m * taps;
+        for (i64 j = j0; j < j0 + jn; ++j) {
+            float acc = biases[m];
+            for (i64 k = 0; k < taps; ++k) {
+                acc += w[k] * col[k * n + j];
+            }
+            out[m * n + j] =
+                fuse_relu ? (acc > 0.0f ? acc : 0.0f) : acc;
+        }
+    }
+}
+
+/** Geometry of one variant's register tile. */
+struct TileGeom
+{
+    int mr;
+    int nv;
+};
+
+TileGeom
+variant_geom(GemmVariant v)
+{
+    switch (v) {
+      case GemmVariant::kMr1xNv4: return {1, 4};
+      case GemmVariant::kMr2xNv2: return {2, 2};
+      case GemmVariant::kMr2xNv4: return {2, 4};
+      case GemmVariant::kMr4xNv2: return {4, 2};
+      case GemmVariant::kMr4xNv3: return {4, 3};
+      case GemmVariant::kScalar: break;
+    }
+    throw InternalError("gemm_strip_simd: scalar variant dispatched "
+                        "to the SIMD kernel");
+}
+
+template <int MR, int NV>
+void
+gemm_strip_impl(const float *weights, const float *biases,
+                const float *col, i64 out_c, i64 taps, i64 n, i64 j0,
+                i64 jn, float *out, bool fuse_relu)
+{
+    constexpr i64 L = VecF::kLanes;
+    constexpr i64 kFull = NV * L;
+    const i64 j_end = j0 + jn;
+    i64 j = j0;
+    for (; j + kFull <= j_end; j += kFull) {
+        i64 m0 = 0;
+        for (; m0 + MR <= out_c; m0 += MR) {
+            gemm_register_tile<MR, NV>(weights, biases, col, m0, taps,
+                                       n, j, out, fuse_relu);
+        }
+        for (; m0 < out_c; ++m0) {
+            gemm_register_tile<1, NV>(weights, biases, col, m0, taps,
+                                      n, j, out, fuse_relu);
+        }
+    }
+    // Single-vector columns past the last full tile.
+    for (; j + L <= j_end; j += L) {
+        for (i64 m0 = 0; m0 < out_c; ++m0) {
+            gemm_register_tile<1, 1>(weights, biases, col, m0, taps, n,
+                                     j, out, fuse_relu);
+        }
+    }
+    if (j < j_end) {
+        gemm_scalar_tail(weights, biases, col, out_c, taps, n, j,
+                         j_end - j, out, fuse_relu);
+    }
+}
+
+} // namespace
+
+void
+gemm_strip_simd(GemmVariant variant, const float *weights,
+                const float *biases, const float *col, i64 out_c,
+                i64 taps, i64 n, i64 j0, i64 jn, float *out,
+                bool fuse_relu)
+{
+    switch (variant) {
+      case GemmVariant::kMr1xNv4:
+        gemm_strip_impl<1, 4>(weights, biases, col, out_c, taps, n, j0,
+                              jn, out, fuse_relu);
+        return;
+      case GemmVariant::kMr2xNv2:
+        gemm_strip_impl<2, 2>(weights, biases, col, out_c, taps, n, j0,
+                              jn, out, fuse_relu);
+        return;
+      case GemmVariant::kMr2xNv4:
+        gemm_strip_impl<2, 4>(weights, biases, col, out_c, taps, n, j0,
+                              jn, out, fuse_relu);
+        return;
+      case GemmVariant::kMr4xNv2:
+        gemm_strip_impl<4, 2>(weights, biases, col, out_c, taps, n, j0,
+                              jn, out, fuse_relu);
+        return;
+      case GemmVariant::kMr4xNv3:
+        gemm_strip_impl<4, 3>(weights, biases, col, out_c, taps, n, j0,
+                              jn, out, fuse_relu);
+        return;
+      case GemmVariant::kScalar: break;
+    }
+    throw InternalError("gemm_strip_simd: scalar variant dispatched "
+                        "to the SIMD kernel");
+}
+
+i64
+gemm_strip_width(GemmVariant variant)
+{
+    // Four full register tiles per parallel_for strip: wide enough to
+    // amortize the dispatch, narrow enough to split small planes.
+    const TileGeom g = variant_geom(variant);
+    return 4 * static_cast<i64>(g.nv) * VecF::kLanes;
+}
+
+float
+fc_dot_simd(const float *w, const float *x, i64 n, float bias)
+{
+    constexpr i64 L = VecF::kLanes;
+    VecF a0 = VecF::zero();
+    VecF a1 = VecF::zero();
+    VecF a2 = VecF::zero();
+    VecF a3 = VecF::zero();
+    i64 i = 0;
+    for (; i + 4 * L <= n; i += 4 * L) {
+        a0 = a0.fma(VecF::load(w + i), VecF::load(x + i));
+        a1 = a1.fma(VecF::load(w + i + L), VecF::load(x + i + L));
+        a2 = a2.fma(VecF::load(w + i + 2 * L),
+                    VecF::load(x + i + 2 * L));
+        a3 = a3.fma(VecF::load(w + i + 3 * L),
+                    VecF::load(x + i + 3 * L));
+    }
+    for (; i + L <= n; i += L) {
+        a0 = a0.fma(VecF::load(w + i), VecF::load(x + i));
+    }
+    float s = ((a0 + a1) + (a2 + a3)).hsum();
+    for (; i < n; ++i) {
+        s += w[i] * x[i];
+    }
+    return bias + s;
+}
+
+namespace {
+
+template <int NB>
+void
+fc_dot_batched_impl(const float *w, float bias, const float *const *xs,
+                    i64 n, float *out)
+{
+    constexpr i64 L = VecF::kLanes;
+    VecF acc[NB];
+    for (int s = 0; s < NB; ++s) {
+        acc[s] = VecF::zero();
+    }
+    i64 i = 0;
+    for (; i + L <= n; i += L) {
+        const VecF wv = VecF::load(w + i);
+        for (int s = 0; s < NB; ++s) {
+            acc[s] = acc[s].fma(wv, VecF::load(xs[s] + i));
+        }
+    }
+    for (int s = 0; s < NB; ++s) {
+        float t = acc[s].hsum();
+        for (i64 j = i; j < n; ++j) {
+            t += w[j] * xs[s][j];
+        }
+        out[s] = bias + t;
+    }
+}
+
+} // namespace
+
+void
+fc_dot_batched_simd(const float *w, float bias, const float *const *xs,
+                    i64 nb, i64 n, float *out)
+{
+    switch (nb) {
+      case 1: fc_dot_batched_impl<1>(w, bias, xs, n, out); return;
+      case 2: fc_dot_batched_impl<2>(w, bias, xs, n, out); return;
+      case 3: fc_dot_batched_impl<3>(w, bias, xs, n, out); return;
+      case 4: fc_dot_batched_impl<4>(w, bias, xs, n, out); return;
+      case 5: fc_dot_batched_impl<5>(w, bias, xs, n, out); return;
+      case 6: fc_dot_batched_impl<6>(w, bias, xs, n, out); return;
+      case 7: fc_dot_batched_impl<7>(w, bias, xs, n, out); return;
+      case 8: fc_dot_batched_impl<8>(w, bias, xs, n, out); return;
+      default:
+        throw InternalError("fc_dot_batched_simd: block width out of "
+                            "range");
+    }
+}
+
+void
+relu_simd(const float *in, float *out, i64 n)
+{
+    constexpr i64 L = VecF::kLanes;
+    const VecF zero = VecF::zero();
+    i64 i = 0;
+    for (; i + L <= n; i += L) {
+        max(VecF::load(in + i), zero).store(out + i);
+    }
+    for (; i < n; ++i) {
+        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+    }
+}
+
+void
+warp_apply_bilinear_simd(const float *plane, const i32 *o00,
+                         const i32 *o01, const i32 *o10, const i32 *o11,
+                         const i32 *k00, const i32 *k01, const i32 *k10,
+                         const i32 *k11, const double *wx0,
+                         const double *wx1, const double *wy0,
+                         const double *wy1, i64 n, float *out)
+{
+    i64 p = 0;
+#if defined(EVA2_SIMD_ISA_AVX2)
+    // Four pixels per iteration in double precision: masked-gather
+    // each corner's four floats (out-of-bounds corners select an
+    // exact +0.0, the zero-padding value — see the header on why a
+    // multiply-mask would not be bit-exact), widen, and evaluate the
+    // exact expression tree of the scalar reference (mul/add only).
+    const __m128 fzero = _mm_setzero_ps();
+    for (; p + 4 <= n; p += 4) {
+        const auto corner = [&](const i32 *o, const i32 *k) {
+            const __m128i idx = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(o + p));
+            const __m128 mask = _mm_castsi128_ps(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(k + p)));
+            const __m128 f =
+                _mm_mask_i32gather_ps(fzero, plane, idx, mask, 4);
+            return _mm256_cvtps_pd(f);
+        };
+        const __m256d v00 = corner(o00, k00);
+        const __m256d v01 = corner(o01, k01);
+        const __m256d v10 = corner(o10, k10);
+        const __m256d v11 = corner(o11, k11);
+        const __m256d x0 = _mm256_loadu_pd(wx0 + p);
+        const __m256d x1 = _mm256_loadu_pd(wx1 + p);
+        const __m256d top = _mm256_add_pd(_mm256_mul_pd(v00, x0),
+                                          _mm256_mul_pd(v01, x1));
+        const __m256d bot = _mm256_add_pd(_mm256_mul_pd(v10, x0),
+                                          _mm256_mul_pd(v11, x1));
+        const __m256d res = _mm256_add_pd(
+            _mm256_mul_pd(top, _mm256_loadu_pd(wy0 + p)),
+            _mm256_mul_pd(bot, _mm256_loadu_pd(wy1 + p)));
+        _mm_storeu_ps(out + p, _mm256_cvtpd_ps(res));
+    }
+#endif
+    for (; p < n; ++p) {
+        const double v00 =
+            k00[p] ? static_cast<double>(plane[o00[p]]) : 0.0;
+        const double v01 =
+            k01[p] ? static_cast<double>(plane[o01[p]]) : 0.0;
+        const double v10 =
+            k10[p] ? static_cast<double>(plane[o10[p]]) : 0.0;
+        const double v11 =
+            k11[p] ? static_cast<double>(plane[o11[p]]) : 0.0;
+        const double top = v00 * wx0[p] + v01 * wx1[p];
+        const double bot = v10 * wx0[p] + v11 * wx1[p];
+        out[p] = static_cast<float>(top * wy0[p] + bot * wy1[p]);
+    }
+}
+
+void
+warp_apply_nearest_simd(const float *plane, const i32 *off, i64 n,
+                        float *out)
+{
+    i64 p = 0;
+#if defined(EVA2_SIMD_ISA_AVX2)
+    const __m256i neg1 = _mm256_set1_epi32(-1);
+    const __m256 zero = _mm256_setzero_ps();
+    for (; p + 8 <= n; p += 8) {
+        const __m256i idx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(off + p));
+        // mask lanes with off >= 0; masked-off lanes read nothing
+        // and produce the zero-padding value.
+        const __m256 mask =
+            _mm256_castsi256_ps(_mm256_cmpgt_epi32(idx, neg1));
+        const __m256 v =
+            _mm256_mask_i32gather_ps(zero, plane, idx, mask, 4);
+        _mm256_storeu_ps(out + p, v);
+    }
+#endif
+    for (; p < n; ++p) {
+        out[p] = off[p] >= 0 ? plane[off[p]] : 0.0f;
+    }
+}
+
+} // namespace eva2
