@@ -1,28 +1,31 @@
 /**
  * @file
- * A simulated inference server ingesting many live camera feeds
- * through the eva2::Engine serving API.
+ * A real inference server: eva2::Engine behind the net::Server TCP
+ * front end, fed by an in-process net::Client speaking the wire
+ * protocol over loopback — the full serving path (framing, admission,
+ * per-session credit windows, OUTCOME streaming, graceful drain) in
+ * one small demo.
  *
  * Eight synthetic cameras (mixed scenario kinds — pans, moving
- * objects, occlusions, chaos) deliver frames in rounds, the way a
- * serving process receives them from the network. Each camera is an
- * Engine Session: frames go in one at a time via submit() from the
- * ingest loop, tickets come back immediately, and the engine
- * processes each feed's strand concurrently with the others while
- * keeping frames of one feed strictly ordered. Key-frame state and
- * the RLE activation buffer live in the session's pipeline, so AMC's
- * temporal redundancy keeps paying off across ingest rounds.
+ * objects, occlusions, chaos) each open a session over one shared TCP
+ * connection and deliver frames in interleaved rounds, the way a
+ * serving process receives them. Each OUTCOME message carries the
+ * frame's key-flag, top-1, output digest, and the session's refreshed
+ * credit. At the end the server drains gracefully (every in-flight
+ * frame answered, BYE to every connection), prints its RunReport —
+ * now including the `net` section — and the same traffic is replayed
+ * on the legacy single-threaded StreamExecutor to verify the whole
+ * TCP path was bit-identical.
  *
- * Per round, the server polls the round's tickets and reports
- * aggregate progress; at the end it prints the engine's structured
- * RunReport (per-stage timings included) and replays all traffic on
- * the legacy single-threaded StreamExecutor to verify the
- * frame-level, parallel path was bit-identical.
+ * See docs/serving.md for the wire format and semantics.
  */
+#include <csignal>
 #include <iostream>
 
 #include "api/engine.h"
 #include "cnn/model_zoo.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "runtime/stream_executor.h"
 #include "runtime/thread_pool.h"
 #include "video/scenarios.h"
@@ -43,9 +46,9 @@ int
 main()
 {
     const i64 threads = ThreadPool::default_num_threads();
-    std::cout << "server sim: " << kCameras << " cameras, " << kRounds
-              << " rounds of " << kFramesPerRound << " frames, "
-              << threads << " worker thread(s)\n\n";
+    std::cout << "serving demo: " << kCameras << " cameras over TCP, "
+              << kRounds << " rounds of " << kFramesPerRound
+              << " frames, " << threads << " worker thread(s)\n\n";
 
     Network net = build_scaled(alexnet_spec());
     const std::vector<Sequence> feeds = multi_stream_set(
@@ -54,77 +57,84 @@ main()
     EngineConfig config;
     config.policy = kPolicySpec;
     config.num_threads = threads;
-    // Cross-stream suffix batching: with eight concurrent feeds, the
-    // sessions' CNN suffixes merge into shared batched plan runs
-    // (docs/suffix_batching.md). Bit-identical to batch=off — the
-    // replay below still checks against the serial reference.
+    // Cross-stream suffix batching still applies behind the socket
+    // layer: the sessions' CNN suffixes merge into shared batched
+    // plan runs (docs/suffix_batching.md), bit-identical to off.
     config.batch = "auto:max=8,delay_us=500";
     Engine engine(net, config);
 
-    for (i64 round = 0; round < kRounds; ++round) {
-        // Ingest: one frame per camera per tick, interleaved across
-        // feeds — the arrival order a real server sees. submit() is
-        // non-blocking when worker threads exist.
-        std::vector<std::pair<Session *, FrameTicket>> tickets;
-        for (i64 f = 0; f < kFramesPerRound; ++f) {
-            const i64 t = round * kFramesPerRound + f;
-            for (const Sequence &feed : feeds) {
-                Session &cam = engine.session(feed.name);
-                if (t < feed.size()) {
-                    tickets.emplace_back(&cam, cam.submit(feed[t]));
+    net::Server server(engine);
+    server.install_signal_handlers({SIGINT, SIGTERM});
+    server.start();
+    std::cout << "server listening on 127.0.0.1:" << server.port()
+              << "\n";
+
+    u64 total = 0, keys = 0;
+    {
+        net::Client client("127.0.0.1", server.port());
+        std::vector<net::ClientSession *> cams;
+        for (const Sequence &feed : feeds) {
+            cams.push_back(&client.open_session(feed.name));
+        }
+        std::cout << "opened " << cams.size()
+                  << " sessions (credit window " << cams[0]->window()
+                  << " frames each)\n\n";
+
+        for (i64 round = 0; round < kRounds; ++round) {
+            // Ingest: one frame per camera per tick, interleaved
+            // across feeds. submit() blocks only when a session's
+            // credit window is full — server-driven backpressure.
+            std::vector<std::pair<net::ClientSession *, u64>> seqs;
+            for (i64 f = 0; f < kFramesPerRound; ++f) {
+                const i64 t = round * kFramesPerRound + f;
+                for (i64 c = 0; c < kCameras; ++c) {
+                    if (t < feeds[c].size()) {
+                        seqs.emplace_back(
+                            cams[c], cams[c]->submit(feeds[c][t].image));
+                    }
                 }
             }
-        }
-        // Serve: wait for this round's tickets and tally.
-        i64 keys = 0;
-        for (auto &[cam, ticket] : tickets) {
-            if (cam->wait(ticket).is_key) {
-                ++keys;
+            // Serve: collect this round's OUTCOMEs.
+            i64 round_keys = 0;
+            for (auto &[cam, seq] : seqs) {
+                const net::NetOutcome out = cam->wait(seq);
+                if (!out.shed && out.is_key) {
+                    ++round_keys;
+                }
             }
+            total += seqs.size();
+            keys += round_keys;
+            std::cout << "round " << round << ": "
+                      << static_cast<i64>(seqs.size())
+                      << " frames served over TCP, " << round_keys
+                      << " key frames\n";
         }
-        std::cout << "round " << round << ": "
-                  << static_cast<i64>(tickets.size())
-                  << " frames processed, " << keys << " key frames\n";
+        client.close();
     }
 
-    const RunReport report = engine.report();
+    // Graceful drain: every admitted frame was answered before the
+    // listener went down.
+    server.stop();
+
+    const RunReport report = server.report();
     std::cout << "\ntotal: " << report.frames << " frames, "
               << report.key_frames << " key frames ("
               << 100.0 * report.key_fraction() << "% keys), "
               << report.frames_per_second() << " fps aggregate\n";
-    for (const StreamReport &s : report.streams) {
-        std::cout << "    " << s.name << ": " << s.key_frames << "/"
-                  << s.frames << " key\n";
-    }
-    // Per-stage occupancy: busy time as a fraction of the serving
-    // window. The rows summing past 1.0 is the pipelining win made
-    // visible — several stages of one engine were genuinely running
-    // at once (frame N's suffix under frame N+1's motion estimation).
-    std::cout << "\nper-stage wall time and occupancy (all streams):\n";
-    double busy = 0.0;
-    for (const StageReport &s : report.stages) {
-        if (s.calls > 0) {
-            std::cout << "    " << s.stage << ": " << s.total_ms
-                      << " ms over " << s.calls << " calls ("
-                      << 100.0 * s.occupancy << "% occupied, "
-                      << s.mean_ms() << " ms/frame)\n";
-            busy += s.occupancy;
-        }
-    }
-    std::cout << "    total stage occupancy: " << 100.0 * busy
-              << "% of the serving window (pipeline depth "
-              << engine.config().pipeline_depth << ")\n";
-
-    // How full the cross-stream suffix batches ran: mean occupancy
-    // near 1 would mean the delay window never found company and
-    // batching bought nothing this run.
-    std::cout << "\nsuffix batching (" << engine.config().batch
-              << "): " << report.batching.batches << " batches, "
-              << report.batching.items << " suffixes, mean occupancy "
-              << report.batching.mean_occupancy() << "\n";
+    std::cout << "net: " << report.net.frames_in << " frames in, "
+              << report.net.outcomes_out << " outcomes out, "
+              << report.net.bytes_in / 1024 << " KiB in, "
+              << report.net.bytes_out / 1024 << " KiB out, "
+              << report.net.sessions_accepted << " sessions, "
+              << report.net.shed_total() << " shed, "
+              << report.net.window_stalls << " window stalls\n";
+    std::cout << "suffix batching (" << engine.config().batch
+              << "): " << report.batching.batches << " batches, mean "
+              << "occupancy " << report.batching.mean_occupancy()
+              << "\n";
 
     // Replay the same traffic serially on the legacy internal API and
-    // compare: frame-level parallel ingestion must be bit-identical.
+    // compare: the whole TCP serving path must be bit-identical.
     StreamExecutorOptions replay_opts;
     replay_opts.num_threads = 1;
     replay_opts.make_policy = [](i64) {
@@ -134,7 +144,7 @@ main()
     StreamExecutor replay(net, replay_opts);
     const u64 serial_digest = replay.run(feeds).digest();
     const bool identical = serial_digest == report.digest;
-    std::cout << "\nframe-level parallel vs serial batch replay: "
+    std::cout << "\nTCP serving path vs serial batch replay: "
               << (identical ? "bit-identical" : "MISMATCH") << "\n";
     return identical ? 0 : 1;
 }

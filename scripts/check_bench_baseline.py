@@ -1,10 +1,20 @@
 #!/usr/bin/env python3
-"""Per-kernel perf-regression gate for bench_micro_kernels.
+"""Per-kernel perf-regression gate for bench_micro_kernels (and the
+serving-overhead gate for bench_loadgen).
 
 Compares a fresh google-benchmark JSON report against the committed
 baseline (bench/baselines/BENCH_micro_kernels.baseline.json) and fails
 when any (kernel, variant, shape) row regressed by more than the
 threshold (default 20%).
+
+bench_loadgen --json reports are also accepted on either side (the
+file is recognized by its "bench": "loadgen" marker): each becomes a
+loadgen/net_overhead/<shape> row — the ratio of in-process to
+over-TCP throughput for the same frames, a same-run, machine-
+independent number — anchored at a synthetic loadgen/anchor/<shape>
+row pinned to 1.0. The committed serving baseline lives at
+bench/baselines/BENCH_loadgen.baseline.json; refresh it the same way
+(--merge with one or more loadgen runs).
 
 Raw times are not comparable across machines, so every gated row is
 first normalized by its same-run scalar anchor:
@@ -66,10 +76,32 @@ import statistics
 import sys
 
 
+def loadgen_rows(doc):
+    """Synthesize gate rows from a bench_loadgen --json report.
+
+    The serving front end's gated metric is `net_overhead` =
+    fps_inproc / fps_net: how much throughput the TCP layer costs over
+    direct Session::submit of the same frames. It is a same-run ratio,
+    so it is machine-independent by construction; the anchor row is
+    pinned at 1.0 purely so the generic ratio gate below applies
+    unchanged.
+    """
+    shape = doc.get("shape", "default")
+    overhead = float(doc["net_overhead"])
+    if overhead <= 0:
+        raise ValueError("loadgen report has no net_overhead measurement")
+    return {
+        f"loadgen/net_overhead/{shape}": overhead,
+        f"loadgen/anchor/{shape}": 1.0,
+    }
+
+
 def load_rows(path):
     try:
         with open(path) as f:
             doc = json.load(f)
+        if doc.get("bench") == "loadgen":
+            return loadgen_rows(doc)
         samples = {}
         for b in doc["benchmarks"]:
             if b.get("run_type", "iteration") != "iteration":
@@ -93,6 +125,8 @@ def anchor_name(name):
         return f"conv_gemm/scalar/{parts[1]}"
     if name.startswith("fc/") and len(parts) == 3:
         return f"fc/scalar/{parts[2]}"
+    if name.startswith("loadgen/net_overhead/") and len(parts) == 3:
+        return f"loadgen/anchor/{parts[2]}"
     return None
 
 

@@ -202,36 +202,53 @@ Session::submit_all(const Sequence &seq)
 void
 Session::record_commit(FrameCommit commit)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     FrameOutcome outcome;
-    outcome.frame = done_base_ + static_cast<i64>(done_.size());
-    if (commit.error) {
-        outcome.failed = true;
-        // Keep every frame's own diagnostic; error_ stays the first
-        // failure, the one drain() keeps surfacing.
-        frame_errors_[outcome.frame] = commit.error;
-        if (!error_) {
-            error_ = commit.error;
+    OutcomeSink sink;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        outcome.frame = done_base_ + static_cast<i64>(done_.size());
+        if (commit.error) {
+            outcome.failed = true;
+            // Keep every frame's own diagnostic; error_ stays the
+            // first failure, the one drain() keeps surfacing.
+            frame_errors_[outcome.frame] = commit.error;
+            if (!error_) {
+                error_ = commit.error;
+            }
+        } else {
+            outcome.is_key = commit.is_key;
+            outcome.top1 = commit.top1;
+            outcome.output_digest = commit.output_digest;
+            outcome.match_error = commit.match_error;
+            outcome.me_add_ops = commit.me_add_ops;
+            digest_ = digest_combine(digest_, outcome.output_digest);
+            ++frames_;
+            if (outcome.is_key) {
+                ++key_frames_;
+            }
+            me_add_ops_ += outcome.me_add_ops;
+            if (engine_->store_outputs_) {
+                outputs_.push_back(std::move(commit.output));
+            }
         }
-    } else {
-        outcome.is_key = commit.is_key;
-        outcome.top1 = commit.top1;
-        outcome.output_digest = commit.output_digest;
-        outcome.match_error = commit.match_error;
-        outcome.me_add_ops = commit.me_add_ops;
-        digest_ = digest_combine(digest_, outcome.output_digest);
-        ++frames_;
-        if (outcome.is_key) {
-            ++key_frames_;
-        }
-        me_add_ops_ += outcome.me_add_ops;
-        if (engine_->store_outputs_) {
-            outputs_.push_back(std::move(commit.output));
-        }
+        done_.push_back(outcome);
+        last_done_ = std::chrono::steady_clock::now();
+        sink = outcome_sink_;
+        cv_.notify_all();
     }
-    done_.push_back(outcome);
-    last_done_ = std::chrono::steady_clock::now();
-    cv_.notify_all();
+    // Outside the session lock, so the sink may call poll() or
+    // completed(). Commits are delivered serially in frame order
+    // (the scheduler has a sole flusher), so sink calls are too.
+    if (sink) {
+        sink(outcome);
+    }
+}
+
+void
+Session::set_outcome_sink(OutcomeSink sink)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    outcome_sink_ = std::move(sink);
 }
 
 std::optional<FrameOutcome>
@@ -251,12 +268,18 @@ Session::wait(const FrameTicket &ticket)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     check_ticket(ticket);
+    // The predicate wakes on completion, but also on an epoch bump
+    // or a record trim: an Engine::reset() or forget_outcomes() from
+    // another thread discards the very record this wait is blocked
+    // on, so waiting purely for completion would hang forever — the
+    // frame's outcome is gone, not late. Both paths notify the cv,
+    // and the re-check below turns them into the same descriptive
+    // stale/forgotten-ticket error poll() gives.
     cv_.wait(lock, [&]() {
-        return ticket.frame <
-               done_base_ + static_cast<i64>(done_.size());
+        return ticket.epoch != epoch_ || ticket.frame < done_base_ ||
+               ticket.frame <
+                   done_base_ + static_cast<i64>(done_.size());
     });
-    // A concurrent forget_outcomes() may have trimmed the record
-    // between completion and this thread reacquiring the lock.
     check_ticket(ticket);
     const FrameOutcome outcome =
         done_[static_cast<size_t>(ticket.frame - done_base_)];
@@ -323,6 +346,9 @@ Session::forget_outcomes()
     // Forgotten tickets are rejected before lookup, so their
     // diagnostics can go too; error_ stays sticky for drain().
     frame_errors_.clear();
+    // Wake cross-thread waiters whose record was just trimmed; their
+    // re-check throws the forgotten-ticket error instead of hanging.
+    cv_.notify_all();
 }
 
 void
@@ -347,6 +373,10 @@ Session::reset_record()
     key_frames_ = 0;
     me_add_ops_ = 0;
     has_times_ = false;
+    // Wake cross-thread waiters blocked on pre-reset tickets; their
+    // epoch re-check throws the stale-ticket error instead of
+    // sleeping forever on a record that was just discarded.
+    cv_.notify_all();
 }
 
 bool
@@ -477,6 +507,17 @@ Engine::num_sessions() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return static_cast<i64>(sessions_.size());
+}
+
+i64
+Engine::in_flight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    i64 total = 0;
+    for (const auto &s : sessions_) {
+        total += s->in_flight();
+    }
+    return total;
 }
 
 RunReport

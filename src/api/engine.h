@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -195,6 +196,15 @@ class Session
      * outcomes), and the stored error is sticky: wait() on the
      * failed ticket, drain(), and engine report()/flush() all keep
      * rethrowing it until Engine::reset() discards the stream.
+     *
+     * Cross-thread semantics (the IO-loop shape: one thread submits,
+     * another waits, a third may tear the engine down): wait() never
+     * hangs on a ticket that can no longer complete. Engine::close()
+     * drains, so the outcome arrives and is returned; Engine::reset()
+     * or forget_outcomes() discarding the record wakes this waiter
+     * and throws the same descriptive ConfigError poll() gives for a
+     * stale/forgotten ticket. Only engine *destruction* must still be
+     * ordered after all waiters return.
      */
     FrameOutcome wait(const FrameTicket &ticket);
 
@@ -203,6 +213,32 @@ class Session
 
     i64 submitted() const;
     i64 completed() const;
+
+    /** Frames submitted but not yet completed (occupancy). */
+    i64
+    in_flight() const
+    {
+        return submitted() - completed();
+    }
+
+    /**
+     * Per-outcome completion hook, the push-style alternative to
+     * polling tickets: invoked once per frame, in frame order, right
+     * after the outcome becomes observable — on whichever thread
+     * delivered the commit (an engine worker, or the submitting
+     * thread when the engine runs inline). The net::Server IO loop
+     * uses this to stream OUTCOME messages without polling thousands
+     * of tickets.
+     *
+     * The sink runs outside the session's internal lock, so it may
+     * call poll()/completed(); it must not block on wait()/drain()
+     * of this session (it would wait on itself) and must be cleared
+     * (set to nullptr, after a drain) before anything it captures
+     * dies. Failed frames are delivered with outcome.failed set
+     * rather than thrown.
+     */
+    using OutcomeSink = std::function<void(const FrameOutcome &)>;
+    void set_outcome_sink(OutcomeSink sink);
 
     /**
      * Drop the per-frame outcome records (and retained outputs)
@@ -270,6 +306,7 @@ class Session
     std::vector<Tensor> outputs_;
     std::exception_ptr error_; ///< First failure (drain rethrows it).
     std::map<i64, std::exception_ptr> frame_errors_; ///< By frame.
+    OutcomeSink outcome_sink_; ///< Per-commit push hook (may be null).
 
     // Cumulative stream accounting (mirrors StreamResult).
     u64 digest_ = kDigestSeed;
@@ -321,6 +358,14 @@ class Engine
     Session *find_session(const std::string &name);
 
     i64 num_sessions() const;
+
+    /**
+     * Total frames submitted but not yet completed across all
+     * sessions — the occupancy signal the serving layer's load
+     * shedding and drain logic watch. Racy by nature (sessions keep
+     * moving); exact once ingestion has stopped.
+     */
+    i64 in_flight() const;
 
     /**
      * Batch path: process sequence i on stream i's pipeline, exactly

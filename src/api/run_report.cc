@@ -112,6 +112,22 @@ RunReport::to_json(int indent) const
     }
     w.end_array();
     w.end_object();
+    w.key("net").begin_object();
+    w.member("connections_accepted", net.connections_accepted);
+    w.member("connections_rejected", net.connections_rejected);
+    w.member("sessions_accepted", net.sessions_accepted);
+    w.member("sessions_rejected", net.sessions_rejected);
+    w.member("frames_in", net.frames_in);
+    w.member("outcomes_out", net.outcomes_out);
+    w.member("shed_window", net.shed_window);
+    w.member("shed_overload", net.shed_overload);
+    w.member("shed_draining", net.shed_draining);
+    w.member("shed_total", net.shed_total());
+    w.member("protocol_errors", net.protocol_errors);
+    w.member("bytes_in", net.bytes_in);
+    w.member("bytes_out", net.bytes_out);
+    w.member("window_stalls", net.window_stalls);
+    w.end_object();
     w.end_object();
     return w.str();
 }

@@ -65,6 +65,40 @@ struct StreamReport
     }
 };
 
+/**
+ * Serving front-end counters, filled in by net::Server::report()
+ * when the engine sits behind the TCP front end (docs/serving.md);
+ * all zero for in-process runs. Byte counts are application-layer
+ * (framed messages as written/read, not TCP segments).
+ */
+struct NetStats
+{
+    i64 connections_accepted = 0;
+    i64 connections_rejected = 0; ///< Admission: max_connections.
+    i64 sessions_accepted = 0;
+    i64 sessions_rejected = 0; ///< Admission: typed HELLO NACKs.
+    i64 frames_in = 0;         ///< Decoded FRAMEs submitted.
+    i64 outcomes_out = 0;      ///< OUTCOME digests streamed back.
+    i64 shed_window = 0;       ///< Frames past a session's window.
+    i64 shed_overload = 0;     ///< Frames shed by the global cap.
+    i64 shed_draining = 0;     ///< Frames arriving during drain.
+    i64 protocol_errors = 0;   ///< Connections killed mid-parse.
+    i64 bytes_in = 0;
+    i64 bytes_out = 0;
+    /**
+     * Times some session's in-flight count reached its window — each
+     * one is a completion the sender had to wait for before its next
+     * frame, i.e. backpressure actually applied.
+     */
+    i64 window_stalls = 0;
+
+    i64
+    shed_total() const
+    {
+        return shed_window + shed_overload + shed_draining;
+    }
+};
+
 /** Everything an Engine run (batch or session-fed) produced. */
 struct RunReport
 {
@@ -108,6 +142,8 @@ struct RunReport
      * and batching is buying nothing.
      */
     SuffixBatchStats batching;
+    /** Serving front-end counters (zero without a net::Server). */
+    NetStats net;
 
     double
     key_fraction() const

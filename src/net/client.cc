@@ -1,0 +1,350 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+
+namespace eva2::net {
+
+// --------------------------------------------------------------------
+// ClientSession
+
+ClientSession::ClientSession(Client *client, u32 wire_id,
+                             std::string name)
+    : client_(client), wire_id_(wire_id), name_(std::move(name))
+{
+}
+
+u64
+ClientSession::send_frame_locked(const Tensor &frame,
+                                 std::unique_lock<std::mutex> &)
+{
+    const u64 seq = next_seq_++;
+    ++outstanding_;
+    client_->send_locked(encode_frame(wire_id_, seq, frame));
+    return seq;
+}
+
+u64
+ClientSession::submit(const Tensor &frame)
+{
+    std::unique_lock<std::mutex> lock(client_->mutex_);
+    client_->check_alive_locked();
+    if (outstanding_ >= static_cast<i64>(window_)) {
+        ++credit_stalls_;
+        client_->cv_.wait(lock, [&]() {
+            return outstanding_ < static_cast<i64>(window_) ||
+                   client_->reader_done_;
+        });
+        client_->check_alive_locked();
+    }
+    return send_frame_locked(frame, lock);
+}
+
+bool
+ClientSession::try_submit(const Tensor &frame, u64 *seq)
+{
+    std::unique_lock<std::mutex> lock(client_->mutex_);
+    client_->check_alive_locked();
+    if (outstanding_ >= static_cast<i64>(window_)) {
+        return false;
+    }
+    *seq = send_frame_locked(frame, lock);
+    return true;
+}
+
+u64
+ClientSession::submit_uncredited(const Tensor &frame)
+{
+    std::unique_lock<std::mutex> lock(client_->mutex_);
+    client_->check_alive_locked();
+    return send_frame_locked(frame, lock);
+}
+
+NetOutcome
+ClientSession::wait(u64 seq)
+{
+    std::unique_lock<std::mutex> lock(client_->mutex_);
+    client_->cv_.wait(lock, [&]() {
+        return results_.count(seq) != 0 || client_->reader_done_;
+    });
+    const auto it = results_.find(seq);
+    if (it == results_.end()) {
+        client_->check_alive_locked();
+        throw NetError("wait(" + std::to_string(seq) + ") on session '" +
+                       name_ + "': no result and none can arrive");
+    }
+    NetOutcome out = it->second;
+    results_.erase(it);
+    return out;
+}
+
+i64
+ClientSession::outstanding() const
+{
+    std::lock_guard<std::mutex> lock(client_->mutex_);
+    return outstanding_;
+}
+
+i64
+ClientSession::credit_stalls() const
+{
+    std::lock_guard<std::mutex> lock(client_->mutex_);
+    return credit_stalls_;
+}
+
+u64
+ClientSession::chained_digest() const
+{
+    std::lock_guard<std::mutex> lock(client_->mutex_);
+    return chained_digest_;
+}
+
+i64
+ClientSession::completed_frames() const
+{
+    std::lock_guard<std::mutex> lock(client_->mutex_);
+    return completed_;
+}
+
+i64
+ClientSession::shed_frames() const
+{
+    std::lock_guard<std::mutex> lock(client_->mutex_);
+    return shed_;
+}
+
+// --------------------------------------------------------------------
+// Client
+
+Client::Client(const std::string &host, int port)
+    : fd_(tcp_connect(host, port))
+{
+    set_tcp_nodelay(fd_.get());
+    reader_ = std::thread([this]() { reader_loop(); });
+}
+
+Client::~Client()
+{
+    try {
+        close();
+    } catch (const std::exception &) {
+        // Destructor path: the connection may already be gone.
+    }
+    if (reader_.joinable()) {
+        reader_.join();
+    }
+}
+
+void
+Client::check_alive_locked() const
+{
+    if (reader_done_) {
+        throw NetError(
+            "connection is down" +
+            (reader_error_.empty() ? std::string(" (server closed)")
+                                   : ": " + reader_error_));
+    }
+}
+
+void
+Client::send_locked(const std::vector<u8> &bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd_.get(), bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        throw NetError(errno_text("send"));
+    }
+}
+
+ClientSession &
+Client::open_session(const std::string &name, u8 priority)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    check_alive_locked();
+    const u32 wire_id = next_wire_id_++;
+    std::unique_ptr<ClientSession> session(
+        new ClientSession(this, wire_id, name));
+    ClientSession *s = session.get();
+    sessions_[wire_id] = std::move(session);
+    HelloMsg hello;
+    hello.priority = priority;
+    hello.name = name;
+    send_locked(encode_hello(wire_id, hello));
+    cv_.wait(lock, [&]() {
+        return s->state_ != ClientSession::State::kOpening ||
+               reader_done_;
+    });
+    if (s->state_ == ClientSession::State::kOpen) {
+        return *s;
+    }
+    // Copy the rejection out before erase destroys the session.
+    const NackMsg nack = s->nack_;
+    sessions_.erase(wire_id);
+    if (reader_done_) {
+        check_alive_locked();
+    }
+    throw NetError("session '" + name + "' rejected: " +
+                   nack_reason_name(nack.reason) +
+                   (nack.detail.empty() ? "" : " (" + nack.detail + ")"));
+}
+
+void
+Client::close()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_) {
+            cv_.wait(lock, [&]() { return reader_done_; });
+            return;
+        }
+        closed_ = true;
+        if (!reader_done_) {
+            send_locked(encode_bye(0));
+        }
+        // The server flushes what it owes and closes; the reader's
+        // EOF is the handshake's end.
+        cv_.wait(lock, [&]() { return reader_done_; });
+    }
+    if (reader_.joinable()) {
+        reader_.join();
+    }
+}
+
+bool
+Client::server_closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return server_bye_;
+}
+
+void
+Client::reader_loop()
+{
+    FrameDecoder decoder;
+    std::string error;
+    u8 buf[65536];
+    for (;;) {
+        const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+        if (n == 0) {
+            break; // Orderly EOF.
+        }
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            error = errno_text("recv");
+            break;
+        }
+        try {
+            decoder.feed(buf, static_cast<size_t>(n));
+            Message msg;
+            bool saw_bye = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                while (decoder.next(&msg)) {
+                    dispatch(msg);
+                    saw_bye |= msg.header.type == MsgType::kBye;
+                }
+            }
+            cv_.notify_all();
+            if (saw_bye) {
+                // Keep reading to the EOF that follows the server's
+                // BYE; no further messages are expected.
+            }
+        } catch (const ProtocolError &e) {
+            error = e.what();
+            break;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reader_done_ = true;
+        reader_error_ = std::move(error);
+    }
+    cv_.notify_all();
+}
+
+void
+Client::dispatch(const Message &msg)
+{
+    const auto it = sessions_.find(msg.header.session);
+    switch (msg.header.type) {
+    case MsgType::kHelloAck: {
+        if (it == sessions_.end()) {
+            return;
+        }
+        const HelloAckMsg ack = parse_hello_ack(msg.payload);
+        it->second->window_ = ack.window;
+        it->second->state_ = ClientSession::State::kOpen;
+        return;
+    }
+    case MsgType::kNack: {
+        if (it == sessions_.end() ||
+            it->second->state_ != ClientSession::State::kOpening) {
+            // Connection-scoped NACK (e.g. protocol violation): the
+            // server is about to close on us; the reader's EOF will
+            // surface it to every waiter.
+            return;
+        }
+        it->second->nack_ = parse_nack(msg.payload);
+        it->second->state_ = ClientSession::State::kRejected;
+        return;
+    }
+    case MsgType::kOutcome: {
+        if (it == sessions_.end()) {
+            return;
+        }
+        ClientSession &s = *it->second;
+        const OutcomeMsg om = parse_outcome(msg.payload);
+        NetOutcome out;
+        out.seq = msg.header.seq;
+        out.is_key = om.is_key;
+        out.failed = om.failed;
+        out.top1 = om.top1;
+        out.output_digest = om.output_digest;
+        out.match_error = om.match_error;
+        --s.outstanding_;
+        ++s.completed_;
+        if (!out.failed) {
+            s.chained_digest_ =
+                digest_combine(s.chained_digest_, out.output_digest);
+        }
+        s.results_[out.seq] = out;
+        return;
+    }
+    case MsgType::kShed: {
+        if (it == sessions_.end()) {
+            return;
+        }
+        ClientSession &s = *it->second;
+        const ShedMsg sm = parse_shed(msg.payload);
+        NetOutcome out;
+        out.seq = msg.header.seq;
+        out.shed = true;
+        out.shed_reason = sm.reason;
+        --s.outstanding_;
+        ++s.shed_;
+        s.results_[out.seq] = out;
+        return;
+    }
+    case MsgType::kBye:
+        server_bye_ = true;
+        return;
+    case MsgType::kHello:
+    case MsgType::kFrame:
+        break;
+    }
+    throw ProtocolError(
+        "server sent a client-to-server message type (" +
+        std::to_string(static_cast<int>(msg.header.type)) + ")");
+}
+
+} // namespace eva2::net

@@ -1,0 +1,715 @@
+#include "net/server.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace eva2::net {
+
+namespace {
+
+/**
+ * Signal-to-server routing. A handler may only touch async-signal-safe
+ * state, so it sets one flag and writes one byte to the IO loop's wake
+ * pipe; the loop translates the flag into a drain on its own thread.
+ * One server per process may install handlers (enforced below).
+ */
+std::atomic<bool> g_signal_stop{false};
+std::atomic<int> g_signal_wake_fd{-1};
+std::atomic<Server *> g_signal_server{nullptr};
+
+extern "C" void
+eva2_net_signal_handler(int)
+{
+    g_signal_stop.store(true);
+    WakePipe::wake_fd(g_signal_wake_fd.load());
+}
+
+} // namespace
+
+void
+ServerConfig::validate() const
+{
+    require(!host.empty(), "net: ServerConfig.host must not be empty");
+    require(port >= 0 && port <= 65535,
+            "net: ServerConfig.port must be in [0, 65535], got " +
+                std::to_string(port));
+    require(max_connections > 0,
+            "net: ServerConfig.max_connections must be > 0, got " +
+                std::to_string(max_connections));
+    require(max_sessions > 0,
+            "net: ServerConfig.max_sessions must be > 0, got " +
+                std::to_string(max_sessions));
+    require(window > 0,
+            "net: ServerConfig.window must be > 0, got " +
+                std::to_string(window));
+    require(max_inflight >= kPriorityLevels,
+            "net: ServerConfig.max_inflight must be >= " +
+                std::to_string(kPriorityLevels) + " (got " +
+                std::to_string(max_inflight) +
+                ") so every priority class keeps a nonzero share");
+    require(drain_timeout_ms > 0,
+            "net: ServerConfig.drain_timeout_ms must be > 0, got " +
+                std::to_string(drain_timeout_ms));
+}
+
+/**
+ * One session bound over the wire: the bridge between a client-chosen
+ * wire id on one connection and an engine Session. The engine session
+ * outlives the binding (sessions are engine-lifetime objects); a
+ * reconnecting client rebinds the same name and continues the stream.
+ */
+struct Server::NetSession
+{
+    u32 wire_id = 0;
+    std::string name;
+    u8 priority = 0;
+    Session *session = nullptr;
+    i64 engine_index = -1;
+    Conn *conn = nullptr;
+    /** Frames admitted through this binding, not yet answered. */
+    i64 inflight = 0;
+    /**
+     * Engine frame number of this binding's first submit. Completions
+     * below it belong to a previous binding of the same session (torn
+     * down with its connection) and are dropped, not delivered.
+     */
+    i64 binding_start = 0;
+    /** Client seq numbers of in-flight frames, in submission order. */
+    std::deque<u64> pending_seqs;
+};
+
+/** One TCP connection: socket, decoder, write buffer, its sessions. */
+struct Server::Conn
+{
+    Fd fd;
+    FrameDecoder decoder;
+    std::vector<u8> out;
+    size_t out_off = 0;
+    /** Stop reading; flush `out`, then close. */
+    bool closing = false;
+    /** Torn down; removed from conns_ at the top of the loop. */
+    bool dead = false;
+    std::map<u32, std::unique_ptr<NetSession>> sessions;
+
+    bool flushed() const { return out_off >= out.size(); }
+
+    i64
+    inflight() const
+    {
+        i64 n = 0;
+        for (const auto &entry : sessions) {
+            n += entry.second->inflight;
+        }
+        return n;
+    }
+};
+
+Server::Server(Engine &engine, ServerConfig config)
+    : engine_(&engine), config_(std::move(config))
+{
+    config_.validate();
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    require(!io_thread_.joinable(), "net: Server::start() called twice");
+    require(!engine_->closed(),
+            "net: Server::start() on a closed engine — open the engine "
+            "before serving");
+    auto bound = tcp_listen(config_.host, config_.port);
+    listen_fd_ = std::move(bound.first);
+    bound_port_ = bound.second;
+    stop_requested_.store(false);
+    running_.store(true);
+    io_thread_ = std::thread([this]() { io_loop(); });
+}
+
+int
+Server::port() const
+{
+    require(bound_port_ > 0,
+            "net: Server::port() before start() — no port is bound yet");
+    return bound_port_;
+}
+
+void
+Server::request_stop()
+{
+    stop_requested_.store(true);
+    wake_.wake();
+}
+
+void
+Server::install_signal_handlers(std::initializer_list<int> signals)
+{
+    Server *expected = nullptr;
+    require(g_signal_server.compare_exchange_strong(expected, this) ||
+                expected == this,
+            "net: install_signal_handlers: another Server already owns "
+            "the process signal handlers");
+    g_signal_wake_fd.store(wake_.write_fd());
+    for (const int sig : signals) {
+        std::signal(sig, eva2_net_signal_handler);
+        installed_signals_.push_back(sig);
+    }
+}
+
+void
+Server::stop()
+{
+    if (io_thread_.joinable()) {
+        request_stop();
+        io_thread_.join();
+    }
+    running_.store(false);
+    listen_fd_.reset();
+    for (const int sig : installed_signals_) {
+        std::signal(sig, SIG_DFL);
+    }
+    if (!installed_signals_.empty()) {
+        g_signal_server.store(nullptr);
+        g_signal_wake_fd.store(-1);
+        g_signal_stop.store(false);
+        installed_signals_.clear();
+    }
+    // Frames from connections torn down mid-flight may still be
+    // churning inside the engine; quiesce it so the sinks go silent,
+    // then detach them. Stream failures surface via the engine's own
+    // report()/flush(), not from stop().
+    try {
+        engine_->flush();
+    } catch (const std::exception &) {
+    }
+    for (Session *s : sunk_sessions_) {
+        s->set_outcome_sink(nullptr);
+    }
+    sunk_sessions_.clear();
+    conns_.clear();
+    by_engine_index_.clear();
+    by_name_.clear();
+    total_inflight_ = 0;
+    draining_ = false;
+    {
+        std::lock_guard<std::mutex> lock(cq_mutex_);
+        cq_.clear();
+    }
+}
+
+NetStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+RunReport
+Server::report()
+{
+    RunReport r = engine_->report();
+    r.net = stats();
+    return r;
+}
+
+i64
+Server::shed_cap(u8 priority) const
+{
+    const i64 p = std::min<i64>(priority, kPriorityLevels - 1);
+    return std::max<i64>(1,
+                         config_.max_inflight * (p + 1) / kPriorityLevels);
+}
+
+// --------------------------------------------------------------------
+// IO loop
+
+void
+Server::io_loop()
+{
+    using clock = std::chrono::steady_clock;
+    clock::time_point drain_start{};
+    bool byes_queued = false;
+    std::vector<pollfd> pfds;
+    std::vector<Conn *> pfd_conns;
+
+    for (;;) {
+        if (!draining_ &&
+            (stop_requested_.load() ||
+             (g_signal_server.load() == this && g_signal_stop.load()))) {
+            // Enter graceful drain: stop accepting, then let the
+            // steps below run the connections dry.
+            draining_ = true;
+            drain_start = clock::now();
+            listen_fd_.reset();
+        }
+
+        // Close connections that were flushing out a final NACK/BYE —
+        // but not while they still owe OUTCOMEs for admitted frames:
+        // an orderly close never loses admitted work.
+        for (auto &c : conns_) {
+            if (!c->dead && c->closing && c->flushed() &&
+                c->inflight() == 0) {
+                teardown(*c);
+            }
+        }
+        conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                    [](const std::unique_ptr<Conn> &c) {
+                                        return c->dead;
+                                    }),
+                     conns_.end());
+
+        if (draining_) {
+            bool cq_empty;
+            {
+                std::lock_guard<std::mutex> lock(cq_mutex_);
+                cq_empty = cq_.empty();
+            }
+            if (total_inflight_ == 0 && cq_empty) {
+                if (!byes_queued) {
+                    for (auto &c : conns_) {
+                        queue_bytes(*c, encode_bye(0));
+                    }
+                    byes_queued = true;
+                }
+                const bool all_flushed = std::all_of(
+                    conns_.begin(), conns_.end(),
+                    [](const std::unique_ptr<Conn> &c) {
+                        return c->flushed();
+                    });
+                if (all_flushed) {
+                    break;
+                }
+            }
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    clock::now() - drain_start)
+                    .count();
+            if (elapsed > config_.drain_timeout_ms) {
+                break; // Force-close whatever has not drained.
+            }
+        }
+
+        pfds.clear();
+        pfd_conns.clear();
+        pfds.push_back({wake_.read_fd(), POLLIN, 0});
+        const bool have_listener = listen_fd_.valid();
+        if (have_listener) {
+            pfds.push_back({listen_fd_.get(), POLLIN, 0});
+        }
+        for (auto &c : conns_) {
+            // POLLIN even while closing: the readable handler then
+            // discards input and notices the peer's EOF.
+            short events = POLLIN;
+            if (!c->flushed()) {
+                events |= POLLOUT;
+            }
+            pfds.push_back({c->fd.get(), events, 0});
+            pfd_conns.push_back(c.get());
+        }
+
+        const int rc = ::poll(pfds.data(),
+                              static_cast<nfds_t>(pfds.size()), 200);
+        if (rc < 0 && errno != EINTR) {
+            throw NetError(errno_text("poll"));
+        }
+
+        if (pfds[0].revents & POLLIN) {
+            wake_.drain();
+        }
+        drain_completions();
+        if (have_listener && (pfds[1].revents & POLLIN)) {
+            do_accept();
+        }
+        const size_t base = have_listener ? 2 : 1;
+        for (size_t i = 0; i < pfd_conns.size(); ++i) {
+            Conn &conn = *pfd_conns[i];
+            const short rev = pfds[base + i].revents;
+            if (conn.dead) {
+                continue;
+            }
+            if (rev & POLLOUT) {
+                flush_writes(conn);
+            }
+            if (conn.dead) {
+                continue;
+            }
+            if (rev & (POLLIN | POLLERR | POLLHUP)) {
+                handle_readable(conn);
+            }
+        }
+    }
+
+    // Drain finished (or timed out): tear everything down. Anything
+    // still unflushed here ran past drain_timeout_ms.
+    for (auto &c : conns_) {
+        if (!c->dead) {
+            teardown(*c);
+        }
+    }
+    conns_.clear();
+    running_.store(false);
+}
+
+void
+Server::do_accept()
+{
+    for (;;) {
+        Fd fd = tcp_accept(listen_fd_.get());
+        if (!fd.valid()) {
+            return;
+        }
+        const i64 live = static_cast<i64>(conns_.size());
+        if (live >= config_.max_connections) {
+            // Typed rejection: the fresh socket buffer always has
+            // room for one small NACK, then RAII closes the fd.
+            bump([](NetStats &s) { ++s.connections_rejected; });
+            const std::vector<u8> nack = encode_nack(
+                0, {NackReason::kConnectionLimit,
+                    "server at max_connections = " +
+                        std::to_string(config_.max_connections)});
+            (void)::send(fd.get(), nack.data(), nack.size(),
+                         MSG_NOSIGNAL);
+            continue;
+        }
+        set_nonblocking(fd.get());
+        set_tcp_nodelay(fd.get());
+        auto conn = std::make_unique<Conn>();
+        conn->fd = std::move(fd);
+        conns_.push_back(std::move(conn));
+        bump([](NetStats &s) { ++s.connections_accepted; });
+    }
+}
+
+void
+Server::handle_readable(Conn &conn)
+{
+    u8 buf[65536];
+    for (;;) {
+        const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+        if (n > 0) {
+            bump([n](NetStats &s) { s.bytes_in += n; });
+            if (!conn.closing) { // Closing: discard, just watch for EOF.
+                try {
+                    conn.decoder.feed(buf, static_cast<size_t>(n));
+                } catch (const ProtocolError &e) {
+                    protocol_failure(conn, e.what());
+                    return;
+                }
+            }
+            if (n < static_cast<ssize_t>(sizeof(buf))) {
+                break;
+            }
+            continue;
+        }
+        if (n == 0) {
+            teardown(conn); // Peer closed; in-flight work is dropped.
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        teardown(conn);
+        return;
+    }
+    if (conn.closing) {
+        return;
+    }
+
+    Message msg;
+    try {
+        while (conn.decoder.next(&msg)) {
+            handle_message(conn, msg);
+            if (conn.closing || conn.dead) {
+                return;
+            }
+        }
+    } catch (const ProtocolError &e) {
+        protocol_failure(conn, e.what());
+    }
+}
+
+void
+Server::handle_message(Conn &conn, const Message &msg)
+{
+    switch (msg.header.type) {
+    case MsgType::kHello:
+        handle_hello(conn, msg);
+        return;
+    case MsgType::kFrame:
+        handle_frame(conn, msg);
+        return;
+    case MsgType::kBye:
+        // Orderly close: the client sends no more work and reads to
+        // EOF. Flush what we owe, then the close delivers the EOF.
+        conn.closing = true;
+        return;
+    case MsgType::kHelloAck:
+    case MsgType::kNack:
+    case MsgType::kOutcome:
+    case MsgType::kShed:
+        break;
+    }
+    throw ProtocolError("client sent a server-to-client message type (" +
+                        std::to_string(static_cast<int>(msg.header.type)) +
+                        ")");
+}
+
+void
+Server::handle_hello(Conn &conn, const Message &msg)
+{
+    const u32 wire_id = msg.header.session;
+    if (conn.sessions.count(wire_id) != 0) {
+        throw ProtocolError("HELLO reuses live wire session id " +
+                            std::to_string(wire_id));
+    }
+    const HelloMsg hello = parse_hello(msg.payload);
+
+    const auto nack = [&](NackReason reason, const std::string &detail) {
+        bump([](NetStats &s) { ++s.sessions_rejected; });
+        queue_bytes(conn, encode_nack(wire_id, {reason, detail}));
+    };
+
+    if (draining_) {
+        nack(NackReason::kDraining, "server is draining");
+        return;
+    }
+    if (static_cast<i64>(by_name_.size()) >= config_.max_sessions) {
+        nack(NackReason::kSessionLimit,
+             "server at max_sessions = " +
+                 std::to_string(config_.max_sessions));
+        return;
+    }
+    if (by_name_.count(hello.name) != 0) {
+        nack(NackReason::kDuplicateSession,
+             "session '" + hello.name +
+                 "' is already bound on a live connection");
+        return;
+    }
+
+    Session *session = nullptr;
+    try {
+        session = &engine_->session(hello.name);
+    } catch (const ConfigError &e) {
+        // The engine refused (closed under us): equivalent to drain.
+        nack(NackReason::kDraining, e.what());
+        return;
+    }
+
+    auto ns = std::make_unique<NetSession>();
+    ns->wire_id = wire_id;
+    ns->name = hello.name;
+    ns->priority = hello.priority;
+    ns->session = session;
+    ns->engine_index = session->index();
+    ns->conn = &conn;
+    ns->binding_start = session->submitted();
+    by_engine_index_[ns->engine_index] = ns.get();
+    by_name_[ns->name] = ns.get();
+
+    if (sunk_sessions_.insert(session).second) {
+        const i64 engine_index = ns->engine_index;
+        session->set_outcome_sink([this, engine_index](
+                                      const FrameOutcome &outcome) {
+            {
+                std::lock_guard<std::mutex> lock(cq_mutex_);
+                cq_.push_back({engine_index, outcome});
+            }
+            wake_.wake();
+        });
+    }
+    conn.sessions[wire_id] = std::move(ns);
+    bump([](NetStats &s) { ++s.sessions_accepted; });
+    queue_bytes(conn,
+                encode_hello_ack(
+                    wire_id, {static_cast<u32>(config_.window)}));
+}
+
+void
+Server::handle_frame(Conn &conn, const Message &msg)
+{
+    const auto it = conn.sessions.find(msg.header.session);
+    if (it == conn.sessions.end()) {
+        throw ProtocolError("FRAME for unknown wire session id " +
+                            std::to_string(msg.header.session));
+    }
+    NetSession &ns = *it->second;
+
+    const auto shed = [&](ShedReason reason) {
+        const u32 credit =
+            static_cast<u32>(config_.window - ns.inflight);
+        queue_bytes(conn, encode_shed(ns.wire_id, msg.header.seq,
+                                      {reason, credit}));
+    };
+
+    if (draining_) {
+        bump([](NetStats &s) { ++s.shed_draining; });
+        shed(ShedReason::kDraining);
+        return;
+    }
+    if (ns.inflight >= config_.window) {
+        // The sender overran its credit; the excess frame is never
+        // queued — backpressure is a hard bound, not a hint.
+        bump([](NetStats &s) { ++s.shed_window; });
+        shed(ShedReason::kWindow);
+        return;
+    }
+    if (total_inflight_ >= shed_cap(ns.priority)) {
+        bump([](NetStats &s) { ++s.shed_overload; });
+        shed(ShedReason::kOverload);
+        return;
+    }
+
+    Tensor frame = parse_frame(msg.payload); // Throws ProtocolError.
+
+    // Book the frame *before* submit: with an inline engine the
+    // outcome sink fires during submit() on this very thread, and
+    // drain_completions must find the seq already pending.
+    ns.pending_seqs.push_back(msg.header.seq);
+    ++ns.inflight;
+    ++total_inflight_;
+    try {
+        (void)ns.session->submit(std::move(frame));
+    } catch (const ConfigError &e) {
+        ns.pending_seqs.pop_back();
+        --ns.inflight;
+        --total_inflight_;
+        if (engine_->closed()) {
+            bump([](NetStats &s) { ++s.shed_draining; });
+            shed(ShedReason::kDraining);
+            return;
+        }
+        // Shape mismatch (submit validates eagerly): client bug; the
+        // stream itself is still sound, but reject loudly and close.
+        bump([](NetStats &s) { ++s.protocol_errors; });
+        queue_bytes(conn, encode_nack(ns.wire_id,
+                                      {NackReason::kBadFrame, e.what()}));
+        conn.closing = true;
+        return;
+    }
+    bump([](NetStats &s) { ++s.frames_in; });
+    if (ns.inflight == config_.window) {
+        // The sender's credit just hit zero: a correct client now
+        // stalls until an OUTCOME refreshes it.
+        bump([](NetStats &s) { ++s.window_stalls; });
+    }
+}
+
+void
+Server::drain_completions()
+{
+    std::vector<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lock(cq_mutex_);
+        batch.swap(cq_);
+    }
+    for (const Completion &c : batch) {
+        const auto it = by_engine_index_.find(c.engine_index);
+        if (it == by_engine_index_.end()) {
+            continue; // Binding torn down; nobody to deliver to.
+        }
+        NetSession &ns = *it->second;
+        if (c.outcome.frame < ns.binding_start) {
+            continue; // A previous binding's frame (accounting done).
+        }
+        invariant(!ns.pending_seqs.empty(),
+                  "net: completion with no pending seq");
+        const u64 seq = ns.pending_seqs.front();
+        ns.pending_seqs.pop_front();
+        --ns.inflight;
+        --total_inflight_;
+        OutcomeMsg om;
+        om.is_key = c.outcome.is_key;
+        om.failed = c.outcome.failed;
+        om.credit = static_cast<u32>(config_.window - ns.inflight);
+        om.top1 = c.outcome.top1;
+        om.output_digest = c.outcome.output_digest;
+        om.match_error = c.outcome.match_error;
+        queue_bytes(*ns.conn, encode_outcome(ns.wire_id, seq, om));
+        bump([](NetStats &s) { ++s.outcomes_out; });
+    }
+}
+
+void
+Server::queue_bytes(Conn &conn, std::vector<u8> bytes)
+{
+    if (conn.dead) {
+        return;
+    }
+    if (conn.flushed()) {
+        conn.out.clear();
+        conn.out_off = 0;
+    }
+    conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+    flush_writes(conn); // Eager: most messages fit the socket buffer.
+}
+
+void
+Server::flush_writes(Conn &conn)
+{
+    while (!conn.flushed()) {
+        const ssize_t n =
+            ::send(conn.fd.get(), conn.out.data() + conn.out_off,
+                   conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.out_off += static_cast<size_t>(n);
+            bump([n](NetStats &s) { s.bytes_out += n; });
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            return; // poll() will report POLLOUT when writable.
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        teardown(conn); // Peer gone (EPIPE/ECONNRESET/...).
+        return;
+    }
+    if (conn.flushed()) {
+        conn.out.clear();
+        conn.out_off = 0;
+    }
+}
+
+void
+Server::teardown(Conn &conn)
+{
+    for (auto &entry : conn.sessions) {
+        NetSession &ns = *entry.second;
+        // The engine keeps processing this binding's in-flight
+        // frames; their completions arrive with no binding in
+        // by_engine_index_ and are dropped, so the accounting is
+        // settled here, once.
+        total_inflight_ -= ns.inflight;
+        by_engine_index_.erase(ns.engine_index);
+        by_name_.erase(ns.name);
+    }
+    conn.sessions.clear();
+    conn.fd.reset();
+    conn.dead = true;
+}
+
+void
+Server::protocol_failure(Conn &conn, const std::string &what)
+{
+    bump([](NetStats &s) { ++s.protocol_errors; });
+    queue_bytes(conn,
+                encode_nack(0, {NackReason::kProtocol, what}));
+    // The stream cannot be resynchronized: stop reading, flush the
+    // NACK, close. Sessions unbind on the close.
+    conn.closing = true;
+}
+
+} // namespace eva2::net

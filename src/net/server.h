@@ -1,0 +1,215 @@
+/**
+ * @file
+ * net::Server — the TCP serving front end for eva2::Engine.
+ *
+ * One listener + one poll()-based IO loop over non-blocking sockets
+ * decode wire-protocol FRAMEs (net/wire.h) into Session::submit and
+ * stream FrameOutcome digests back as OUTCOME messages. The existing
+ * execution layer (StageScheduler pipelining, SuffixBatcher
+ * cross-stream batching) is reused untouched: the server is purely an
+ * ingestion/egress layer, so loopback digests are bit-identical to
+ * in-process submission.
+ *
+ * Production semantics, in order of application to one FRAME:
+ *
+ *  - Admission control: connections past max_connections are
+ *    accepted, sent a typed NACK, and closed; HELLOs past
+ *    max_sessions (or duplicating a live name) get typed NACKs.
+ *  - Per-session backpressure: each session has a bounded in-flight
+ *    window. Every OUTCOME/SHED carries the refreshed credit, so a
+ *    correct sender stalls instead of flooding; a sender that
+ *    overruns anyway has the excess frame shed (SHED/window) — the
+ *    server never queues per-session work beyond the window.
+ *  - Load shedding: a server-wide in-flight cap, scaled by priority
+ *    class (priority p in [0,3] sheds at (p+1)/4 of max_inflight),
+ *    bounds total engine occupancy. Shedding drops the arriving
+ *    frame — the newest work — with a typed SHED; nothing is ever
+ *    queued unboundedly.
+ *  - Graceful drain: stop() (or a SIGTERM routed via
+ *    install_signal_handlers) stops accepting, NACKs new sessions,
+ *    sheds new frames, waits for every in-flight frame's OUTCOME to
+ *    be delivered and flushed, then BYEs and closes every
+ *    connection — Engine::close() semantics at the socket layer:
+ *    reject new work loudly, never lose admitted work.
+ *
+ * Threading: start() spawns the IO thread; Engine worker threads
+ * re-enter only through the per-session outcome sink, which enqueues
+ * a completion and wakes the IO loop via a self-pipe. stats() and
+ * stop() are safe from any thread. The Engine must outlive the
+ * Server's stop()/destruction.
+ */
+#ifndef EVA2_NET_SERVER_H
+#define EVA2_NET_SERVER_H
+
+#include <atomic>
+#include <deque>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace eva2::net {
+
+/** Priority classes understood by the load shedder. */
+constexpr i64 kPriorityLevels = 4;
+
+/** Configuration of a Server. Validated by start(). */
+struct ServerConfig
+{
+    std::string host = "127.0.0.1";
+    /** Listen port; 0 binds an ephemeral port (see Server::port()). */
+    int port = 0;
+    /** Admission: connections past this are NACKed and closed. */
+    i64 max_connections = 256;
+    /** Admission: live sessions past this get HELLO NACKs. */
+    i64 max_sessions = 4096;
+    /** Per-session in-flight window (the credit budget). */
+    i64 window = 8;
+    /**
+     * Server-wide in-flight frame cap. A priority-p session (p in
+     * [0, 3]) is shed once total in-flight reaches (p+1)/4 of this,
+     * so low-priority traffic degrades first and the highest class
+     * rides to the full cap.
+     */
+    i64 max_inflight = 1024;
+    /**
+     * Graceful-drain budget: stop() force-closes connections whose
+     * in-flight outcomes have not drained within this bound (they
+     * count as lost; generous by default so tests never hit it).
+     */
+    i64 drain_timeout_ms = 30000;
+
+    /** Throws ConfigError on out-of-range fields. */
+    void validate() const;
+};
+
+/**
+ * The TCP front end. Construct over an open Engine, start(), then
+ * clients connect with net::Client (or any wire-protocol speaker).
+ */
+class Server
+{
+  public:
+    explicit Server(Engine &engine, ServerConfig config = {});
+
+    /** stop()s if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the IO thread. */
+    void start();
+
+    /**
+     * Graceful drain (see the file comment), then join the IO
+     * thread. Idempotent; safe from any thread. The engine is left
+     * open — callers own its close().
+     */
+    void stop();
+
+    /** Async stop request; safe from signal handlers. */
+    void request_stop();
+
+    /**
+     * Route these signals (e.g. {SIGTERM, SIGINT}) to request_stop()
+     * of this server. Only one server per process may install
+     * handlers; they are reset by stop().
+     */
+    void install_signal_handlers(std::initializer_list<int> signals);
+
+    bool running() const { return running_.load(); }
+
+    /** The bound listen port (after start()). */
+    int port() const;
+
+    /** Snapshot of the serving counters. */
+    NetStats stats() const;
+
+    /**
+     * The engine's RunReport with the `net` section filled in from
+     * stats() — the one-call serving report.
+     */
+    RunReport report();
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    struct NetSession;
+    struct Conn;
+
+    /** One completed engine frame awaiting egress. */
+    struct Completion
+    {
+        i64 engine_index = -1;
+        FrameOutcome outcome;
+    };
+
+    void io_loop();
+    void do_accept();
+    void handle_readable(Conn &conn);
+    void handle_message(Conn &conn, const Message &msg);
+    void handle_hello(Conn &conn, const Message &msg);
+    void handle_frame(Conn &conn, const Message &msg);
+    void drain_completions();
+    void flush_writes(Conn &conn);
+    void queue_bytes(Conn &conn, std::vector<u8> bytes);
+    /** Unbind every session and close the connection. */
+    void teardown(Conn &conn);
+    void protocol_failure(Conn &conn, const std::string &what);
+    /** Global shed threshold for a priority class. */
+    i64 shed_cap(u8 priority) const;
+
+    /** Apply one mutation to the stats under their lock. */
+    template <typename Fn>
+    void
+    bump(Fn &&fn)
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        fn(stats_);
+    }
+
+    Engine *engine_;
+    ServerConfig config_;
+
+    Fd listen_fd_;
+    int bound_port_ = 0;
+    WakePipe wake_;
+    std::thread io_thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_requested_{false};
+    std::vector<int> installed_signals_;
+
+    // ---- IO-thread state (no locks) ----
+    std::vector<std::unique_ptr<Conn>> conns_;
+    std::map<i64, NetSession *> by_engine_index_;
+    std::map<std::string, NetSession *> by_name_;
+    i64 total_inflight_ = 0;
+    bool draining_ = false;
+
+    /**
+     * Sessions whose outcome sink points at this server. Appended on
+     * the IO thread, cleared by stop() after the join (ordered by
+     * the join itself), so the sinks never dangle.
+     */
+    std::set<Session *> sunk_sessions_;
+
+    // ---- Cross-thread state ----
+    mutable std::mutex cq_mutex_;
+    std::vector<Completion> cq_; ///< Worker -> IO completion queue.
+
+    mutable std::mutex stats_mutex_;
+    NetStats stats_;
+};
+
+} // namespace eva2::net
+
+#endif // EVA2_NET_SERVER_H

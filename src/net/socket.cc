@@ -1,0 +1,158 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace eva2::net {
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::string
+errno_text(const std::string &what)
+{
+    const int err = errno;
+    return what + ": " + std::strerror(err) + " (errno " +
+           std::to_string(err) + ")";
+}
+
+namespace {
+
+sockaddr_in
+make_addr(const std::string &host, int port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<u16>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw NetError("invalid IPv4 address '" + host + "'");
+    }
+    return addr;
+}
+
+} // namespace
+
+std::pair<Fd, int>
+tcp_listen(const std::string &host, int port, int backlog)
+{
+    require(port >= 0 && port <= 65535,
+            "tcp_listen: port must be in [0, 65535], got " +
+                std::to_string(port));
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        throw NetError(errno_text("socket()"));
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = make_addr(host, port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        throw NetError(errno_text("bind(" + host + ":" +
+                                  std::to_string(port) + ")"));
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        throw NetError(errno_text("listen()"));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        throw NetError(errno_text("getsockname()"));
+    }
+    set_nonblocking(fd.get());
+    return {std::move(fd), static_cast<int>(ntohs(addr.sin_port))};
+}
+
+Fd
+tcp_accept(int listen_fd)
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == EINTR || errno == ECONNABORTED) {
+            return Fd();
+        }
+        throw NetError(errno_text("accept()"));
+    }
+    return Fd(fd);
+}
+
+Fd
+tcp_connect(const std::string &host, int port)
+{
+    require(port > 0 && port <= 65535,
+            "tcp_connect: port must be in [1, 65535], got " +
+                std::to_string(port));
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        throw NetError(errno_text("socket()"));
+    }
+    sockaddr_in addr = make_addr(host, port);
+    while (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)) != 0) {
+        if (errno == EINTR) {
+            continue;
+        }
+        throw NetError(errno_text("connect(" + host + ":" +
+                                  std::to_string(port) + ")"));
+    }
+    return fd;
+}
+
+void
+set_nonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        throw NetError(errno_text("fcntl(O_NONBLOCK)"));
+    }
+}
+
+void
+set_tcp_nodelay(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+WakePipe::WakePipe()
+{
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        throw NetError(errno_text("pipe()"));
+    }
+    read_ = Fd(fds[0]);
+    write_ = Fd(fds[1]);
+    set_nonblocking(read_.get());
+    set_nonblocking(write_.get());
+}
+
+void
+WakePipe::wake_fd(int write_fd)
+{
+    // Best effort and async-signal-safe: a full pipe (EAGAIN) means
+    // the loop already has a pending wake-up.
+    const u8 byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(write_fd, &byte, 1);
+}
+
+void
+WakePipe::drain() const
+{
+    u8 buf[256];
+    while (::read(read_.get(), buf, sizeof(buf)) > 0) {
+    }
+}
+
+} // namespace eva2::net

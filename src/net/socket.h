@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Thin POSIX socket helpers for the serving front end: an RAII fd
+ * wrapper, TCP listen/connect/accept, non-blocking mode, and a
+ * self-pipe for waking a poll() loop from other threads (including
+ * signal handlers — write() is async-signal-safe).
+ *
+ * This layer deliberately stays tiny: no buffering, no framing, no
+ * event abstraction. The server's poll loop and the client's blocking
+ * reader build directly on it, and every failure surfaces as a
+ * descriptive NetError carrying errno text.
+ */
+#ifndef EVA2_NET_SOCKET_H
+#define EVA2_NET_SOCKET_H
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace eva2::net {
+
+/** Thrown when a socket syscall fails (carries the errno text). */
+class NetError : public std::runtime_error
+{
+  public:
+    explicit NetError(const std::string &msg)
+        : std::runtime_error("eva2 net error: " + msg)
+    {
+    }
+};
+
+/** RAII file descriptor (socket or pipe end). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+    Fd &
+    operator=(Fd &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            fd_ = o.fd_;
+            o.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/** errno as "what failed: strerror (errno N)". */
+std::string errno_text(const std::string &what);
+
+/**
+ * Create a TCP listener bound to host:port (port 0 = ephemeral) with
+ * SO_REUSEADDR, non-blocking, listening. Returns the fd and the
+ * actually bound port.
+ */
+std::pair<Fd, int> tcp_listen(const std::string &host, int port,
+                              int backlog = 128);
+
+/**
+ * Accept one pending connection from a non-blocking listener.
+ * Returns an invalid Fd when no connection is pending (EAGAIN).
+ * The accepted socket is left in blocking mode; callers choose.
+ */
+Fd tcp_accept(int listen_fd);
+
+/** Blocking TCP connect to host:port. */
+Fd tcp_connect(const std::string &host, int port);
+
+/** Switch a socket/pipe fd to non-blocking mode. */
+void set_nonblocking(int fd);
+
+/** Disable Nagle (the protocol writes whole small messages). */
+void set_tcp_nodelay(int fd);
+
+/**
+ * A self-pipe for waking a poll() loop. wake() is safe from any
+ * thread and from signal handlers; drain() empties the pipe on the
+ * loop thread.
+ */
+class WakePipe
+{
+  public:
+    WakePipe();
+
+    int read_fd() const { return read_.get(); }
+    int write_fd() const { return write_.get(); }
+
+    /** Write one wake byte; never blocks (a full pipe already wakes). */
+    void wake() const { wake_fd(write_.get()); }
+
+    /** Static form usable from a signal handler via a stored fd. */
+    static void wake_fd(int write_fd);
+
+    /** Empty the pipe (loop thread, after poll reported readable). */
+    void drain() const;
+
+  private:
+    Fd read_;
+    Fd write_;
+};
+
+} // namespace eva2::net
+
+#endif // EVA2_NET_SOCKET_H

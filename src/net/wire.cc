@@ -1,0 +1,394 @@
+#include "net/wire.h"
+
+#include <algorithm>
+
+namespace eva2::net {
+
+const char *
+nack_reason_name(NackReason reason)
+{
+    switch (reason) {
+      case NackReason::kProtocol:
+        return "protocol";
+      case NackReason::kConnectionLimit:
+        return "connection_limit";
+      case NackReason::kSessionLimit:
+        return "session_limit";
+      case NackReason::kDuplicateSession:
+        return "duplicate_session";
+      case NackReason::kDraining:
+        return "draining";
+      case NackReason::kBadFrame:
+        return "bad_frame";
+    }
+    return "unknown";
+}
+
+const char *
+shed_reason_name(ShedReason reason)
+{
+    switch (reason) {
+      case ShedReason::kWindow:
+        return "window";
+      case ShedReason::kOverload:
+        return "overload";
+      case ShedReason::kDraining:
+        return "draining";
+    }
+    return "unknown";
+}
+
+u32
+header_checksum(const u8 *header24)
+{
+    // FNV-1a over the checksummed prefix: cheap, order-sensitive,
+    // and catches both corruption and desynchronization (a stream
+    // offset lands mid-message, the "magic" may accidentally match,
+    // the checksum will not).
+    u32 h = 2166136261u;
+    for (size_t i = 0; i < 24; ++i) {
+        h ^= header24[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+void
+encode_header(std::vector<u8> *out, const MsgHeader &header)
+{
+    const size_t base = out->size();
+    ByteWriter w(out);
+    w.u32v(kMagic);
+    w.u8v(kWireVersion);
+    w.u8v(static_cast<u8>(header.type));
+    w.u16v(0); // reserved
+    w.u32v(header.session);
+    w.u32v(header.payload_len);
+    w.u64v(header.seq);
+    w.u32v(header_checksum(out->data() + base));
+    w.u32v(0); // reserved
+    invariant(out->size() - base == kHeaderSize,
+              "net: encoded header size drifted");
+}
+
+MsgHeader
+decode_header(const u8 *buf)
+{
+    ByteReader r(buf, kHeaderSize);
+    const u32 magic = r.u32v();
+    if (magic != kMagic) {
+        throw ProtocolError("bad magic 0x" + [&] {
+            char hex[16];
+            std::snprintf(hex, sizeof(hex), "%08x", magic);
+            return std::string(hex);
+        }() + " (stream is not EVA2 traffic or desynchronized)");
+    }
+    const u8 version = r.u8v();
+    if (version != kWireVersion) {
+        throw ProtocolError(
+            "unsupported protocol version " + std::to_string(version) +
+            " (this build speaks version " +
+            std::to_string(kWireVersion) + ")");
+    }
+    const u8 type = r.u8v();
+    if (type < static_cast<u8>(MsgType::kHello) ||
+        type > static_cast<u8>(MsgType::kBye)) {
+        throw ProtocolError("unknown message type " +
+                            std::to_string(type));
+    }
+    r.u16v(); // reserved
+    MsgHeader header;
+    header.type = static_cast<MsgType>(type);
+    header.session = r.u32v();
+    header.payload_len = r.u32v();
+    header.seq = r.u64v();
+    const u32 want = header_checksum(buf);
+    const u32 got = r.u32v();
+    if (got != want) {
+        throw ProtocolError("header checksum mismatch (corrupt or "
+                            "desynchronized stream)");
+    }
+    if (header.payload_len > kMaxPayload) {
+        throw ProtocolError(
+            "payload length " + std::to_string(header.payload_len) +
+            " exceeds the " + std::to_string(kMaxPayload) +
+            "-byte bound");
+    }
+    return header;
+}
+
+namespace {
+
+std::vector<u8>
+with_header(MsgType type, u32 session, u64 seq,
+            const std::vector<u8> &payload)
+{
+    invariant(payload.size() <= kMaxPayload,
+              "net: outgoing payload exceeds kMaxPayload");
+    MsgHeader header;
+    header.type = type;
+    header.session = session;
+    header.seq = seq;
+    header.payload_len = static_cast<u32>(payload.size());
+    std::vector<u8> out;
+    out.reserve(kHeaderSize + payload.size());
+    encode_header(&out, header);
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+} // namespace
+
+std::vector<u8>
+encode_hello(u32 session, const HelloMsg &msg)
+{
+    invariant(msg.name.size() <= 0xffff,
+              "net: session name exceeds the u16 length field");
+    std::vector<u8> payload;
+    ByteWriter w(&payload);
+    w.u8v(msg.priority);
+    w.u8v(0); // reserved
+    w.u16v(static_cast<u16>(msg.name.size()));
+    w.bytes(msg.name.data(), msg.name.size());
+    return with_header(MsgType::kHello, session, 0, payload);
+}
+
+HelloMsg
+parse_hello(const std::vector<u8> &payload)
+{
+    ByteReader r(payload);
+    HelloMsg msg;
+    msg.priority = r.u8v();
+    r.u8v(); // reserved
+    const u16 name_len = r.u16v();
+    msg.name = r.str(name_len);
+    r.done("HELLO");
+    if (msg.name.empty()) {
+        throw ProtocolError("HELLO with an empty session name");
+    }
+    return msg;
+}
+
+std::vector<u8>
+encode_hello_ack(u32 session, const HelloAckMsg &msg)
+{
+    std::vector<u8> payload;
+    ByteWriter w(&payload);
+    w.u32v(msg.window);
+    return with_header(MsgType::kHelloAck, session, 0, payload);
+}
+
+HelloAckMsg
+parse_hello_ack(const std::vector<u8> &payload)
+{
+    ByteReader r(payload);
+    HelloAckMsg msg;
+    msg.window = r.u32v();
+    r.done("HELLO_ACK");
+    if (msg.window == 0) {
+        throw ProtocolError("HELLO_ACK with a zero window");
+    }
+    return msg;
+}
+
+std::vector<u8>
+encode_nack(u32 session, const NackMsg &msg)
+{
+    std::vector<u8> payload;
+    ByteWriter w(&payload);
+    w.u16v(static_cast<u16>(msg.reason));
+    const size_t len = std::min<size_t>(msg.detail.size(), 0xffff);
+    w.u16v(static_cast<u16>(len));
+    w.bytes(msg.detail.data(), len);
+    return with_header(MsgType::kNack, session, 0, payload);
+}
+
+NackMsg
+parse_nack(const std::vector<u8> &payload)
+{
+    ByteReader r(payload);
+    NackMsg msg;
+    const u16 reason = r.u16v();
+    if (reason < static_cast<u16>(NackReason::kProtocol) ||
+        reason > static_cast<u16>(NackReason::kBadFrame)) {
+        throw ProtocolError("NACK with unknown reason " +
+                            std::to_string(reason));
+    }
+    msg.reason = static_cast<NackReason>(reason);
+    const u16 detail_len = r.u16v();
+    msg.detail = r.str(detail_len);
+    r.done("NACK");
+    return msg;
+}
+
+std::vector<u8>
+encode_frame(u32 session, u64 seq, const Tensor &frame)
+{
+    const Shape &shape = frame.shape();
+    invariant(shape.c >= 1 && shape.h >= 1 && shape.w >= 1 &&
+                  shape.c <= kMaxFrameEdge && shape.h <= kMaxFrameEdge &&
+                  shape.w <= kMaxFrameEdge,
+              "net: frame shape " + shape.str() +
+                  " does not fit the wire dims");
+    std::vector<u8> payload;
+    payload.reserve(8 + static_cast<size_t>(shape.size()) * 4);
+    ByteWriter w(&payload);
+    w.u16v(static_cast<u16>(shape.c));
+    w.u16v(static_cast<u16>(shape.h));
+    w.u16v(static_cast<u16>(shape.w));
+    w.u16v(0); // reserved
+    for (const float v : frame.data()) {
+        w.f32v(v);
+    }
+    return with_header(MsgType::kFrame, session, seq, payload);
+}
+
+Tensor
+parse_frame(const std::vector<u8> &payload)
+{
+    ByteReader r(payload);
+    const i64 c = r.u16v();
+    const i64 h = r.u16v();
+    const i64 w = r.u16v();
+    r.u16v(); // reserved
+    if (c < 1 || h < 1 || w < 1) {
+        throw ProtocolError("FRAME with degenerate dims " +
+                            std::to_string(c) + "x" + std::to_string(h) +
+                            "x" + std::to_string(w));
+    }
+    // Dims are u16 so c*h*w*4 is at most ~1.1e15 — compute in i64 and
+    // compare against the actual payload before touching any memory.
+    const i64 want = 8 + c * h * w * 4;
+    if (static_cast<i64>(payload.size()) != want) {
+        throw ProtocolError(
+            "FRAME payload is " + std::to_string(payload.size()) +
+            " bytes but dims " + std::to_string(c) + "x" +
+            std::to_string(h) + "x" + std::to_string(w) + " require " +
+            std::to_string(want));
+    }
+    Tensor out(Shape{c, h, w});
+    for (float &v : out.data()) {
+        v = r.f32v();
+    }
+    r.done("FRAME");
+    return out;
+}
+
+std::vector<u8>
+encode_outcome(u32 session, u64 seq, const OutcomeMsg &msg)
+{
+    std::vector<u8> payload;
+    ByteWriter w(&payload);
+    u8 flags = 0;
+    flags |= msg.is_key ? 1u : 0u;
+    flags |= msg.failed ? 2u : 0u;
+    w.u8v(flags);
+    w.u8v(0);  // reserved
+    w.u16v(0); // reserved
+    w.u32v(msg.credit);
+    w.u64v(static_cast<u64>(msg.top1));
+    w.u64v(msg.output_digest);
+    w.f64v(msg.match_error);
+    return with_header(MsgType::kOutcome, session, seq, payload);
+}
+
+OutcomeMsg
+parse_outcome(const std::vector<u8> &payload)
+{
+    ByteReader r(payload);
+    OutcomeMsg msg;
+    const u8 flags = r.u8v();
+    if ((flags & ~3u) != 0) {
+        throw ProtocolError("OUTCOME with unknown flag bits " +
+                            std::to_string(flags));
+    }
+    msg.is_key = (flags & 1u) != 0;
+    msg.failed = (flags & 2u) != 0;
+    r.u8v();
+    r.u16v();
+    msg.credit = r.u32v();
+    msg.top1 = static_cast<i64>(r.u64v());
+    msg.output_digest = r.u64v();
+    msg.match_error = r.f64v();
+    r.done("OUTCOME");
+    return msg;
+}
+
+std::vector<u8>
+encode_shed(u32 session, u64 seq, const ShedMsg &msg)
+{
+    std::vector<u8> payload;
+    ByteWriter w(&payload);
+    w.u16v(static_cast<u16>(msg.reason));
+    w.u16v(0); // reserved
+    w.u32v(msg.credit);
+    return with_header(MsgType::kShed, session, seq, payload);
+}
+
+ShedMsg
+parse_shed(const std::vector<u8> &payload)
+{
+    ByteReader r(payload);
+    ShedMsg msg;
+    const u16 reason = r.u16v();
+    if (reason < static_cast<u16>(ShedReason::kWindow) ||
+        reason > static_cast<u16>(ShedReason::kDraining)) {
+        throw ProtocolError("SHED with unknown reason " +
+                            std::to_string(reason));
+    }
+    msg.reason = static_cast<ShedReason>(reason);
+    r.u16v();
+    msg.credit = r.u32v();
+    r.done("SHED");
+    return msg;
+}
+
+std::vector<u8>
+encode_bye(u32 session)
+{
+    return with_header(MsgType::kBye, session, 0, {});
+}
+
+void
+FrameDecoder::feed(const u8 *data, size_t size)
+{
+    // Compact lazily: drop fully consumed bytes before growing, so
+    // the buffer never exceeds one maximum-size message plus one read
+    // chunk.
+    if (consumed_ > 0) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + size);
+    // Validate the leading header as soon as it is complete — a
+    // hostile or desynchronized peer is rejected here, before its
+    // declared payload is ever waited for. (next() re-validates; the
+    // 32-byte decode is noise next to the recv that delivered it.)
+    if (buf_.size() >= kHeaderSize) {
+        (void)decode_header(buf_.data());
+    }
+}
+
+bool
+FrameDecoder::next(Message *out)
+{
+    const size_t avail = buf_.size() - consumed_;
+    if (avail < kHeaderSize) {
+        return false;
+    }
+    // Validates magic/version/checksum/length even while the payload
+    // is still in flight: a hostile header is rejected before its
+    // declared payload is ever buffered.
+    const MsgHeader header = decode_header(buf_.data() + consumed_);
+    if (avail < kHeaderSize + header.payload_len) {
+        return false;
+    }
+    out->header = header;
+    const u8 *p = buf_.data() + consumed_ + kHeaderSize;
+    out->payload.assign(p, p + header.payload_len);
+    consumed_ += kHeaderSize + header.payload_len;
+    return true;
+}
+
+} // namespace eva2::net
