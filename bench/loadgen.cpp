@@ -23,11 +23,24 @@
  *   drain        frames in flight when stop() lands: the graceful
  *                drain must deliver every admitted frame's OUTCOME
  *                (lost_frames is asserted zero by CI).
+ *   soak         session density under a hard memory budget: N
+ *                in-process sessions (default 100k; 512 under
+ *                --smoke) fed in idle-then-return passes against a
+ *                fixed `memory=budget_mb:B,hibernate=on` engine. The
+ *                budget defaults to ~60% of the fleet's unconstrained
+ *                footprint so the LRU hibernate tier must actually
+ *                evict; frames are pre-quantized to the Q8.8 grid so
+ *                hibernation is lossless and every session's digest —
+ *                evicted or not — must equal a memory=off control
+ *                engine's digest for the same frames. Reports
+ *                bytes/session, hydrate p50/p99, and the VmHWM delta.
  *
  * Usage:
  *   bench_loadgen [--smoke] [--connections N] [--sessions N]
  *                 [--frames N] [--threads N] [--size N]
- *                 [--mode closed|open] [--window N] [--json PATH]
+ *                 [--mode closed|open] [--window N]
+ *                 [--soak-sessions N] [--soak-budget-mb N]
+ *                 [--json PATH]
  *
  * --json writes BENCH_loadgen.json: headline numbers plus the
  * server's full RunReport (net section included).
@@ -48,6 +61,7 @@
 #include "cnn/model_zoo.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "util/fixed_point.h"
 #include "util/json.h"
 #include "video/scenarios.h"
 
@@ -65,6 +79,8 @@ struct Args
     i64 threads = 2;  ///< Engine worker threads.
     i64 size = 64;    ///< Square frame edge.
     i64 window = 8;
+    i64 soak_sessions = 0;  ///< 0 = default (100k; 512 under --smoke).
+    i64 soak_budget_mb = 0; ///< 0 = auto (~60% of unconstrained).
     std::string mode = "closed"; ///< closed | open.
     std::string json_path;
 };
@@ -96,6 +112,10 @@ parse_args(int argc, char **argv)
             args.size = next_int(i);
         } else if (a == "--window") {
             args.window = next_int(i);
+        } else if (a == "--soak-sessions") {
+            args.soak_sessions = next_int(i);
+        } else if (a == "--soak-budget-mb") {
+            args.soak_budget_mb = next_int(i);
         } else if (a == "--mode") {
             if (i + 1 >= argc) {
                 std::cerr << "missing value after --mode\n";
@@ -431,6 +451,172 @@ run_sessions_phase(const Network &net,
     return result;
 }
 
+// --------------------------------------------------------------------
+// Soak: session density under a hard memory budget.
+
+struct SoakResult
+{
+    i64 sessions = 0;
+    i64 frames = 0;
+    i64 budget_mb = 0;
+    i64 hibernations = 0;
+    i64 hydrations = 0;
+    i64 sessions_hibernated = 0; ///< Still hibernated at the end.
+    double bytes_per_session = 0;
+    double hydrate_p50_us = 0;
+    double hydrate_p99_us = 0;
+    i64 resident_bytes = 0;
+    i64 peak_resident_bytes = 0;
+    i64 vm_hwm_delta_kb = 0;
+    i64 digest_mismatches = 0;
+    i64 evicted_digest_mismatches = 0;
+};
+
+/**
+ * Snap a frame to the Q8.8 grid. The hibernate tier stores key
+ * pixels Q8.8-quantized; Q8.8 round-trips its own grid exactly, so
+ * pre-quantized input makes hibernation lossless and the soak's
+ * digest-identity check exact for evicted sessions too.
+ */
+Tensor
+quantize_frame_q88(const Tensor &in)
+{
+    Tensor out = in;
+    for (i64 i = 0; i < out.size(); ++i) {
+        out[i] =
+            static_cast<float>(Q88::from_double(out[i]).to_double());
+    }
+    return out;
+}
+
+EngineConfig
+soak_config(const std::string &memory)
+{
+    EngineConfig ec;
+    ec.policy = "static:interval=2";
+    ec.num_threads = 1;    // Deterministic inline commits + eviction.
+    ec.pipeline_depth = 1; // One frame in flight per session.
+    ec.memory = memory;
+    return ec;
+}
+
+/** Unconstrained steady-state bytes of one session (for auto-budget). */
+i64
+probe_session_bytes(const Network &net,
+                    const std::vector<Tensor> &frames)
+{
+    Engine engine(net, soak_config("budget_mb:1048576"));
+    Session &s = engine.session("probe");
+    for (const Tensor &f : frames) {
+        (void)s.submit(f);
+    }
+    engine.flush();
+    return engine.resident_manager()->stats().resident_bytes;
+}
+
+SoakResult
+run_soak_phase(const Network &net, const Args &args, i64 target)
+{
+    constexpr i64 kProtoStreams = 4;
+    constexpr i64 kFramesPerSession = 4;
+    constexpr i64 kPasses = 2; // 2 frames per session per pass.
+    SoakResult r;
+    r.sessions = target;
+    r.frames = target * kFramesPerSession;
+
+    // Pre-quantized frame set (see quantize_frame_q88).
+    const std::vector<Sequence> raw = multi_stream_set(
+        /*seed=*/97, kProtoStreams, kFramesPerSession, args.size);
+    std::vector<std::vector<Tensor>> proto(kProtoStreams);
+    for (i64 p = 0; p < kProtoStreams; ++p) {
+        for (const LabeledFrame &f : raw[static_cast<size_t>(p)].frames) {
+            proto[static_cast<size_t>(p)].push_back(
+                quantize_frame_q88(f.image));
+        }
+    }
+
+    // Control digests from an unconstrained engine: what every soak
+    // session fed the same frames must reproduce bit-identically.
+    std::vector<u64> control(kProtoStreams);
+    {
+        Engine engine(net, soak_config("off"));
+        for (i64 p = 0; p < kProtoStreams; ++p) {
+            Session &s = engine.session("ctl" + std::to_string(p));
+            for (const Tensor &f : proto[static_cast<size_t>(p)]) {
+                (void)s.submit(f);
+            }
+        }
+        engine.flush();
+        for (i64 p = 0; p < kProtoStreams; ++p) {
+            control[static_cast<size_t>(p)] =
+                engine.session("ctl" + std::to_string(p))
+                    .report()
+                    .digest;
+        }
+    }
+
+    i64 budget_mb = args.soak_budget_mb;
+    if (budget_mb <= 0) {
+        // ~60% of the fleet's unconstrained footprint: enough room
+        // that the compressed forms fit, tight enough that the LRU
+        // tier must hibernate a large fraction of the fleet.
+        const i64 per = probe_session_bytes(net, proto[0]);
+        budget_mb = std::max<i64>(
+            1, per * target * 3 / 5 / (1024 * 1024));
+    }
+    r.budget_mb = budget_mb;
+
+    const i64 hwm_before = vm_hwm_kb();
+    Engine engine(net,
+                  soak_config("budget_mb:" + std::to_string(budget_mb) +
+                              ",hibernate=on"));
+    std::vector<Session *> sessions;
+    sessions.reserve(static_cast<size_t>(target));
+    for (i64 i = 0; i < target; ++i) {
+        sessions.push_back(&engine.session("soak" + std::to_string(i)));
+    }
+    // Pass structure: every session submits two frames, then goes
+    // idle while the rest of the fleet runs — exactly the
+    // mostly-idle-fleet shape the hibernate tier exists for. Pass 2
+    // returns to each (possibly hibernated) session, forcing
+    // rehydration before its next frame.
+    for (i64 pass = 0; pass < kPasses; ++pass) {
+        for (i64 i = 0; i < target; ++i) {
+            const std::vector<Tensor> &frames =
+                proto[static_cast<size_t>(i % kProtoStreams)];
+            for (i64 f = pass * 2; f < pass * 2 + 2; ++f) {
+                (void)sessions[static_cast<size_t>(i)]->submit(
+                    frames[static_cast<size_t>(f)]);
+            }
+        }
+    }
+    engine.flush();
+
+    const ResidentSetManager *mgr = engine.resident_manager();
+    const MemoryStats stats = mgr->stats();
+    r.hibernations = stats.hibernations;
+    r.hydrations = stats.hydrations;
+    r.sessions_hibernated = stats.sessions_hibernated;
+    r.bytes_per_session = stats.bytes_per_session();
+    r.hydrate_p50_us = stats.hydrate_p50_us;
+    r.hydrate_p99_us = stats.hydrate_p99_us;
+    r.resident_bytes = stats.resident_bytes;
+    r.peak_resident_bytes = stats.peak_resident_bytes;
+    r.vm_hwm_delta_kb = vm_hwm_kb() - hwm_before;
+
+    for (i64 i = 0; i < target; ++i) {
+        Session *s = sessions[static_cast<size_t>(i)];
+        const u64 digest = s->report().digest;
+        if (digest != control[static_cast<size_t>(i % kProtoStreams)]) {
+            ++r.digest_mismatches;
+            if (mgr->hibernation_count(s->index()) > 0) {
+                ++r.evicted_digest_mismatches;
+            }
+        }
+    }
+    return r;
+}
+
 struct DrainResult
 {
     i64 admitted = 0;
@@ -547,7 +733,52 @@ main(int argc, char **argv)
     std::cout << "    admitted " << drain.admitted << ", delivered "
               << drain.delivered << ", lost " << drain.lost << "\n";
 
+    const i64 soak_target =
+        args.soak_sessions > 0 ? args.soak_sessions
+                               : (args.smoke ? 512 : 100000);
+    std::cout << "  [soak] " << soak_target
+              << " sessions under a fixed memory budget...\n";
+    const SoakResult soak = run_soak_phase(net, args, soak_target);
+    std::cout << "    budget " << soak.budget_mb << " MB, "
+              << soak.bytes_per_session << " bytes/session, "
+              << soak.hibernations << " hibernation(s), "
+              << soak.hydrations << " hydration(s), hydrate p50 "
+              << soak.hydrate_p50_us << " us / p99 "
+              << soak.hydrate_p99_us << " us, VmHWM +"
+              << soak.vm_hwm_delta_kb << " kB, "
+              << soak.digest_mismatches << " digest mismatch(es)\n";
+
     bool ok = true;
+    if (soak.digest_mismatches != 0) {
+        std::cerr << "FAIL: soak digests diverged for "
+                  << soak.digest_mismatches << " session(s) ("
+                  << soak.evicted_digest_mismatches
+                  << " of them hibernated at least once)\n";
+        ok = false;
+    }
+    if (soak.hibernations <= 0 || soak.hydrations <= 0) {
+        std::cerr << "FAIL: soak never exercised the hibernate tier "
+                  << "(hibernations " << soak.hibernations
+                  << ", hydrations " << soak.hydrations << ")\n";
+        ok = false;
+    }
+    if (soak.resident_bytes > soak.budget_mb * 1024 * 1024) {
+        std::cerr << "FAIL: soak ended over budget ("
+                  << soak.resident_bytes << " bytes tracked vs "
+                  << soak.budget_mb << " MB cap)\n";
+        ok = false;
+    }
+    // The VmHWM bound: the budget caps tracked stream state; session
+    // fixtures (Session/scheduler/pipeline objects) are per-session
+    // overhead outside the tier, allowed 16 kB each plus global slack
+    // for the allocator and earlier phases.
+    const i64 vm_cap_kb =
+        soak.budget_mb * 1024 + soak.sessions * 16 + 262144;
+    if (soak.vm_hwm_delta_kb > vm_cap_kb) {
+        std::cerr << "FAIL: soak VmHWM grew " << soak.vm_hwm_delta_kb
+                  << " kB, cap " << vm_cap_kb << " kB\n";
+        ok = false;
+    }
     if (drain.lost != 0) {
         std::cerr << "FAIL: graceful drain lost " << drain.lost
                   << " admitted frame(s)\n";
@@ -601,6 +832,21 @@ main(int argc, char **argv)
         w.member("drain_admitted", drain.admitted);
         w.member("drain_delivered", drain.delivered);
         w.member("lost_frames", drain.lost);
+        // Soak metrics; bytes_per_session and hydrate_p99_us are the
+        // rows scripts/check_bench_baseline.py gates.
+        w.member("soak_sessions", soak.sessions);
+        w.member("soak_frames", soak.frames);
+        w.member("soak_budget_mb", soak.budget_mb);
+        w.member("bytes_per_session", soak.bytes_per_session);
+        w.member("hydrate_p50_us", soak.hydrate_p50_us);
+        w.member("hydrate_p99_us", soak.hydrate_p99_us);
+        w.member("soak_hibernations", soak.hibernations);
+        w.member("soak_hydrations", soak.hydrations);
+        w.member("soak_sessions_hibernated", soak.sessions_hibernated);
+        w.member("soak_resident_bytes", soak.resident_bytes);
+        w.member("soak_peak_resident_bytes", soak.peak_resident_bytes);
+        w.member("soak_vm_hwm_delta_kb", soak.vm_hwm_delta_kb);
+        w.member("soak_digest_mismatches", soak.digest_mismatches);
         w.key("net_stats").begin_object();
         w.member("frames_in", tp.stats.frames_in);
         w.member("outcomes_out", tp.stats.outcomes_out);

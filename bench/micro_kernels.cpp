@@ -297,9 +297,112 @@ fc_bench(benchmark::State &state, i64 in_dim, i64 out_dim, bool simd)
     state.SetItemsProcessed(state.iterations() * in_dim * out_dim);
 }
 
+// --------------------------------------------------------------------
+// Sparse-direct warp vs decode-then-warp, on channel-structured
+// sparse activations. Post-ReLU activations after the storage RMS
+// prune are not uniform scatter: sparsity is per-channel (weak
+// channels go entirely dark — measured 10-22% fully-empty channels
+// on the scaled pipeline's stored target activations, with live
+// channels spanning a wide density range). The generator mirrors
+// that: `dead` fraction of channels empty, live channels at
+// uniform(density_lo, density_hi) each. Two sparsity points per the
+// storage ablation's sweep: `s85` is the moderate post-prune mix,
+// `s97` the long-run regime the ablation's 99%-sparsity table (and
+// the hibernate tier's stored state) lives in — the sparse-direct
+// path's structural advantage (skipping the gather for dark
+// channels, no dense round trip) scales with sparsity, so the
+// committed s97 ratios are the headline speedup and the s85 row
+// pins the moderate case against regressions. Each `warp/rle/...`
+// row is anchored to the same run's `warp/decode/...`: the committed
+// ratio encodes the speedup the sparse-direct path must keep
+// delivering.
+
+struct WarpShape
+{
+    const char *label;
+    i64 c, h, w;
+    double dead;       ///< Fraction of fully-pruned channels.
+    double density_lo; ///< Min per-channel nonzero fraction.
+    double density_hi; ///< Max per-channel nonzero fraction.
+};
+
+constexpr WarpShape kWarpShapes[] = {
+    {"c256_14x14_s85", 256, 14, 14, 0.15, 0.05, 0.30},
+    {"c256_14x14_s97", 256, 14, 14, 0.30, 0.01, 0.10},
+    {"c384_13x13_s97", 384, 13, 13, 0.30, 0.01, 0.10},
+};
+
+RleActivation
+warp_rle_input(const WarpShape &s)
+{
+    Tensor act(s.c, s.h, s.w);
+    Rng rng(23);
+    const i64 n = s.h * s.w;
+    for (i64 c = 0; c < s.c; ++c) {
+        if (rng.chance(s.dead)) {
+            continue;
+        }
+        const double density = rng.uniform(s.density_lo, s.density_hi);
+        for (i64 i = c * n; i < (c + 1) * n; ++i) {
+            act[i] = rng.chance(density) ? rng.uniform_f(0.1f, 4.0f)
+                                         : 0.0f;
+        }
+    }
+    return rle_encode(act);
+}
+
+void
+warp_decode_bench(benchmark::State &state, const WarpShape &shape)
+{
+    const RleActivation key = warp_rle_input(shape);
+    const MotionField field =
+        MotionField::uniform(shape.h, shape.w, Vec2{4.7, -9.3});
+    Tensor out(key.shape);
+    for (auto _ : state) {
+        // The pre-sparse-direct hot path: materialize the dense
+        // activation, then warp it.
+        const Tensor dense = rle_decode(key);
+        warp_activation_into(dense, field, 16, InterpMode::kBilinear,
+                             out);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+}
+
+void
+warp_rle_bench(benchmark::State &state, const WarpShape &shape)
+{
+    const RleActivation key = warp_rle_input(shape);
+    const MotionField field =
+        MotionField::uniform(shape.h, shape.w, Vec2{4.7, -9.3});
+    Tensor out(key.shape);
+    for (auto _ : state) {
+        warp_activation_rle_into(key, field, 16,
+                                 InterpMode::kBilinear, out);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+}
+
 void
 register_variant_benches()
 {
+    for (const WarpShape &shape : kWarpShapes) {
+        const std::string decode =
+            std::string("warp/decode/") + shape.label;
+        benchmark::RegisterBenchmark(
+            decode.c_str(),
+            [shape](benchmark::State &state) {
+                warp_decode_bench(state, shape);
+            })
+            ->Unit(benchmark::kMicrosecond);
+        const std::string rle =
+            std::string("warp/rle/") + shape.label;
+        benchmark::RegisterBenchmark(
+            rle.c_str(),
+            [shape](benchmark::State &state) {
+                warp_rle_bench(state, shape);
+            })
+            ->Unit(benchmark::kMicrosecond);
+    }
     for (const ConvShape &shape : kConvShapes) {
         std::vector<GemmVariant> variants = {GemmVariant::kScalar};
         if (simd_supported()) {

@@ -98,6 +98,17 @@ EngineConfig::resolve(const Network &net) const
     opts.store_outputs = store_outputs;
     opts.pipeline_depth = pipeline_depth;
     opts.suffix_batch = resolve_batch(batch);
+    // Validate the memory spec here so a typo throws at construction
+    // like every other field; the Engine re-resolves it for its own
+    // manager. Hibernation reconstructs session state from the
+    // compressed form, so it needs a codec that actually stores one.
+    const MemoryBudget mem = resolve_memory_spec(memory);
+    require(!mem.hibernate || opts.amc.quantize_storage,
+            "memory spec '" + memory +
+                "': hibernate=on requires a quantizing storage codec "
+                "(the dense precise activation of codec '" +
+                codec + "' cannot be reconstructed from compressed "
+                "state)");
     // The factory is shared across streams; each call builds a fresh
     // stateful policy instance. Validated eagerly by factory().
     auto make = PolicyRegistry::instance().factory(policy);
@@ -162,10 +173,33 @@ Session::submit(Tensor frame)
         }
         ticket.epoch = epoch_;
     }
+    // A hibernated session rehydrates before its frame enqueues: the
+    // gate we hold is the same one the eviction loop try_locks, so
+    // the plan cannot re-hibernate underneath the enqueue.
+    hydrate_if_hibernated();
     // Enqueue outside the session mutex: without a pool the frame is
     // processed inline here, and its commit takes the mutex.
     ticket.frame = scheduler_->enqueue(std::move(frame));
     return ticket;
+}
+
+void
+Session::hydrate_if_hibernated()
+{
+    FramePlan &plan = pipeline_->frame_plan();
+    if (!plan.hibernated()) {
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    plan.hydrate();
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (engine_->resident_) {
+        engine_->resident_->note_hydrated(index_,
+                                          plan.resident_bytes(), us);
+    }
 }
 
 void
@@ -204,6 +238,7 @@ Session::record_commit(FrameCommit commit)
 {
     FrameOutcome outcome;
     OutcomeSink sink;
+    const i64 resident_bytes = commit.resident_bytes;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         outcome.frame = done_base_ + static_cast<i64>(done_.size());
@@ -235,6 +270,11 @@ Session::record_commit(FrameCommit commit)
         last_done_ = std::chrono::steady_clock::now();
         sink = outcome_sink_;
         cv_.notify_all();
+    }
+    // Resident accounting runs outside the session lock too — the
+    // eviction walk it may trigger try_locks *other* sessions' gates.
+    if (!outcome.failed && resident_bytes > 0) {
+        engine_->note_commit_resident(index_, resident_bytes);
     }
     // Outside the session lock, so the sink may call poll() or
     // completed(). Commits are delivered serially in frame order
@@ -400,8 +440,13 @@ Engine::Engine(const Network &net, EngineConfig config)
       config_(std::move(config)),
       store_outputs_(config_.store_outputs),
       executor_(std::make_unique<StreamExecutor>(
-          net, config_.resolve(net)))
+          net, config_.resolve(net))),
+      memory_budget_(resolve_memory_spec(config_.memory))
 {
+    if (memory_budget_.enabled) {
+        resident_ =
+            std::make_unique<ResidentSetManager>(memory_budget_);
+    }
 }
 
 Engine::~Engine()
@@ -520,6 +565,66 @@ Engine::in_flight() const
     return total;
 }
 
+bool
+Engine::memory_pressure() const
+{
+    return resident_ != nullptr && resident_->over_budget();
+}
+
+void
+Engine::note_commit_resident(i64 index, i64 bytes)
+{
+    if (!resident_) {
+        return;
+    }
+    resident_->note_resident(index, bytes);
+    if (memory_budget_.hibernate && resident_->over_budget()) {
+        evict_to_budget(index);
+    }
+}
+
+void
+Engine::evict_to_budget(i64 protect_index)
+{
+    // One bounded LRU pass per call — the batch is a constant, not
+    // the session count, so a 100k-session fleet pays O(1) per
+    // commit. A victim is skipped (not retried) when its submit gate
+    // is held or it has frames in flight, and any overshoot left when
+    // the batch runs out is reclaimed by the next commit's pass. No
+    // blocking lock is ever taken on a session here, so this cannot
+    // deadlock against submit paths.
+    constexpr i64 kVictimBatch = 32;
+    const std::vector<i64> victims =
+        resident_->victims(kVictimBatch, protect_index);
+    for (const i64 victim : victims) {
+        if (!resident_->over_budget()) {
+            return;
+        }
+        Session *s = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (victim >= 0 &&
+                victim < static_cast<i64>(sessions_.size())) {
+                s = sessions_[static_cast<size_t>(victim)].get();
+            }
+        }
+        if (s == nullptr) {
+            continue;
+        }
+        std::unique_lock<std::mutex> gate(s->submit_mutex_,
+                                          std::try_to_lock);
+        if (!gate.owns_lock() || s->in_flight() != 0) {
+            continue; // Busy: not idle enough to hibernate.
+        }
+        FramePlan &plan = s->pipeline_->frame_plan();
+        if (plan.hibernated()) {
+            continue;
+        }
+        plan.hibernate();
+        resident_->note_hibernated(victim, plan.resident_bytes());
+    }
+}
+
 RunReport
 Engine::base_report()
 {
@@ -532,6 +637,10 @@ Engine::base_report()
     report.target = config_.target;
     report.motion = config_.motion;
     report.batch = config_.batch;
+    report.memory_spec = config_.memory;
+    if (resident_) {
+        report.memory = resident_->stats();
+    }
     report.simd_isa = simd_supported() ? simd_isa_name() : "scalar";
     report.num_threads = executor_->num_threads();
     report.pipeline_depth = config_.pipeline_depth;
@@ -549,6 +658,23 @@ Engine::run(const std::vector<Sequence> &streams)
 {
     ensure_open("Engine::run");
     flush();
+    // The batch path drives pipelines directly, below the session
+    // layer that hydrates on submit — wake any hibernated session
+    // first so the executor never runs a front on compressed state.
+    if (resident_) {
+        std::vector<Session *> sessions;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            sessions.reserve(sessions_.size());
+            for (const auto &s : sessions_) {
+                sessions.push_back(s.get());
+            }
+        }
+        for (Session *s : sessions) {
+            std::lock_guard<std::mutex> gate(s->submit_mutex_);
+            s->hydrate_if_hibernated();
+        }
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     for (i64 i = 0; i < static_cast<i64>(streams.size()); ++i) {
         pipeline_locked(i);
@@ -684,6 +810,12 @@ Engine::reset()
     }
     for (const auto &s : sessions_) {
         s->reset_record();
+    }
+    // Stream state is gone (FramePlan::reset released it), so the
+    // resident accounting restarts from zero too.
+    if (memory_budget_.enabled) {
+        resident_ =
+            std::make_unique<ResidentSetManager>(memory_budget_);
     }
 }
 

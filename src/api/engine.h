@@ -94,6 +94,29 @@ struct EngineConfig
      * full the batches actually ran.
      */
     std::string batch = "off";
+    /**
+     * Resident-session memory budget spec (runtime/resident_set.h):
+     *
+     *   "off"                       no tracking (the default);
+     *   "budget_mb:N"               track per-session resident bytes
+     *                               against a hard N MB cap — over it,
+     *                               the serving layer sheds new frames
+     *                               (SHED/memory) instead of growing;
+     *   "budget_mb:N,hibernate=on"  additionally LRU-hibernate idle
+     *                               sessions down to compressed-only
+     *                               state (the RLE key activation plus
+     *                               Q8.8 key pixels) to get back under
+     *                               budget; a hibernated session
+     *                               rehydrates transparently on its
+     *                               next submit. Requires a quantizing
+     *                               codec (hibernation reconstructs
+     *                               state from the compressed form, so
+     *                               codec=dense cannot round-trip).
+     *
+     * Digests are unaffected either way: hibernation stores exactly
+     * the compressed representation the codec already quantized to.
+     */
+    std::string memory = "off";
     i64 search_radius = 28; ///< RFBME search radius in pixels (> 0).
     i64 search_stride = 2;  ///< RFBME search step in pixels (> 0).
     /** Stream-level workers; 1 = serial inline, 0 = hardware default. */
@@ -272,6 +295,14 @@ class Session
     /** Commit sink: record one pipelined frame (in frame order). */
     void record_commit(FrameCommit commit);
 
+    /**
+     * Rehydrate this session's plan if it was hibernated, recording
+     * the latency. Caller holds submit_mutex_ (which is what
+     * serializes against the Engine's eviction loop — it hibernates
+     * only under a try_lock of this same gate).
+     */
+    void hydrate_if_hibernated();
+
     /** Reject foreign, stale (pre-reset), or forgotten tickets. */
     void check_ticket(const FrameTicket &ticket) const;
 
@@ -408,6 +439,23 @@ class Engine
     const EngineConfig &config() const { return config_; }
     const Network &network() const { return *net_; }
 
+    /**
+     * The resident-session memory manager, or null with memory=off.
+     * Read-only counters for tests and benches; the Engine itself is
+     * the only writer.
+     */
+    const ResidentSetManager *resident_manager() const
+    {
+        return resident_.get();
+    }
+
+    /**
+     * True when a memory budget is set and tracked resident bytes
+     * still exceed it — i.e. hibernation is off or could not reclaim
+     * enough. The serving layer sheds new frames while this holds.
+     */
+    bool memory_pressure() const;
+
     /** Effective stream-level worker count. */
     i64 num_threads() const { return executor_->num_threads(); }
 
@@ -423,6 +471,17 @@ class Engine
     /** Throw a descriptive ConfigError when the engine is closed. */
     void ensure_open(const char *what) const;
 
+    /**
+     * A frame of session `index` committed with `bytes` resident:
+     * update the manager, then LRU-hibernate other idle sessions
+     * while over budget (hibernate=on only). Called from the commit
+     * path with no locks held.
+     */
+    void note_commit_resident(i64 index, i64 bytes);
+
+    /** Hibernate LRU-idle sessions until under budget or no victims. */
+    void evict_to_budget(i64 protect_index);
+
     RunReport base_report();
 
     const Network *net_;
@@ -430,6 +489,9 @@ class Engine
     bool store_outputs_;
     std::atomic<bool> closed_{false};
     std::unique_ptr<StreamExecutor> executor_;
+    /** Resolved memory= spec; disabled ⇒ resident_ is null. */
+    MemoryBudget memory_budget_;
+    std::unique_ptr<ResidentSetManager> resident_;
 
     mutable std::mutex mutex_; ///< Guards sessions_ and timings_.
     std::vector<std::unique_ptr<StageTimings>> timings_;

@@ -45,6 +45,7 @@ RunReport::to_json(int indent) const
     w.member("target", target);
     w.member("motion", motion);
     w.member("batch", batch);
+    w.member("memory", memory_spec);
     w.member("simd_isa", simd_isa);
     w.member("num_threads", num_threads);
     w.member("pipeline_depth", pipeline_depth);
@@ -122,11 +123,26 @@ RunReport::to_json(int indent) const
     w.member("shed_window", net.shed_window);
     w.member("shed_overload", net.shed_overload);
     w.member("shed_draining", net.shed_draining);
+    w.member("shed_memory", net.shed_memory);
     w.member("shed_total", net.shed_total());
     w.member("protocol_errors", net.protocol_errors);
     w.member("bytes_in", net.bytes_in);
     w.member("bytes_out", net.bytes_out);
     w.member("window_stalls", net.window_stalls);
+    w.end_object();
+    w.key("memory").begin_object();
+    w.member("budget_bytes", memory.budget_bytes);
+    w.member("hibernate", memory.hibernate);
+    w.member("resident_bytes", memory.resident_bytes);
+    w.member("peak_resident_bytes", memory.peak_resident_bytes);
+    w.member("sessions_tracked", memory.sessions_tracked);
+    w.member("sessions_resident", memory.sessions_resident);
+    w.member("sessions_hibernated", memory.sessions_hibernated);
+    w.member("bytes_per_session", memory.bytes_per_session());
+    w.member("hibernations", memory.hibernations);
+    w.member("hydrations", memory.hydrations);
+    w.member("hydrate_p50_us", memory.hydrate_p50_us);
+    w.member("hydrate_p99_us", memory.hydrate_p99_us);
     w.end_object();
     w.end_object();
     return w.str();

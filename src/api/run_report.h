@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/instrumentation.h"
+#include "runtime/resident_set.h"
 #include "runtime/suffix_batcher.h"
 #include "util/common.h"
 
@@ -82,6 +83,7 @@ struct NetStats
     i64 shed_window = 0;       ///< Frames past a session's window.
     i64 shed_overload = 0;     ///< Frames shed by the global cap.
     i64 shed_draining = 0;     ///< Frames arriving during drain.
+    i64 shed_memory = 0;       ///< Frames shed by the memory budget.
     i64 protocol_errors = 0;   ///< Connections killed mid-parse.
     i64 bytes_in = 0;
     i64 bytes_out = 0;
@@ -95,7 +97,8 @@ struct NetStats
     i64
     shed_total() const
     {
-        return shed_window + shed_overload + shed_draining;
+        return shed_window + shed_overload + shed_draining +
+               shed_memory;
     }
 };
 
@@ -112,6 +115,8 @@ struct RunReport
     std::string motion;
     /** Suffix batching spec echo ("off" or "auto:max=..,.."). */
     std::string batch;
+    /** Memory budget spec echo ("off" or "budget_mb:N[,...]"). */
+    std::string memory_spec;
     /**
      * SIMD ISA the kernels can use on this machine ("avx2", "sse2",
      * "neon"), or "scalar" when the build or CPU has none — the
@@ -144,6 +149,12 @@ struct RunReport
     SuffixBatchStats batching;
     /** Serving front-end counters (zero without a net::Server). */
     NetStats net;
+    /**
+     * Resident-session memory tier counters (docs/resident_state.md):
+     * tracked bytes and session counts, hibernation/hydration totals,
+     * and hydrate latency percentiles. All zero when `memory=off`.
+     */
+    MemoryStats memory;
 
     double
     key_fraction() const

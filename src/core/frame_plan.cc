@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/tensor_ops.h"
+
 namespace eva2 {
 
 void
@@ -85,6 +87,7 @@ FramePlan::FramePlan(const Network &net,
         net, target_layer_ + 1, net.num_layers(),
         prefix_plan_->out_shape(), opts_.plan);
     slot_ring_.ensure_slots(depth_);
+    slot_alias_.resize(static_cast<size_t>(depth_));
     target_rf_ = net.receptive_field_at(target_layer_);
     rfbme_config_.rf_size = target_rf_.size;
     rfbme_config_.rf_stride = target_rf_.stride;
@@ -108,8 +111,12 @@ FramePlan::set_depth(i64 depth)
     depth_ = depth;
     // Create the whole ring now: a front creating slot tensors while
     // another frame's suffix reads its own slot must not grow (and
-    // possibly reallocate) the slot vector under the reader.
+    // possibly reallocate) the slot vector under the reader. The
+    // alias array follows the same rule for the same reason.
     slot_ring_.ensure_slots(depth_);
+    if (static_cast<i64>(slot_alias_.size()) < depth_) {
+        slot_alias_.resize(static_cast<size_t>(depth_));
+    }
 }
 
 void
@@ -134,6 +141,13 @@ const Tensor &
 FramePlan::slot_activation(i64 slot) const
 {
     check_slot(slot);
+    // Memoization predictions alias the shared key activation rather
+    // than copying it into the slot; the alias overrides the ring.
+    const std::shared_ptr<const Tensor> &alias =
+        slot_alias_[static_cast<size_t>(slot)];
+    if (alias) {
+        return *alias;
+    }
     const Tensor *t = slot_ring_.peek(slot);
     require(t != nullptr && !t->empty(),
             "FramePlan: slot " + std::to_string(slot) +
@@ -142,28 +156,67 @@ FramePlan::slot_activation(i64 slot) const
 }
 
 void
+FramePlan::release_workspaces()
+{
+    // Sized for the previous stream's geometry; a reset or hibernated
+    // session must actually return this memory, not keep workspaces
+    // grown for a stream it may never see again. Slot buffers release
+    // while the slot tensors (and the addresses readers hold) stay.
+    me_ = RfbmeResult();
+    me_ws_ = RfbmeWorkspace();
+    fitted_field_ = MotionField();
+    slot_ring_.release_slots();
+}
+
+void
 FramePlan::reset()
 {
     has_key_ = false;
     key_pixels_ = Tensor();
-    key_activation_ = Tensor();
+    key_activation_dense_ = Tensor();
     key_activation_rle_ = RleActivation();
+    key_act_shared_.reset();
+    for (auto &alias : slot_alias_) {
+        alias.reset();
+    }
+    stored_cache_ = Tensor();
+    stored_cache_valid_ = false;
+    hibernated_ = false;
+    hib_pixels_ = std::vector<i16>();
+    hib_pixels_shape_ = Shape{};
     frames_since_key_ = 0;
     stats_ = AmcStats();
     policy_->reset();
+    release_workspaces();
 }
 
 const Tensor &
 FramePlan::stored_activation() const
 {
     require(has_key_, "no key frame has been processed yet");
-    return key_activation_;
+    if (opts_.motion_mode == MotionMode::kMemoization &&
+        key_act_shared_) {
+        return *key_act_shared_;
+    }
+    if (!opts_.quantize_storage) {
+        return key_activation_dense_;
+    }
+    // Quantized storage keeps only the RLE form resident; decode
+    // lazily for the (cold) accessor paths — reports, tests, the
+    // pipeline conveniences — and cache until the next key frame.
+    if (!stored_cache_valid_) {
+        stored_cache_ = rle_decode(key_activation_rle_);
+        stored_cache_valid_ = true;
+    }
+    return stored_cache_;
 }
 
 const Tensor &
 FramePlan::key_pixels() const
 {
     require(has_key_, "no key frame has been processed yet");
+    require(!hibernated_,
+            "key_pixels: session is hibernated (hydrate() first)");
     return key_pixels_;
 }
 
@@ -172,6 +225,95 @@ FramePlan::stored_activation_bytes() const
 {
     require(has_key_, "no key frame has been processed yet");
     return key_activation_rle_.encoded_bytes();
+}
+
+void
+FramePlan::hibernate()
+{
+    require(opts_.quantize_storage,
+            "hibernate: requires quantized (RLE) key-activation "
+            "storage; the precise dense activation of codec=dense "
+            "cannot be recovered from the compressed form");
+    if (hibernated_) {
+        return;
+    }
+    if (has_key_) {
+        // Q8.8 raw pixels: the RFBME reference frame in 2 bytes per
+        // pixel instead of 4, matching the hardware's key buffers.
+        hib_pixels_shape_ = key_pixels_.shape();
+        hib_pixels_.resize(static_cast<size_t>(key_pixels_.size()));
+        for (i64 i = 0; i < key_pixels_.size(); ++i) {
+            hib_pixels_[static_cast<size_t>(i)] =
+                Q88::from_double(key_pixels_[i]).raw();
+        }
+    }
+    key_pixels_ = Tensor();
+    key_activation_dense_ = Tensor();
+    key_act_shared_.reset();
+    for (auto &alias : slot_alias_) {
+        alias.reset();
+    }
+    stored_cache_ = Tensor();
+    stored_cache_valid_ = false;
+    release_workspaces();
+    hibernated_ = true;
+}
+
+void
+FramePlan::hydrate()
+{
+    if (!hibernated_) {
+        return;
+    }
+    if (has_key_) {
+        key_pixels_ = Tensor(hib_pixels_shape_);
+        for (i64 i = 0; i < key_pixels_.size(); ++i) {
+            key_pixels_[i] = static_cast<float>(
+                Q88::from_raw(hib_pixels_[static_cast<size_t>(i)])
+                    .to_double());
+        }
+        if (opts_.motion_mode == MotionMode::kMemoization) {
+            key_act_shared_ = std::make_shared<const Tensor>(
+                rle_decode(key_activation_rle_));
+        }
+    }
+    hib_pixels_ = std::vector<i16>();
+    hib_pixels_shape_ = Shape{};
+    hibernated_ = false;
+}
+
+i64
+FramePlan::resident_bytes() const
+{
+    i64 bytes = key_activation_rle_.encoded_bytes();
+    bytes += key_pixels_.size() * static_cast<i64>(sizeof(float));
+    bytes +=
+        key_activation_dense_.size() * static_cast<i64>(sizeof(float));
+    if (key_act_shared_) {
+        bytes +=
+            key_act_shared_->size() * static_cast<i64>(sizeof(float));
+    }
+    if (stored_cache_valid_) {
+        bytes += stored_cache_.size() * static_cast<i64>(sizeof(float));
+    }
+    bytes += static_cast<i64>(hib_pixels_.size() * sizeof(i16));
+    bytes += static_cast<i64>(slot_ring_.bytes_reserved());
+    const auto field_bytes = [](const MotionField &f) {
+        return f.height() * f.width() * static_cast<i64>(sizeof(Vec2));
+    };
+    bytes += field_bytes(fitted_field_) + field_bytes(me_.field);
+    bytes += static_cast<i64>(me_.rf_errors.size() * sizeof(double));
+    bytes += static_cast<i64>(me_ws_.offsets.size() * sizeof(Vec2));
+    bytes += static_cast<i64>(me_ws_.merge_best.size() * sizeof(double));
+    for (const RfbmeWorkspace::Chunk &ch : me_ws_.chunks) {
+        bytes += static_cast<i64>(
+            (ch.best.size() + ch.prefix_diff.size() +
+             ch.prefix_count.size() + ch.tile_diff.size() +
+             ch.tile_count.size()) *
+                sizeof(double) +
+            ch.winner.size() * sizeof(i32));
+    }
+    return bytes;
 }
 
 void
@@ -219,23 +361,34 @@ FramePlan::key_stage(const Tensor &frame, i64 slot,
         StageScope timer(obs, AmcStage::kEncode);
         RleParams rle_params;
         if (opts_.storage_prune_rel > 0.0) {
-            double acc = 0.0;
-            for (i64 i = 0; i < stored.size(); ++i) {
-                acc += static_cast<double>(stored[i]) * stored[i];
-            }
-            const double rms =
-                std::sqrt(acc / static_cast<double>(stored.size()));
+            const double rms = std::sqrt(
+                sum_squares(stored) /
+                static_cast<double>(stored.size()));
             rle_params.zero_threshold =
                 static_cast<float>(opts_.storage_prune_rel * rms);
         }
         key_activation_rle_ = rle_encode(stored, rle_params);
+        stored_cache_valid_ = false;
         // Key frames are full, precise executions (Section II-A); the
         // quantized RLE copy is only consumed by later predicted
-        // frames, so the slot keeps the precise activation.
-        key_activation_ = opts_.quantize_storage
-                              ? rle_decode(key_activation_rle_)
-                              : stored;
+        // frames, so the slot keeps the precise activation. Under
+        // quantized storage the RLE form *is* the resident store —
+        // predictions warp it directly — and only the consumers that
+        // need a dense tensor get one:
+        if (opts_.motion_mode == MotionMode::kMemoization) {
+            // One shared decoded copy per key frame; every predicted
+            // frame aliases it instead of copying (slot_alias_).
+            key_act_shared_ = std::make_shared<const Tensor>(
+                opts_.quantize_storage
+                    ? rle_decode(key_activation_rle_)
+                    : stored);
+        } else if (!opts_.quantize_storage) {
+            key_activation_dense_.reshape_to(stored.shape());
+            std::copy(stored.data().begin(), stored.data().end(),
+                      key_activation_dense_.data().begin());
+        }
     }
+    slot_alias_[static_cast<size_t>(slot)].reset();
     has_key_ = true;
     frames_since_key_ = 0;
     ++stats_.frames;
@@ -248,22 +401,38 @@ FramePlan::predict_stage(i64 slot, AmcObserver *obs)
 {
     FrontResult result;
     result.is_key = false;
-    Tensor &predicted = slot_tensor(slot, key_activation_.shape());
     if (opts_.motion_mode == MotionMode::kMemoization) {
+        // Alias the shared key activation: a refcount bump replaces
+        // the former dense copy of the whole tensor into the slot.
         StageScope timer(obs, AmcStage::kWarp);
-        predicted.reshape_to(key_activation_.shape());
-        std::copy(key_activation_.data().begin(),
-                  key_activation_.data().end(),
-                  predicted.data().begin());
-    } else {
+        check_slot(slot);
+        slot_alias_[static_cast<size_t>(slot)] = key_act_shared_;
+    } else if (opts_.quantize_storage) {
+        // Sparse-direct: warp straight from the resident RLE form.
+        const Shape shape = key_activation_rle_.shape;
+        Tensor &predicted = slot_tensor(slot, shape);
         {
             StageScope timer(obs, AmcStage::kMotionField);
-            fit_field_into(me_.field, key_activation_.height(),
-                           key_activation_.width(), fitted_field_);
+            fit_field_into(me_.field, shape.h, shape.w, fitted_field_);
         }
         {
             StageScope timer(obs, AmcStage::kWarp);
-            warp_activation_into(key_activation_, fitted_field_,
+            warp_activation_rle_into(key_activation_rle_,
+                                     fitted_field_, target_rf_.stride,
+                                     opts_.interp, predicted);
+        }
+    } else {
+        Tensor &predicted =
+            slot_tensor(slot, key_activation_dense_.shape());
+        {
+            StageScope timer(obs, AmcStage::kMotionField);
+            fit_field_into(me_.field, key_activation_dense_.height(),
+                           key_activation_dense_.width(),
+                           fitted_field_);
+        }
+        {
+            StageScope timer(obs, AmcStage::kWarp);
+            warp_activation_into(key_activation_dense_, fitted_field_,
                                  target_rf_.stride, opts_.interp,
                                  predicted);
         }
@@ -280,7 +449,9 @@ FramePlan::run_front(const Tensor &frame, i64 slot,
     if (!has_key_) {
         // First frame of a stream: always a key frame, no motion
         // estimation to run and no policy consulted.
-        return key_stage(frame, slot, exec_arena, obs);
+        FrontResult result = key_stage(frame, slot, exec_arena, obs);
+        result.resident_bytes = resident_bytes();
+        return result;
     }
     ++frames_since_key_;
     motion_stage(frame, obs);
@@ -297,6 +468,7 @@ FramePlan::run_front(const Tensor &frame, i64 slot,
                                 : predict_stage(slot, obs);
     result.features = features;
     result.me_add_ops = me_.add_ops;
+    result.resident_bytes = resident_bytes();
     return result;
 }
 
@@ -305,7 +477,9 @@ FramePlan::run_front_key(const Tensor &frame, i64 slot,
                          ScratchArena &exec_arena, AmcObserver *obs)
 {
     ingest_stage(frame, obs);
-    return key_stage(frame, slot, exec_arena, obs);
+    FrontResult result = key_stage(frame, slot, exec_arena, obs);
+    result.resident_bytes = resident_bytes();
+    return result;
 }
 
 FrontResult
@@ -323,6 +497,7 @@ FramePlan::run_front_predicted(const Tensor &frame, i64 slot,
     result.features.motion_magnitude = me_.field.total_magnitude();
     result.features.frames_since_key = frames_since_key_;
     result.me_add_ops = me_.add_ops;
+    result.resident_bytes = resident_bytes();
     return result;
 }
 

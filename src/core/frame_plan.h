@@ -140,6 +140,7 @@ struct FrontResult
     bool is_key = false;
     FrameFeatures features;   ///< Motion features seen by the policy.
     i64 me_add_ops = 0;       ///< RFBME arithmetic ops for this frame.
+    i64 resident_bytes = 0;   ///< Stream state bytes after this frame.
 };
 
 /**
@@ -243,6 +244,39 @@ class FramePlan
     const AmcStats &stats() const { return stats_; }
 
     // ---------------------------------------------------------------
+    // Hibernation (the LRU memory tier; see docs/resident_state.md).
+
+    /**
+     * Collapse the stream's resident state to the compressed-only
+     * form: the RLE key activation (already the canonical store under
+     * quantized storage) plus the key pixels re-packed as Q8.8 raw —
+     * everything RFBME and a later predicted frame need to resume —
+     * and release every dense buffer and per-frame workspace. Only
+     * valid under quantize_storage (the dense precise activation of
+     * codec=dense cannot be recovered from the RLE form). The caller
+     * must guarantee no frames are in flight on this plan.
+     */
+    void hibernate();
+
+    /**
+     * Rebuild the dense working state from the compressed form after
+     * hibernate(); the next run_front proceeds as if the session had
+     * never been evicted. Key pixels come back Q8.8-quantized, so
+     * digests after rehydration are bit-identical whenever the
+     * submitted pixels were Q8.8-representable (see docs).
+     */
+    void hydrate();
+
+    bool hibernated() const { return hibernated_; }
+
+    /**
+     * Bytes of stream state currently held: compressed store, dense
+     * key buffers, slot ring, and motion-estimation workspaces. The
+     * number the Engine's memory budget accounts per session.
+     */
+    i64 resident_bytes() const;
+
+    // ---------------------------------------------------------------
     // Compiled artifacts.
 
     /** The compiled plan for layers [0, target]. */
@@ -280,6 +314,8 @@ class FramePlan
 
     Tensor &slot_tensor(i64 slot, const Shape &shape);
     void check_slot(i64 slot) const;
+    /** Drop the RFBME/motion workspaces and slot-ring buffers. */
+    void release_workspaces();
 
     const Network *net_;
     std::unique_ptr<KeyFramePolicy> policy_;
@@ -299,11 +335,30 @@ class FramePlan
     ScratchArena slot_ring_;
     i64 depth_ = 1;
 
-    // Carried stream state (front-half only).
+    // Carried stream state (front-half only). The RLE encoding is the
+    // canonical key-activation store under quantize_storage; the
+    // dense tensor is only materialized where a dense consumer exists
+    // (codec=dense warping, memoization sharing, the accessor cache).
     bool has_key_ = false;
     Tensor key_pixels_;
-    Tensor key_activation_;
+    Tensor key_activation_dense_; ///< Precise; codec=dense only.
     RleActivation key_activation_rle_;
+    /**
+     * Memoization mode: the one decoded copy per key frame that every
+     * predicted frame aliases (a refcount bump instead of a dense
+     * copy). In-flight suffixes hold their own reference via
+     * slot_alias_, so a new key frame can retire this safely.
+     */
+    std::shared_ptr<const Tensor> key_act_shared_;
+    /** Per-slot aliases overriding the slot ring (memoization). */
+    std::vector<std::shared_ptr<const Tensor>> slot_alias_;
+    /** Lazy rle_decode cache backing stored_activation(). */
+    mutable Tensor stored_cache_;
+    mutable bool stored_cache_valid_ = false;
+    // Hibernated form: Q8.8 raw key pixels (RFBME's reference frame).
+    bool hibernated_ = false;
+    std::vector<i16> hib_pixels_;
+    Shape hib_pixels_shape_;
     i64 frames_since_key_ = 0;
     AmcStats stats_;
 

@@ -1,10 +1,15 @@
 #include "core/warp.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "cnn/kernel_tuner.h"
 #include "simd/simd_kernels.h"
 #include "tensor/tensor_ops.h"
+#include "util/fixed_point.h"
 
 namespace eva2 {
 
@@ -32,6 +37,9 @@ struct WarpWorkspace
     std::vector<double> wx0, wx1, wy0, wy1;
     // Nearest: source offset, -1 when out of bounds.
     std::vector<i32> off;
+    // RLE expansion buffer: one channel's decoded plane at a time,
+    // reused across channels, frames, and sessions on this thread.
+    std::vector<float> plane;
 };
 
 WarpWorkspace &
@@ -64,6 +72,165 @@ apply_bilinear_scalar(const float *plane, const WarpWorkspace &ws,
         out[p] =
             static_cast<float>(top * ws.wy0[p] + bot * ws.wy1[p]);
     }
+}
+
+void
+apply_nearest_scalar(const float *plane, const WarpWorkspace &ws,
+                     i64 n, float *out)
+{
+    for (i64 p = 0; p < n; ++p) {
+        out[p] = ws.off[static_cast<size_t>(p)] >= 0
+                     ? plane[ws.off[static_cast<size_t>(p)]]
+                     : 0.0f;
+    }
+}
+
+void
+apply_bilinear(const float *plane, const WarpWorkspace &ws, i64 n,
+               float *out, bool simd)
+{
+    if (simd) {
+        warp_apply_bilinear_simd(
+            plane, ws.o00.data(), ws.o01.data(), ws.o10.data(),
+            ws.o11.data(), ws.k00.data(), ws.k01.data(), ws.k10.data(),
+            ws.k11.data(), ws.wx0.data(), ws.wx1.data(), ws.wy0.data(),
+            ws.wy1.data(), n, out);
+    } else {
+        apply_bilinear_scalar(plane, ws, n, out);
+    }
+}
+
+void
+apply_nearest(const float *plane, const WarpWorkspace &ws, i64 n,
+              float *out, bool simd)
+{
+    if (simd) {
+        warp_apply_nearest_simd(plane, ws.off.data(), n, out);
+    } else {
+        apply_nearest_scalar(plane, ws, n, out);
+    }
+}
+
+/** Fill ws.off for an (h, w) grid; hoisted out of the channel loop. */
+void
+build_nearest_coeffs(const MotionField &field, i64 h, i64 w,
+                     double inv_stride, WarpWorkspace &ws)
+{
+    const i64 n = h * w;
+    ws.off.resize(static_cast<size_t>(n));
+    for (i64 y = 0; y < h; ++y) {
+        for (i64 x = 0; x < w; ++x) {
+            const Vec2 v = field.at(y, x);
+            const i64 ny = static_cast<i64>(std::lround(
+                static_cast<double>(y) + v.dy * inv_stride));
+            const i64 nx = static_cast<i64>(std::lround(
+                static_cast<double>(x) + v.dx * inv_stride));
+            const bool inb = ny >= 0 && ny < h && nx >= 0 && nx < w;
+            ws.off[static_cast<size_t>(y * w + x)] =
+                inb ? static_cast<i32>(ny * w + nx) : -1;
+        }
+    }
+}
+
+/** Fill the bilinear corner/weight arrays for an (h, w) grid. */
+void
+build_bilinear_coeffs(const MotionField &field, i64 h, i64 w,
+                      double inv_stride, WarpWorkspace &ws)
+{
+    const i64 n = h * w;
+    const auto grow = [n](auto &v) {
+        v.resize(static_cast<size_t>(n));
+    };
+    grow(ws.o00), grow(ws.o01), grow(ws.o10), grow(ws.o11);
+    grow(ws.k00), grow(ws.k01), grow(ws.k10), grow(ws.k11);
+    grow(ws.wx0), grow(ws.wx1), grow(ws.wy0), grow(ws.wy1);
+    for (i64 y = 0; y < h; ++y) {
+        for (i64 x = 0; x < w; ++x) {
+            const Vec2 v = field.at(y, x);
+            const double sy =
+                static_cast<double>(y) + v.dy * inv_stride;
+            const double sx =
+                static_cast<double>(x) + v.dx * inv_stride;
+            const i64 y0 = static_cast<i64>(std::floor(sy));
+            const i64 x0 = static_cast<i64>(std::floor(sx));
+            const double fy = sy - static_cast<double>(y0);
+            const double fx = sx - static_cast<double>(x0);
+            const size_t p = static_cast<size_t>(y * w + x);
+            ws.wx0[p] = 1.0 - fx;
+            ws.wx1[p] = fx;
+            ws.wy0[p] = 1.0 - fy;
+            ws.wy1[p] = fy;
+            const auto corner = [&](i64 cy, i64 cx, std::vector<i32> &o,
+                                    std::vector<i32> &k) {
+                const bool inb =
+                    cy >= 0 && cy < h && cx >= 0 && cx < w;
+                o[p] = inb ? static_cast<i32>(cy * w + cx) : 0;
+                k[p] = inb ? -1 : 0;
+            };
+            corner(y0, x0, ws.o00, ws.k00);
+            corner(y0, x0 + 1, ws.o01, ws.k01);
+            corner(y0 + 1, x0, ws.o10, ws.k10);
+            corner(y0 + 1, x0 + 1, ws.o11, ws.k11);
+        }
+    }
+}
+
+/**
+ * Per-shape scalar-vs-SIMD contest for the RLE-direct apply, run once
+ * per (mode, h, w) per process via KernelTuner and memoized per
+ * thread so steady-state warps never touch the tuner's global lock.
+ * Both candidates are bit-exact (same expression tree), so the pick
+ * only moves time, never values. Uses whatever is resident in the
+ * thread's coefficient arrays and expansion plane — real geometry,
+ * representative data.
+ */
+bool
+rle_apply_use_simd(InterpMode mode, i64 h, i64 w,
+                   const WarpWorkspace &ws)
+{
+    if (!simd_supported()) {
+        return false;
+    }
+    const std::string key =
+        std::string("warp_rle/") +
+        (mode == InterpMode::kBilinear ? "bilinear" : "nearest") + "/" +
+        std::to_string(h) + "x" + std::to_string(w);
+    thread_local std::map<std::string, bool> memo;
+    const auto it = memo.find(key);
+    if (it != memo.end()) {
+        return it->second;
+    }
+    const i64 n = h * w;
+    thread_local std::vector<float> tune_out;
+    tune_out.resize(static_cast<size_t>(n));
+    std::vector<TuneCandidate> candidates;
+    if (mode == InterpMode::kBilinear) {
+        candidates.push_back(TuneCandidate{
+            "scalar", 0, [&ws, n] {
+                apply_bilinear(ws.plane.data(), ws, n, tune_out.data(),
+                               false);
+            }});
+        candidates.push_back(TuneCandidate{
+            simd_isa_name(), 1, [&ws, n] {
+                apply_bilinear(ws.plane.data(), ws, n, tune_out.data(),
+                               true);
+            }});
+    } else {
+        candidates.push_back(TuneCandidate{
+            "scalar", 0, [&ws, n] {
+                apply_nearest(ws.plane.data(), ws, n, tune_out.data(),
+                              false);
+            }});
+        candidates.push_back(TuneCandidate{
+            simd_isa_name(), 1, [&ws, n] {
+                apply_nearest(ws.plane.data(), ws, n, tune_out.data(),
+                              true);
+            }});
+    }
+    const bool simd =
+        KernelTuner::instance().pick(key, candidates, 2000).id == 1;
+    memo.emplace(key, simd);
+    return simd;
 }
 
 } // namespace
@@ -117,85 +284,92 @@ warp_activation_into(const Tensor &key_activation,
     WarpWorkspace &ws = workspace();
     const bool simd = simd_supported();
     if (mode == InterpMode::kNearest) {
-        ws.off.resize(static_cast<size_t>(n));
-        for (i64 y = 0; y < h; ++y) {
-            for (i64 x = 0; x < w; ++x) {
-                const Vec2 v = field.at(y, x);
-                const i64 ny = static_cast<i64>(std::lround(
-                    static_cast<double>(y) + v.dy * inv_stride));
-                const i64 nx = static_cast<i64>(std::lround(
-                    static_cast<double>(x) + v.dx * inv_stride));
-                const bool inb =
-                    ny >= 0 && ny < h && nx >= 0 && nx < w;
-                ws.off[static_cast<size_t>(y * w + x)] =
-                    inb ? static_cast<i32>(ny * w + nx) : -1;
-            }
-        }
+        build_nearest_coeffs(field, h, w, inv_stride, ws);
         for (i64 c = 0; c < c_count; ++c) {
-            const float *plane = key_activation.channel(c).data();
-            float *dst = out.data().data() + c * n;
-            if (simd) {
-                warp_apply_nearest_simd(plane, ws.off.data(), n, dst);
-            } else {
-                for (i64 p = 0; p < n; ++p) {
-                    dst[p] =
-                        ws.off[static_cast<size_t>(p)] >= 0
-                            ? plane[ws.off[static_cast<size_t>(p)]]
-                            : 0.0f;
-                }
-            }
+            apply_nearest(key_activation.channel(c).data(), ws, n,
+                          out.data().data() + c * n, simd);
         }
         return;
     }
-
-    const auto grow = [n](auto &v) {
-        v.resize(static_cast<size_t>(n));
-    };
-    grow(ws.o00), grow(ws.o01), grow(ws.o10), grow(ws.o11);
-    grow(ws.k00), grow(ws.k01), grow(ws.k10), grow(ws.k11);
-    grow(ws.wx0), grow(ws.wx1), grow(ws.wy0), grow(ws.wy1);
-    for (i64 y = 0; y < h; ++y) {
-        for (i64 x = 0; x < w; ++x) {
-            const Vec2 v = field.at(y, x);
-            const double sy =
-                static_cast<double>(y) + v.dy * inv_stride;
-            const double sx =
-                static_cast<double>(x) + v.dx * inv_stride;
-            const i64 y0 = static_cast<i64>(std::floor(sy));
-            const i64 x0 = static_cast<i64>(std::floor(sx));
-            const double fy = sy - static_cast<double>(y0);
-            const double fx = sx - static_cast<double>(x0);
-            const size_t p = static_cast<size_t>(y * w + x);
-            ws.wx0[p] = 1.0 - fx;
-            ws.wx1[p] = fx;
-            ws.wy0[p] = 1.0 - fy;
-            ws.wy1[p] = fy;
-            const auto corner = [&](i64 cy, i64 cx, std::vector<i32> &o,
-                                    std::vector<i32> &k) {
-                const bool inb =
-                    cy >= 0 && cy < h && cx >= 0 && cx < w;
-                o[p] = inb ? static_cast<i32>(cy * w + cx) : 0;
-                k[p] = inb ? -1 : 0;
-            };
-            corner(y0, x0, ws.o00, ws.k00);
-            corner(y0, x0 + 1, ws.o01, ws.k01);
-            corner(y0 + 1, x0, ws.o10, ws.k10);
-            corner(y0 + 1, x0 + 1, ws.o11, ws.k11);
-        }
-    }
+    build_bilinear_coeffs(field, h, w, inv_stride, ws);
     for (i64 c = 0; c < c_count; ++c) {
-        const float *plane = key_activation.channel(c).data();
+        apply_bilinear(key_activation.channel(c).data(), ws, n,
+                       out.data().data() + c * n, simd);
+    }
+}
+
+void
+warp_activation_rle_into(const RleActivation &key,
+                         const MotionField &field, i64 rf_stride,
+                         InterpMode mode, Tensor &out)
+{
+    const i64 c_count = key.shape.c;
+    const i64 h = key.shape.h;
+    const i64 w = key.shape.w;
+    const i64 n = h * w;
+    require(field.height() == h && field.width() == w,
+            "warp_activation_rle: field grid does not match encoded "
+            "shape");
+    require(rf_stride > 0,
+            "warp_activation_rle: stride must be positive");
+    require(static_cast<i64>(key.channels.size()) == c_count,
+            "warp_activation_rle: channel count mismatch");
+    const double inv_stride = 1.0 / static_cast<double>(rf_stride);
+    out.reshape_to(key.shape);
+
+    WarpWorkspace &ws = workspace();
+    if (mode == InterpMode::kNearest) {
+        build_nearest_coeffs(field, h, w, inv_stride, ws);
+    } else {
+        build_bilinear_coeffs(field, h, w, inv_stride, ws);
+    }
+    ws.plane.resize(static_cast<size_t>(n));
+    const bool simd = rle_apply_use_simd(mode, h, w, ws);
+    for (i64 c = 0; c < c_count; ++c) {
+        const RleChannel &ch = key.channels[static_cast<size_t>(c)];
+        invariant(ch.dense_length == n,
+                  "warp_activation_rle: channel length mismatch");
         float *dst = out.data().data() + c * n;
-        if (simd) {
-            warp_apply_bilinear_simd(
-                plane, ws.o00.data(), ws.o01.data(), ws.o10.data(),
-                ws.o11.data(), ws.k00.data(), ws.k01.data(),
-                ws.k10.data(), ws.k11.data(), ws.wx0.data(),
-                ws.wx1.data(), ws.wy0.data(), ws.wy1.data(), n, dst);
+        if (ch.entries.empty()) {
+            // Fully pruned channel: every source tap is 0.0, and the
+            // interpolation weights are non-negative, so the full
+            // expression tree produces exactly +0.0 at every output
+            // pixel — a fill is bit-exact and skips the gather.
+            std::fill(dst, dst + n, 0.0f);
+            continue;
+        }
+        // Expand the runs into the reused plane buffer with a linear
+        // cursor — the same values rle_decode writes, minus its dense
+        // tensor allocation (and its per-iteration page-fault churn)
+        // and per-entry divmod. The plane is a few hundred bytes, so
+        // the refill is a single hot-cache memset.
+        std::fill(ws.plane.begin(), ws.plane.end(), 0.0f);
+        i64 pos = 0;
+        for (const RleEntry &e : ch.entries) {
+            pos += e.zero_gap;
+            if (e.value_raw != 0) {
+                invariant(pos < n,
+                          "warp_activation_rle: entry past plane end");
+                ws.plane[static_cast<size_t>(pos)] = static_cast<float>(
+                    Q88::from_raw(e.value_raw).to_double());
+                ++pos;
+            }
+        }
+        if (mode == InterpMode::kNearest) {
+            apply_nearest(ws.plane.data(), ws, n, dst, simd);
         } else {
-            apply_bilinear_scalar(plane, ws, n, dst);
+            apply_bilinear(ws.plane.data(), ws, n, dst, simd);
         }
     }
+}
+
+Tensor
+warp_activation_rle(const RleActivation &key, const MotionField &field,
+                    i64 rf_stride, InterpMode mode)
+{
+    Tensor out;
+    warp_activation_rle_into(key, field, rf_stride, mode, out);
+    return out;
 }
 
 Tensor

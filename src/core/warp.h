@@ -14,6 +14,7 @@
 #define EVA2_CORE_WARP_H
 
 #include "flow/motion_field.h"
+#include "sparse/rle.h"
 #include "tensor/tensor.h"
 
 namespace eva2 {
@@ -52,6 +53,31 @@ Tensor warp_activation(const Tensor &key_activation,
 void warp_activation_into(const Tensor &key_activation,
                           const MotionField &field, i64 rf_stride,
                           InterpMode mode, Tensor &out);
+
+/**
+ * Warp straight from the run-length encoded key activation — the
+ * compressed-resident form a session keeps between frames — without
+ * materializing a dense decoded tensor first (no rle_decode round
+ * trip, no per-entry division). Each channel's runs are expanded into
+ * a reused thread-local plane buffer and fed to the same apply
+ * kernels as warp_activation_into; channels with no encoded entries
+ * (fully pruned by the RLE zero threshold) skip the gather entirely
+ * and write an exact +0.0 plane. Bit-identical to
+ * warp_activation_into(rle_decode(key), ...) by construction.
+ *
+ * The per-shape choice between the scalar and SIMD apply kernels is
+ * made by KernelTuner (key "warp_rle/<mode>/<h>x<w>"); both
+ * candidates are in the bit-exact kernel class (docs/simd_kernels.md),
+ * so the pick never affects digests.
+ */
+void warp_activation_rle_into(const RleActivation &key,
+                              const MotionField &field, i64 rf_stride,
+                              InterpMode mode, Tensor &out);
+
+/** Allocating convenience form of warp_activation_rle_into. */
+Tensor warp_activation_rle(const RleActivation &key,
+                           const MotionField &field, i64 rf_stride,
+                           InterpMode mode = InterpMode::kBilinear);
 
 /**
  * Resize a motion field grid to (h, w) by cropping extra cells and

@@ -571,6 +571,15 @@ Server::handle_frame(Conn &conn, const Message &msg)
         shed(ShedReason::kOverload);
         return;
     }
+    if (engine_->memory_pressure()) {
+        // The engine's resident-session state is over its hard
+        // budget and hibernation (if enabled) could not reclaim
+        // enough. Shedding the frame keeps the cap a cap: the client
+        // retries once completions / evictions free memory.
+        bump([](NetStats &s) { ++s.shed_memory; });
+        shed(ShedReason::kMemory);
+        return;
+    }
 
     Tensor frame = parse_frame(msg.payload); // Throws ProtocolError.
 

@@ -34,6 +34,8 @@ shed_reason_name(ShedReason reason)
         return "overload";
       case ShedReason::kDraining:
         return "draining";
+      case ShedReason::kMemory:
+        return "memory";
     }
     return "unknown";
 }
@@ -332,7 +334,7 @@ parse_shed(const std::vector<u8> &payload)
     ShedMsg msg;
     const u16 reason = r.u16v();
     if (reason < static_cast<u16>(ShedReason::kWindow) ||
-        reason > static_cast<u16>(ShedReason::kDraining)) {
+        reason > static_cast<u16>(ShedReason::kMemory)) {
         throw ProtocolError("SHED with unknown reason " +
                             std::to_string(reason));
     }

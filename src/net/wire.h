@@ -103,6 +103,7 @@ enum class ShedReason : u16
     kWindow = 1,   ///< Sender overran its in-flight window.
     kOverload = 2, ///< Server-wide in-flight cap for this priority.
     kDraining = 3, ///< Server is draining; no new work admitted.
+    kMemory = 4,   ///< Engine resident-memory budget exceeded.
 };
 
 const char *nack_reason_name(NackReason reason);

@@ -1,0 +1,220 @@
+#include "runtime/resident_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva2 {
+
+namespace {
+
+/** Reservoir size for hydrate latencies: enough for a stable p99. */
+constexpr size_t kHydrateReservoir = 4096;
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+MemoryBudget
+resolve_memory_spec(const std::string &spec)
+{
+    MemoryBudget out;
+    if (spec.empty() || spec == "off") {
+        return out;
+    }
+    const std::string prefix = "budget_mb:";
+    require(spec.rfind(prefix, 0) == 0,
+            "memory spec '" + spec +
+                "': expected \"off\" or "
+                "\"budget_mb:<N>[,hibernate=on|off]\"");
+    std::string rest = spec.substr(prefix.size());
+    std::string number = rest;
+    std::string tail;
+    const size_t comma = rest.find(',');
+    if (comma != std::string::npos) {
+        number = rest.substr(0, comma);
+        tail = rest.substr(comma + 1);
+    }
+    i64 mb = 0;
+    try {
+        size_t used = 0;
+        mb = std::stoll(number, &used);
+        require(used == number.size(), "trailing characters");
+    } catch (const std::exception &) {
+        throw ConfigError("memory spec '" + spec +
+                          "': budget_mb value '" + number +
+                          "' is not an integer");
+    }
+    require(mb > 0, "memory spec '" + spec +
+                        "': budget_mb must be > 0, got " +
+                        std::to_string(mb));
+    out.enabled = true;
+    out.budget_bytes = mb * 1024 * 1024;
+    if (comma != std::string::npos) {
+        if (tail == "hibernate=on") {
+            out.hibernate = true;
+        } else if (tail == "hibernate=off") {
+            out.hibernate = false;
+        } else {
+            throw ConfigError(
+                "memory spec '" + spec + "': unknown parameter '" +
+                tail + "' (known: hibernate=on, hibernate=off)");
+        }
+    }
+    return out;
+}
+
+ResidentSetManager::ResidentSetManager(MemoryBudget budget)
+    : budget_(budget)
+{
+}
+
+ResidentSetManager::Entry &
+ResidentSetManager::entry_locked(i64 session)
+{
+    auto it = entries_.find(session);
+    if (it == entries_.end()) {
+        it = entries_.emplace(session, Entry{}).first;
+        it->second.lru_pos = lru_.end();
+    }
+    return it->second;
+}
+
+void
+ResidentSetManager::touch_locked(Entry &e, i64 session)
+{
+    if (e.in_lru) {
+        lru_.erase(e.lru_pos);
+    }
+    e.lru_pos = lru_.insert(lru_.end(), session);
+    e.in_lru = true;
+    e.hibernated = false;
+}
+
+void
+ResidentSetManager::set_bytes_locked(Entry &e, i64 bytes)
+{
+    total_bytes_ += bytes - e.bytes;
+    e.bytes = bytes;
+    peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+}
+
+void
+ResidentSetManager::note_resident(i64 session, i64 bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = entry_locked(session);
+    set_bytes_locked(e, bytes);
+    touch_locked(e, session);
+}
+
+void
+ResidentSetManager::note_hibernated(i64 session, i64 bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = entry_locked(session);
+    set_bytes_locked(e, bytes);
+    if (e.in_lru) {
+        lru_.erase(e.lru_pos);
+        e.lru_pos = lru_.end();
+        e.in_lru = false;
+    }
+    e.hibernated = true;
+    ++e.hibernations;
+    ++hibernations_;
+}
+
+void
+ResidentSetManager::note_hydrated(i64 session, i64 bytes,
+                                  double latency_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = entry_locked(session);
+    set_bytes_locked(e, bytes);
+    touch_locked(e, session);
+    ++hydrations_;
+    if (hydrate_us_.size() < kHydrateReservoir) {
+        hydrate_us_.push_back(latency_us);
+    } else {
+        hydrate_us_[hydrate_next_] = latency_us;
+        hydrate_next_ = (hydrate_next_ + 1) % kHydrateReservoir;
+    }
+    ++hydrate_samples_;
+}
+
+i64
+ResidentSetManager::total_bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_bytes_;
+}
+
+bool
+ResidentSetManager::over_budget() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return budget_.budget_bytes > 0 &&
+           total_bytes_ > budget_.budget_bytes;
+}
+
+std::vector<i64>
+ResidentSetManager::victims(i64 max, i64 exclude) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<i64> out;
+    for (const i64 session : lru_) {
+        if (static_cast<i64>(out.size()) >= max) {
+            break;
+        }
+        if (session != exclude) {
+            out.push_back(session);
+        }
+    }
+    return out;
+}
+
+i64
+ResidentSetManager::hibernation_count(i64 session) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(session);
+    return it == entries_.end() ? 0 : it->second.hibernations;
+}
+
+MemoryStats
+ResidentSetManager::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MemoryStats s;
+    s.budget_bytes = budget_.budget_bytes;
+    s.hibernate = budget_.hibernate;
+    s.resident_bytes = total_bytes_;
+    s.peak_resident_bytes = peak_bytes_;
+    s.sessions_tracked = static_cast<i64>(entries_.size());
+    for (const auto &kv : entries_) {
+        if (kv.second.hibernated) {
+            ++s.sessions_hibernated;
+        } else {
+            ++s.sessions_resident;
+        }
+    }
+    s.hibernations = hibernations_;
+    s.hydrations = hydrations_;
+    s.hydrate_p50_us = percentile(hydrate_us_, 0.50);
+    s.hydrate_p99_us = percentile(hydrate_us_, 0.99);
+    return s;
+}
+
+} // namespace eva2

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The Engine's resident-session memory tier.
+ *
+ * "Millions of users" means most sessions are idle most of the time,
+ * and the key-frame state each one pins is what caps session density
+ * per machine — not compute. The ResidentSetManager is the Engine's
+ * bookkeeper for that state: it tracks per-session resident bytes (as
+ * reported by FramePlan::resident_bytes through the commit path),
+ * keeps sessions in LRU order, and answers the two questions the
+ * Engine's eviction loop asks — are we over budget, and who goes
+ * next. The manager never touches a FramePlan itself; the Engine owns
+ * the locking discipline (a session hibernates only with its submit
+ * gate held and nothing in flight) and tells the manager what
+ * happened. See docs/resident_state.md.
+ *
+ * Configured by the `memory=` spec:
+ *
+ *   "off"                             no tracking (the default);
+ *   "budget_mb:N"                     track bytes and report them;
+ *                                     over budget, the serving layer
+ *                                     sheds new frames (SHED/memory)
+ *                                     instead of allocating past N MB;
+ *   "budget_mb:N,hibernate=on"        additionally LRU-hibernate idle
+ *                                     sessions down to compressed-only
+ *                                     state to get back under budget.
+ */
+#ifndef EVA2_RUNTIME_RESIDENT_SET_H
+#define EVA2_RUNTIME_RESIDENT_SET_H
+
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace eva2 {
+
+/** Resolved form of the `memory=` spec. */
+struct MemoryBudget
+{
+    bool enabled = false;   ///< False for "off": no tracking at all.
+    i64 budget_bytes = 0;   ///< Hard cap on tracked resident bytes.
+    bool hibernate = false; ///< LRU-hibernate to stay under budget.
+};
+
+/**
+ * Parse a `memory=` spec ("off" | "budget_mb:N[,hibernate=on|off]").
+ * Throws ConfigError on malformed specs or a non-positive budget.
+ */
+MemoryBudget resolve_memory_spec(const std::string &spec);
+
+/**
+ * The memory section of a RunReport: what the resident tier held and
+ * did. Snapshot of the manager's counters at report time.
+ */
+struct MemoryStats
+{
+    i64 budget_bytes = 0;       ///< 0 when tracking is off.
+    bool hibernate = false;
+    i64 resident_bytes = 0;     ///< Tracked bytes right now.
+    i64 peak_resident_bytes = 0;///< High-water mark of the above.
+    i64 sessions_tracked = 0;
+    i64 sessions_resident = 0;
+    i64 sessions_hibernated = 0;
+    i64 hibernations = 0;       ///< Cumulative evictions.
+    i64 hydrations = 0;         ///< Cumulative rehydrations.
+    double hydrate_p50_us = 0.0;
+    double hydrate_p99_us = 0.0;
+
+    /** Mean tracked bytes per tracked session (the density metric). */
+    double
+    bytes_per_session() const
+    {
+        return sessions_tracked == 0
+                   ? 0.0
+                   : static_cast<double>(resident_bytes) /
+                         static_cast<double>(sessions_tracked);
+    }
+};
+
+/**
+ * Thread-safe bookkeeping for the resident tier (see file comment).
+ * All operations are O(1) except stats() — a 100k-session soak
+ * touches this on every commit, so the LRU is an intrusive
+ * list + iterator map, not a scan.
+ */
+class ResidentSetManager
+{
+  public:
+    explicit ResidentSetManager(MemoryBudget budget);
+
+    ResidentSetManager(const ResidentSetManager &) = delete;
+    ResidentSetManager &operator=(const ResidentSetManager &) = delete;
+
+    const MemoryBudget &budget() const { return budget_; }
+
+    /**
+     * A frame of `session` committed with `bytes` of stream state
+     * resident: record the new footprint and move the session to the
+     * most-recently-used end of the LRU order.
+     */
+    void note_resident(i64 session, i64 bytes);
+
+    /**
+     * The Engine hibernated `session`; its footprint is now `bytes`
+     * (the compressed form). Leaves the session out of the LRU order
+     * until it is hydrated or submits again.
+     */
+    void note_hibernated(i64 session, i64 bytes);
+
+    /**
+     * The Engine rehydrated `session` on submit, taking `latency_us`;
+     * its footprint is `bytes` again and it becomes most recently
+     * used.
+     */
+    void note_hydrated(i64 session, i64 bytes, double latency_us);
+
+    /** Tracked resident bytes across all sessions. */
+    i64 total_bytes() const;
+
+    /** True when a budget is set and tracked bytes exceed it. */
+    bool over_budget() const;
+
+    /**
+     * Up to `max` resident (non-hibernated) sessions in LRU order,
+     * excluding `exclude` — the Engine's eviction loop tries them in
+     * order and stops once under budget (a candidate with frames in
+     * flight is skipped, hence more than one).
+     */
+    std::vector<i64> victims(i64 max, i64 exclude) const;
+
+    /** Times `session` has been hibernated (tests, soak asserts). */
+    i64 hibernation_count(i64 session) const;
+
+    /** Counter/percentile snapshot for RunReport::memory. */
+    MemoryStats stats() const;
+
+  private:
+    struct Entry
+    {
+        i64 bytes = 0;
+        bool hibernated = false;
+        i64 hibernations = 0;
+        /** Position in lru_ when resident; lru_.end() otherwise. */
+        std::list<i64>::iterator lru_pos;
+        bool in_lru = false;
+    };
+
+    /** Caller holds mutex_. */
+    Entry &entry_locked(i64 session);
+    void touch_locked(Entry &e, i64 session);
+    void set_bytes_locked(Entry &e, i64 bytes);
+
+    MemoryBudget budget_;
+    mutable std::mutex mutex_;
+    std::map<i64, Entry> entries_;
+    std::list<i64> lru_; ///< Front = least recently used.
+    i64 total_bytes_ = 0;
+    i64 peak_bytes_ = 0;
+    i64 hibernations_ = 0;
+    i64 hydrations_ = 0;
+    /**
+     * Fixed-size hydrate-latency reservoir (overwritten round-robin:
+     * deterministic, bounded, recent-biased once full) for the p50/
+     * p99 the report carries.
+     */
+    std::vector<double> hydrate_us_;
+    size_t hydrate_next_ = 0;
+    i64 hydrate_samples_ = 0;
+};
+
+} // namespace eva2
+
+#endif // EVA2_RUNTIME_RESIDENT_SET_H

@@ -112,6 +112,7 @@ StageScheduler::pump_front()
             ctx.is_key = front.is_key;
             ctx.match_error = front.features.match_error;
             ctx.me_add_ops = front.me_add_ops;
+            ctx.resident_bytes = front.resident_bytes;
         } catch (...) {
             ctx.error = std::current_exception();
         }
@@ -176,6 +177,7 @@ StageScheduler::finish_frame(i64 index, const Tensor *out,
         commit.output_digest = tensor_digest(*out);
         commit.match_error = ctx.match_error;
         commit.me_add_ops = ctx.me_add_ops;
+        commit.resident_bytes = ctx.resident_bytes;
         if (opts_.store_outputs) {
             commit.output = *out;
         }

@@ -58,6 +58,9 @@ struct FrameCommit
     u64 output_digest = 0;  ///< Digest of the raw output bits.
     double match_error = 0; ///< RFBME mean error (0 on key-only path).
     i64 me_add_ops = 0;     ///< RFBME arithmetic ops for this frame.
+    /** Stream state bytes after this frame's front half (for the
+     * Engine's resident-set accounting; 0 on error frames). */
+    i64 resident_bytes = 0;
     Tensor output;          ///< Only with store_outputs.
     std::exception_ptr error; ///< Set when a stage threw.
 };
@@ -166,6 +169,7 @@ class StageScheduler : public SuffixBatchClient
         bool is_key = false;
         double match_error = 0.0;
         i64 me_add_ops = 0;
+        i64 resident_bytes = 0;
         std::exception_ptr error;
     };
 

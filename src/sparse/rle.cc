@@ -106,6 +106,7 @@ rle_decode(const RleActivation &encoded)
         const RleChannel &ch = encoded.channels[static_cast<size_t>(c)];
         invariant(ch.dense_length == plane,
                   "rle_decode: channel length mismatch");
+        float *dst = out.data().data() + c * plane;
         i64 pos = 0;
         for (const RleEntry &e : ch.entries) {
             pos += e.zero_gap;
@@ -114,9 +115,8 @@ rle_decode(const RleActivation &encoded)
             if (e.value_raw != 0) {
                 invariant(pos < plane,
                           "rle_decode: entry past plane end");
-                out.at(c, pos / encoded.shape.w, pos % encoded.shape.w) =
-                    static_cast<float>(
-                        Q88::from_raw(e.value_raw).to_double());
+                dst[pos] = static_cast<float>(
+                    Q88::from_raw(e.value_raw).to_double());
                 ++pos;
             }
         }

@@ -102,6 +102,22 @@ class ScratchArena
     void clear() { slots_.clear(); }
 
     /**
+     * Release every slot's buffer while keeping the slot tensors
+     * themselves alive — move-assigning an empty Tensor frees the
+     * heap buffer but the unique_ptr (and thus the address plans and
+     * readers hold) is untouched. This is what stream reset and
+     * session hibernation use to return slot memory without violating
+     * the address-stability contract of slot()/peek().
+     */
+    void
+    release_slots()
+    {
+        for (auto &t : slots_) {
+            *t = Tensor();
+        }
+    }
+
+    /**
      * The calling thread's arena, created lazily. Worker threads of
      * the runtime's pools each get their own instance, which is what
      * bounds planned-execution memory by the worker count; it is

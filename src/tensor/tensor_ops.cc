@@ -110,6 +110,34 @@ sum(const Tensor &t)
 }
 
 double
+sum_squares(const float *x, i64 n)
+{
+    double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    i64 i = 0;
+    for (; i + 8 <= n; i += 8) {
+        for (i64 l = 0; l < 8; ++l) {
+            const double v = static_cast<double>(x[i + l]);
+            acc[l] += v * v;
+        }
+    }
+    for (; i < n; ++i) {
+        const double v = static_cast<double>(x[i]);
+        acc[i % 8] += v * v;
+    }
+    const double s01 = acc[0] + acc[1];
+    const double s23 = acc[2] + acc[3];
+    const double s45 = acc[4] + acc[5];
+    const double s67 = acc[6] + acc[7];
+    return (s01 + s23) + (s45 + s67);
+}
+
+double
+sum_squares(const Tensor &t)
+{
+    return sum_squares(t.data().data(), t.size());
+}
+
+double
 zero_fraction(const Tensor &t, float threshold)
 {
     if (t.size() == 0) {

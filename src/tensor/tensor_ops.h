@@ -41,6 +41,19 @@ double mean_abs_diff(const Tensor &a, const Tensor &b);
 /** Sum of all elements. */
 double sum(const Tensor &t);
 
+/**
+ * Sum of squared elements, accumulated in eight independent stripes
+ * reduced pairwise. The striping breaks the serial add dependence
+ * that makes a naive left-to-right loop latency-bound (the RMS prune
+ * threshold on the key-frame hot path), while staying deterministic
+ * and portable: the summation order is fixed, so SIMD and non-SIMD
+ * builds produce the identical double.
+ */
+double sum_squares(const float *x, i64 n);
+
+/** sum_squares over a whole tensor. */
+double sum_squares(const Tensor &t);
+
 /** Fraction of elements with |v| <= threshold. */
 double zero_fraction(const Tensor &t, float threshold = 0.0f);
 

@@ -66,6 +66,22 @@ require(bool cond, const std::string &msg)
 }
 
 /**
+ * String-literal overload: defers all message work to the failure
+ * path. The std::string overload materializes (allocates) its
+ * message even when the check passes, which is real money in
+ * per-entry hot loops (RLE scatter/decode run one check per encoded
+ * entry); literal call sites resolve here and pay nothing until the
+ * check actually fails.
+ */
+inline void
+require(bool cond, const char *msg)
+{
+    if (!cond) {
+        throw ConfigError(msg);
+    }
+}
+
+/**
  * Check an internal invariant; throw InternalError when violated.
  *
  * @param cond The invariant that must hold.
@@ -73,6 +89,15 @@ require(bool cond, const std::string &msg)
  */
 inline void
 invariant(bool cond, const std::string &msg)
+{
+    if (!cond) {
+        throw InternalError(msg);
+    }
+}
+
+/** String-literal overload; see require(bool, const char*). */
+inline void
+invariant(bool cond, const char *msg)
 {
     if (!cond) {
         throw InternalError(msg);

@@ -248,6 +248,43 @@ TEST(FramePlanAllocation, SteadyStatePredictedFramesAllocateNothing)
         << "predicted frames allocated tensor buffers";
 }
 
+/**
+ * The memoization short-circuit holds the same bar: re-serving the
+ * stored key activation must alias the stored tensor (shared buffer),
+ * not deep-copy it, so steady-state memoized frames allocate nothing.
+ */
+TEST(FramePlanAllocation, SteadyStateMemoizedFramesAllocateNothing)
+{
+    Network net = build_scaled(alexnet_spec(), [] {
+        ScaledBuildOptions o;
+        o.input = Shape{1, 96, 96};
+        return o;
+    }());
+    StreamExecutorOptions opts;
+    opts.num_threads = 1;
+    opts.pipeline_depth = 3;
+    opts.amc = small_options();
+    opts.amc.motion_mode = MotionMode::kMemoization;
+    opts.make_policy = [](i64) {
+        return std::make_unique<StaticRatePolicy>(1000);
+    };
+    StreamExecutor exec(net, opts);
+
+    const std::vector<Sequence> warmup =
+        multi_stream_set(/*seed=*/13, 1, 3, 96);
+    const std::vector<Sequence> steady =
+        multi_stream_set(/*seed=*/13, 1, 6, 96);
+    exec.run(warmup);
+
+    const u64 before = Tensor::buffer_allocations();
+    const BatchResult batch = exec.run(steady);
+    const u64 after = Tensor::buffer_allocations();
+    EXPECT_EQ(batch.total_key_frames(), 0)
+        << "steady-state run unexpectedly re-keyed";
+    EXPECT_EQ(after - before, 0u)
+        << "memoized frames deep-copied the stored activation";
+}
+
 TEST(StageScheduler, CommitsInOrderAcrossDepths)
 {
     PlanFixture fx;

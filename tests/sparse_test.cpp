@@ -9,6 +9,8 @@
 #include <cmath>
 #include <utility>
 
+#include "core/warp.h"
+#include "flow/motion_field.h"
 #include "sparse/rle.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
@@ -298,6 +300,121 @@ TEST(Rle, NegativeValuesSurvive)
     Tensor back = rle_decode(rle_encode(t));
     EXPECT_NEAR(back[1], -2.5f, 1e-6);
     EXPECT_NEAR(back[3], 1.25f, 1e-6);
+}
+
+/** A signed Q8.8-grid tensor with the given nonzero fraction — the
+ * shape of a real stored key activation (post-ReLU layers are
+ * non-negative, but the codec and the warp must not depend on it). */
+Tensor
+signed_sparse_tensor(Shape s, double density, u64 seed)
+{
+    Tensor t(s);
+    Rng rng(seed);
+    for (i64 i = 0; i < t.size(); ++i) {
+        if (rng.chance(density)) {
+            t[i] = static_cast<float>(rng.uniform_int(-2000, 2000)) /
+                   256.0f;
+        }
+    }
+    return t;
+}
+
+MotionField
+random_field(i64 h, i64 w, u64 seed)
+{
+    MotionField f(h, w);
+    Rng rng(seed);
+    for (i64 y = 0; y < h; ++y) {
+        for (i64 x = 0; x < w; ++x) {
+            // Span in-bounds, fractional, and well out-of-bounds
+            // vectors so both the interpolation and the edge-clamp
+            // paths are exercised.
+            f.at(y, x) = Vec2{rng.uniform(-40.0, 40.0),
+                              rng.uniform(-40.0, 40.0)};
+        }
+    }
+    return f;
+}
+
+/**
+ * The sparse-direct warp's contract is bit-exactness against the
+ * decode-then-warp reference (docs: warp_activation_rle_into). Fuzz
+ * it across densities (including all-zero and dense), shapes, signed
+ * values, random fractional fields, strides, and both interpolation
+ * modes.
+ */
+TEST(RleWarp, ParityFuzzAgainstDecodeThenWarp)
+{
+    const struct {
+        Shape shape;
+        double density;
+    } cases[] = {
+        {{1, 1, 1}, 1.0},   {{3, 7, 5}, 0.0},  {{4, 14, 14}, 0.05},
+        {{8, 13, 13}, 0.3}, {{2, 9, 17}, 0.7}, {{5, 6, 6}, 1.0},
+    };
+    u64 seed = 1000;
+    for (const auto &c : cases) {
+        const Tensor key = signed_sparse_tensor(c.shape, c.density, ++seed);
+        const RleActivation enc = rle_encode(key);
+        const Tensor dense = rle_decode(enc);
+        const MotionField field =
+            random_field(c.shape.h, c.shape.w, ++seed);
+        for (const i64 stride : {8L, 16L}) {
+            for (const InterpMode mode :
+                 {InterpMode::kBilinear, InterpMode::kNearest}) {
+                const Tensor expect =
+                    warp_activation(dense, field, stride, mode);
+                const Tensor got =
+                    warp_activation_rle(enc, field, stride, mode);
+                EXPECT_TRUE(got == expect)
+                    << "shape=" << c.shape.c << "x" << c.shape.h << "x"
+                    << c.shape.w << " density=" << c.density
+                    << " stride=" << stride
+                    << " mode=" << static_cast<int>(mode);
+            }
+        }
+    }
+}
+
+/** Channels with no encoded entries must come back as exact +0.0
+ * planes — the fast path that skips the gather entirely. */
+TEST(RleWarp, FullyPrunedChannelsAreExactZero)
+{
+    Tensor key(3, 10, 10);
+    // Only channel 1 has content; channels 0 and 2 are empty streams.
+    for (i64 i = 0; i < 100; i += 7) {
+        key[100 + i] = static_cast<float>(i) / 256.0f;
+    }
+    const RleActivation enc = rle_encode(key);
+    const MotionField field = random_field(10, 10, 77);
+    const Tensor out = warp_activation_rle(enc, field, 16);
+    for (const i64 ch : {0L, 2L}) {
+        for (i64 i = 0; i < 100; ++i) {
+            const float v = out[ch * 100 + i];
+            EXPECT_EQ(v, 0.0f);
+            EXPECT_FALSE(std::signbit(v)) << "ch=" << ch << " i=" << i;
+        }
+    }
+    EXPECT_TRUE(out == warp_activation(rle_decode(enc), field, 16));
+}
+
+/** The into-form is the per-predicted-frame hot path: after warmup it
+ * must not allocate, even though it expands channels through a reused
+ * plane buffer. */
+TEST(RleWarp, IntoFormIsSteadyStateAllocationFree)
+{
+    const Tensor key = signed_sparse_tensor({6, 14, 14}, 0.2, 321);
+    const RleActivation enc = rle_encode(key);
+    const MotionField field = random_field(14, 14, 322);
+    Tensor out;
+    warp_activation_rle_into(enc, field, 16, InterpMode::kBilinear, out);
+    const Tensor expect = warp_activation(rle_decode(enc), field, 16);
+    EXPECT_TRUE(out == expect);
+
+    const u64 before = Tensor::buffer_allocations();
+    warp_activation_rle_into(enc, field, 16, InterpMode::kBilinear, out);
+    EXPECT_EQ(Tensor::buffer_allocations() - before, 0u);
+    EXPECT_TRUE(out == expect);
 }
 
 } // namespace
