@@ -9,19 +9,37 @@
  * measured arithmetic op count per frame, and the analytic op-model
  * prediction next to it. This quantifies the accuracy/compute knob the
  * hardware's diff-tile producer exposes.
+ *
+ * Usage: ablation_rfbme_search [--json PATH]
+ * --json writes the sweep rows ({radius, stride, map, measured_adds,
+ * model_adds}) to PATH, matching the BENCH_*.json convention.
  */
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
 #include "flow/rfbme.h"
 #include "hw/eva2_model.h"
+#include "util/json.h"
 
 using namespace eva2;
 using namespace eva2::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: ablation_rfbme_search [--json PATH]\n";
+            return 1;
+        }
+    }
+
     banner("Ablation: RFBME search radius / stride (FasterM, 198 ms)");
 
     // Fast scenes: over the 198 ms gap objects move ~2-3 receptive
@@ -33,6 +51,12 @@ main()
 
     TablePrinter t({"radius", "stride", "mAP", "measured adds/frame",
                     "model adds/frame"});
+    JsonWriter jw(2);
+    jw.begin_object();
+    jw.member("bench", "ablation_rfbme_search");
+    jw.member("network", "fasterm");
+    jw.member("gap_ms", 198);
+    jw.key("rows").begin_array();
     for (const i64 radius : {8, 16, 28, 40}) {
         for (const i64 stride : {1, 2, 4}) {
             // Measured ops from one representative frame pair.
@@ -63,9 +87,27 @@ main()
             t.row({std::to_string(radius), std::to_string(stride),
                    fmt(100.0 * g.map, 1), std::to_string(probe.add_ops),
                    std::to_string(m.rfbme_ops())});
+            jw.begin_object();
+            jw.member("radius", radius);
+            jw.member("stride", stride);
+            jw.member("map", g.map);
+            jw.member("measured_adds", probe.add_ops);
+            jw.member("model_adds", m.rfbme_ops());
+            jw.end_object();
         }
     }
+    jw.end_array();
+    jw.end_object();
     t.print();
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        out << jw.str() << "\n";
+        std::cout << "\njson report written to " << json_path << "\n";
+    }
     std::cout << "\nExpected shape: mAP saturates once the radius "
                  "covers the real\ninter-frame motion; op count grows "
                  "quadratically with radius and\ninverse-quadratically "

@@ -30,6 +30,8 @@
 #include "core/warp.h"
 #include "flow/optical_flow.h"
 #include "flow/rfbme.h"
+#include "flow/sad_kernels.h"
+#include "simd/simd_kernels.h"
 #include "sparse/rle.h"
 #include "video/scenarios.h"
 
@@ -382,9 +384,144 @@ warp_rle_bench(benchmark::State &state, const WarpShape &shape)
     }
 }
 
+// --------------------------------------------------------------------
+// RFBME diff-tile producer, scalar vs SIMD variant, and the raw SAD
+// span kernels underneath. `rf16_192px` is the interior-dominated CI
+// smoke shape (conv5-style field on a 192px frame: almost every tile
+// hits the full-vector interior path) — the committed
+// `rfbme/simd/...` ratio against the same-run scalar anchor is the
+// >=2x acceptance bar. `rf2_96px` exercises the s=2 cross-tile
+// vector path, where border tiles claw back a bigger share.
+
+struct RfbmeShape
+{
+    const char *label;
+    i64 size;
+    RfbmeConfig cfg;
+};
+
+const RfbmeShape kRfbmeShapes[] = {
+    {"rf16_192px", 192, faster_rf_config()},
+    {"rf2_96px", 96, {4, 2, 1, 12, 2}},
+};
+
+void
+rfbme_variant_bench(benchmark::State &state, const RfbmeShape &shape,
+                    RfbmeVariant variant)
+{
+    const Tensor key = test_frame(shape.size, 7, 0);
+    const Tensor cur = test_frame(shape.size, 7, 4);
+    RfbmeConfig cfg = shape.cfg;
+    cfg.variant = variant;
+    RfbmeResult result;
+    RfbmeWorkspace ws;
+    for (auto _ : state) {
+        rfbme_into(key, cur, cfg, result, ws);
+        benchmark::DoNotOptimize(result.total_error);
+    }
+    state.SetItemsProcessed(state.iterations() * result.add_ops);
+}
+
+void
+rfbme_tile_row_bench(benchmark::State &state, i64 s, bool simd)
+{
+    // The interior-dominated producer kernel itself: full tile rows
+    // on a 192px-wide frame, no border clipping — the workload
+    // `tune_rfbme_tile` races and the shape the SIMD >= 2x CI gate
+    // holds. End-to-end rfbme/<variant>/<shape> rows above dilute the
+    // kernel with the shared (variant-independent) prefix-sum and
+    // min-search stages.
+    const i64 w = 192;
+    const i64 tiles = w / s;
+    const i64 rows = 64;
+    std::vector<float> a(w * rows), b(w * rows);
+    Rng rng(31);
+    for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.uniform_f(0.0f, 1.0f);
+        b[i] = rng.uniform_f(0.0f, 1.0f);
+    }
+    std::vector<double> acc(tiles, 0.0);
+    const auto tile_row = simd ? &sad_tile_row_simd : &sad_tile_row;
+    for (auto _ : state) {
+        for (i64 y = 0; y < rows; ++y) {
+            tile_row(a.data() + y * w, b.data() + y * w, tiles, s,
+                     acc.data());
+        }
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows * w);
+}
+
+void
+sad_variant_bench(benchmark::State &state, i64 n, bool simd)
+{
+    std::vector<float> a(n), b(n);
+    Rng rng(29);
+    for (i64 i = 0; i < n; ++i) {
+        a[i] = rng.uniform_f(0.0f, 1.0f);
+        b[i] = rng.uniform_f(0.0f, 1.0f);
+    }
+    const auto sad = simd ? &sad_span_simd : &sad_span;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sad(a.data(), b.data(), n));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
 void
 register_variant_benches()
 {
+    for (const RfbmeShape &shape : kRfbmeShapes) {
+        for (const RfbmeVariant v :
+             {RfbmeVariant::kScalar, RfbmeVariant::kSimd}) {
+            if (v == RfbmeVariant::kSimd && !simd_supported()) {
+                continue;
+            }
+            const std::string name = std::string("rfbme/") +
+                                     rfbme_variant_name(v) + "/" +
+                                     shape.label;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [shape, v](benchmark::State &state) {
+                    rfbme_variant_bench(state, shape, v);
+                })
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    const i64 tile_strides[] = {2, 16};
+    for (const i64 s : tile_strides) {
+        for (const bool simd : {false, true}) {
+            if (simd && !simd_supported()) {
+                continue;
+            }
+            const std::string name = std::string("rfbme/") +
+                                     (simd ? "simd" : "scalar") +
+                                     "/tilerow" + std::to_string(s);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [s, simd](benchmark::State &state) {
+                    rfbme_tile_row_bench(state, s, simd);
+                })
+                ->Unit(benchmark::kMicrosecond);
+        }
+    }
+    const i64 sad_lens[] = {16, 1024};
+    for (const i64 n : sad_lens) {
+        for (const bool simd : {false, true}) {
+            if (simd && !simd_supported()) {
+                continue;
+            }
+            const std::string name =
+                std::string("sad/") + (simd ? "simd" : "scalar") +
+                "/n" + std::to_string(n);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [n, simd](benchmark::State &state) {
+                    sad_variant_bench(state, n, simd);
+                })
+                ->Unit(benchmark::kNanosecond);
+        }
+    }
     for (const WarpShape &shape : kWarpShapes) {
         const std::string decode =
             std::string("warp/decode/") + shape.label;

@@ -22,6 +22,8 @@ first normalized by its same-run scalar anchor:
   conv_gemm/<variant>/<shape>  ->  anchored to conv_gemm/scalar/<shape>
   conv_tuned/<shape>           ->  anchored to conv_gemm/scalar/<shape>
   fc/<kind>/<dims>             ->  anchored to fc/scalar/<dims>
+  rfbme/<variant>/<shape>      ->  anchored to rfbme/scalar/<shape>
+  sad/<kind>/<dims>            ->  anchored to sad/scalar/<dims>
 
 and the gate compares the *ratio* (row / anchor) between the two runs.
 A variant that was 3.5x faster than scalar at baseline time but is only
@@ -53,7 +55,7 @@ the baseline after an intentional kernel change:
 
   for i in 1 2 3; do \
     ./build/bench_micro_kernels \
-      --benchmark_filter='BM_ConvDirect|BM_ConvIm2colGemm|conv_gemm|conv_tuned|fc/|warp/' \
+      --benchmark_filter='BM_ConvDirect|BM_ConvIm2colGemm|conv_gemm|conv_tuned|fc/|warp/|rfbme/|sad/' \
       --benchmark_enable_random_interleaving=true \
       --benchmark_repetitions=9 --benchmark_min_time=0.1 \
       --json /tmp/bench-run$i.json; done && \
@@ -133,6 +135,10 @@ def anchor_name(name):
         return f"conv_gemm/scalar/{parts[1]}"
     if name.startswith("fc/") and len(parts) == 3:
         return f"fc/scalar/{parts[2]}"
+    if name.startswith("rfbme/") and len(parts) == 3:
+        return f"rfbme/scalar/{parts[2]}"
+    if name.startswith("sad/") and len(parts) == 3:
+        return f"sad/scalar/{parts[2]}"
     if name.startswith("warp/rle/") and len(parts) == 3:
         # Sparse-direct warp is anchored to the same run's
         # decode-then-warp of the identical RLE stream: the committed

@@ -82,7 +82,7 @@ struct PlanStepInfo
  */
 struct PlanRecord
 {
-    std::string scope; ///< "prefix" or "suffix".
+    std::string scope; ///< "prefix", "suffix", or "motion".
     std::vector<PlanStepInfo> steps;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cnn/kernel_tuner.h"
 #include "tensor/tensor_ops.h"
 
 namespace eva2 {
@@ -94,13 +95,35 @@ FramePlan::FramePlan(const Network &net,
     rfbme_config_.rf_pad = target_rf_.pad;
     rfbme_config_.search_radius = opts.search_radius;
     rfbme_config_.search_stride = opts.search_stride;
+    if (opts_.plan.tune) {
+        // Race the diff-tile producers at plan-compile time like the
+        // conv/FC kernels. The variants are bit-identical, so the
+        // pick never perturbs digests or the add_ops account.
+        rfbme_config_.variant = tune_rfbme_tile(
+            rfbme_config_.rf_stride, opts_.plan.tune_budget_us);
+    }
 }
 
 std::vector<PlanRecord>
 FramePlan::plan_records() const
 {
+    // The motion front end reports its compiled kernel choice like
+    // the CNN steps do: one step whose kernel is the tuner contest
+    // key and whose variant is the raced winner.
+    const Shape in = net_->input_shape();
+    PlanStepInfo me;
+    me.layer_index = -1;
+    me.layer = "rfbme";
+    me.kernel = "rfbme_tile/" +
+                std::to_string(rfbme_config_.rf_stride) + "x" +
+                std::to_string(rfbme_config_.rf_stride);
+    me.variant = rfbme_variant_name(rfbme_config_.variant);
+    me.fused_relu = false;
+    me.out = Shape{2, rfbme_out_size(in.h, rfbme_config_),
+                   rfbme_out_size(in.w, rfbme_config_)};
     return {PlanRecord{"prefix", prefix_plan_->describe()},
-            PlanRecord{"suffix", suffix_plan_->describe()}};
+            PlanRecord{"suffix", suffix_plan_->describe()},
+            PlanRecord{"motion", {me}}};
 }
 
 void

@@ -1,7 +1,12 @@
 #include "flow/block_matching.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+
+#include "flow/sad_kernels.h"
+#include "runtime/parallel_for.h"
+#include "simd/simd_kernels.h"
 
 namespace eva2 {
 
@@ -9,28 +14,31 @@ double
 block_mad(const Tensor &key, const Tensor &current, i64 by, i64 bx,
           i64 block, i64 dy, i64 dx)
 {
-    double acc = 0.0;
-    i64 n = 0;
+    // Per in-bounds block row, the in-bounds pixels form one
+    // contiguous span, so the whole row is a single fixed-stripe SAD
+    // call (flow/sad_kernels.h) on raw row pointers. The SIMD and
+    // scalar span kernels are bit-identical, so the one-time dispatch
+    // never changes the result.
+    static const auto sad =
+        simd_supported() ? &sad_span_simd : &sad_span;
     const i64 h = key.height();
     const i64 w = key.width();
-    for (i64 y = by; y < std::min(by + block, h); ++y) {
-        const i64 ky = y + dy;
-        if (ky < 0 || ky >= h) {
-            continue;
-        }
-        for (i64 x = bx; x < std::min(bx + block, w); ++x) {
-            const i64 kx = x + dx;
-            if (kx < 0 || kx >= w) {
-                continue;
-            }
-            acc += std::fabs(static_cast<double>(current.at(0, y, x)) -
-                             static_cast<double>(key.at(0, ky, kx)));
-            ++n;
-        }
-    }
-    if (n == 0) {
+    const i64 y_lo = std::max(by, -dy);
+    const i64 y_hi = std::min(std::min(by + block, h), h - dy);
+    const i64 x_lo = std::max(bx, -dx);
+    const i64 x_hi = std::min(std::min(bx + block, w), w - dx);
+    const i64 span = x_hi - x_lo;
+    if (span <= 0 || y_lo >= y_hi) {
         return std::numeric_limits<double>::infinity();
     }
+    const float *cur_base = current.data().data();
+    const float *key_base = key.data().data();
+    double acc = 0.0;
+    for (i64 y = y_lo; y < y_hi; ++y) {
+        acc += sad(cur_base + y * w + x_lo,
+                   key_base + (y + dy) * w + x_lo + dx, span);
+    }
+    const i64 n = (y_hi - y_lo) * span;
     return acc / static_cast<double>(n);
 }
 
@@ -46,7 +54,11 @@ exhaustive_block_match_into(const Tensor &key, const Tensor &current,
     const i64 bw = key.width() / c.block_size;
     out.resize_grid(bh, bw);
     MotionField &field = out;
-    for (i64 by = 0; by < bh; ++by) {
+    // Blocks are independent — each (by, bx) writes only its own
+    // field cell and scans the offset grid in the same serial order —
+    // so parallelizing over block rows is bit-identical for any
+    // thread count.
+    parallel_for(0, bh, [&](i64 by) {
         for (i64 bx = 0; bx < bw; ++bx) {
             double best = std::numeric_limits<double>::infinity();
             Vec2 best_off{0.0, 0.0};
@@ -66,7 +78,7 @@ exhaustive_block_match_into(const Tensor &key, const Tensor &current,
             }
             field.at(by, bx) = best_off;
         }
-    }
+    });
 }
 
 void
@@ -75,6 +87,9 @@ three_step_search_into(const Tensor &key, const Tensor &current,
 {
     require(key.shape() == current.shape(),
             "three step search: frame shape mismatch");
+    require(c.block_size > 0 && c.search_radius >= 0 &&
+                c.search_stride > 0,
+            "three step search: bad config");
     const i64 bh = key.height() / c.block_size;
     const i64 bw = key.width() / c.block_size;
     out.resize_grid(bh, bw);

@@ -1,9 +1,12 @@
 #include "flow/rfbme.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "flow/sad_kernels.h"
 #include "runtime/parallel_for.h"
+#include "simd/simd_kernels.h"
 #include "util/math_util.h"
 
 namespace eva2 {
@@ -74,6 +77,35 @@ tile_range(i64 u, const RfbmeConfig &c, i64 tiles, i64 &t_lo, i64 &t_hi)
     t_hi = std::min<i64>(tiles, floor_div(start + c.rf_size, s));
 }
 
+/**
+ * Range [t_lo, t_hi) of tiles that are *interior* for shift d along
+ * one axis: every pixel of the shifted tile [t*s + d, (t+1)*s + d)
+ * stays inside [0, extent). Everything outside the range needs the
+ * guarded border loop.
+ */
+void
+interior_tile_range(i64 d, i64 s, i64 extent, i64 tiles, i64 &t_lo,
+                    i64 &t_hi)
+{
+    // Both bounds clamp to the tile grid: a shift past the image
+    // makes the range empty, never out of range.
+    t_lo = std::min(std::max<i64>(0, ceil_div_signed(-d, s)), tiles);
+    t_hi = std::max(t_lo, std::min(tiles, floor_div(extent - d, s)));
+}
+
+/** The diff-tile row kernel a variant dispatches to. */
+using SadTileRowFn = void (*)(const float *, const float *, i64, i64,
+                              double *);
+
+SadTileRowFn
+sad_rows_for(RfbmeVariant variant)
+{
+    if (variant == RfbmeVariant::kSimd && simd_supported()) {
+        return &sad_tile_row_simd;
+    }
+    return &sad_tile_row;
+}
+
 void
 validate(const Tensor &key, const Tensor &current, const RfbmeConfig &c)
 {
@@ -87,6 +119,16 @@ validate(const Tensor &key, const Tensor &current, const RfbmeConfig &c)
 }
 
 } // namespace
+
+const char *
+rfbme_variant_name(RfbmeVariant v)
+{
+    switch (v) {
+      case RfbmeVariant::kScalar: return "scalar";
+      case RfbmeVariant::kSimd: return "simd";
+    }
+    return "unknown";
+}
 
 i64
 rfbme_out_size(i64 image_extent, const RfbmeConfig &config)
@@ -133,6 +175,10 @@ rfbme_into(const Tensor &key, const Tensor &current,
         ws.chunks.resize(static_cast<size_t>(num_chunks));
     }
 
+    const SadTileRowFn sad_rows = sad_rows_for(config.variant);
+    const float *cur_base = current.data().data();
+    const float *key_base = key.data().data();
+
     parallel_for(0, num_chunks, [&](i64 ci) {
         RfbmeWorkspace::Chunk &cb = ws.chunks[static_cast<size_t>(ci)];
         cb.add_ops = 0;
@@ -143,11 +189,13 @@ rfbme_into(const Tensor &key, const Tensor &current,
         // Per-offset tile difference and valid-pixel-count planes,
         // plus their 2D prefix sums for O(1) receptive-field
         // aggregation (the software analogue of the diff tile
-        // consumer's rolling sums). Fully rewritten per offset.
-        cb.prefix_diff.assign(plane, 0.0);
-        cb.prefix_count.assign(plane, 0.0);
-        cb.tile_diff.assign(static_cast<size_t>(tiles_y * tiles_x), 0.0);
-        cb.tile_count.assign(static_cast<size_t>(tiles_y * tiles_x), 0.0);
+        // consumer's rolling sums). Every element is rewritten per
+        // offset before it is read, so a same-shape frame reuses the
+        // stale planes as-is — resize only reshapes, it never clears.
+        cb.prefix_diff.resize(plane);
+        cb.prefix_count.resize(plane);
+        cb.tile_diff.resize(static_cast<size_t>(tiles_y * tiles_x));
+        cb.tile_count.resize(static_cast<size_t>(tiles_y * tiles_x));
         std::vector<double> &prefix_diff = cb.prefix_diff;
         std::vector<double> &prefix_count = cb.prefix_count;
         std::vector<double> &tile_diff = cb.tile_diff;
@@ -161,33 +209,72 @@ rfbme_into(const Tensor &key, const Tensor &current,
             const i64 dy = static_cast<i64>(off.dy);
             const i64 dx = static_cast<i64>(off.dx);
 
-            // Diff tile producer: absolute pixel differences per tile.
-            for (i64 ty = 0; ty < tiles_y; ++ty) {
-                for (i64 tx = 0; tx < tiles_x; ++tx) {
-                    double d = 0.0;
-                    i64 n = 0;
-                    for (i64 y = ty * s; y < (ty + 1) * s; ++y) {
-                        const i64 ky = y + dy;
-                        if (ky < 0 || ky >= h) {
+            // Guarded per-pixel border tile: part of the shifted tile
+            // may fall outside the key frame. This loop is the oracle
+            // tier — both variants run it verbatim.
+            const auto border_tile = [&](i64 ty, i64 tx) {
+                double d = 0.0;
+                i64 n = 0;
+                for (i64 y = ty * s; y < (ty + 1) * s; ++y) {
+                    const i64 ky = y + dy;
+                    if (ky < 0 || ky >= h) {
+                        continue;
+                    }
+                    for (i64 x = tx * s; x < (tx + 1) * s; ++x) {
+                        const i64 kx = x + dx;
+                        if (kx < 0 || kx >= w) {
                             continue;
                         }
-                        for (i64 x = tx * s; x < (tx + 1) * s; ++x) {
-                            const i64 kx = x + dx;
-                            if (kx < 0 || kx >= w) {
-                                continue;
-                            }
-                            d += std::fabs(
-                                static_cast<double>(
-                                    current.at(0, y, x)) -
-                                static_cast<double>(key.at(0, ky, kx)));
-                            ++n;
-                        }
+                        d += std::fabs(
+                            static_cast<double>(current.at(0, y, x)) -
+                            static_cast<double>(key.at(0, ky, kx)));
+                        ++n;
                     }
-                    tile_diff[static_cast<size_t>(ty * tiles_x + tx)] = d;
-                    tile_count[static_cast<size_t>(ty * tiles_x + tx)] =
-                        static_cast<double>(n);
-                    cb.add_ops += n;
                 }
+                tile_diff[static_cast<size_t>(ty * tiles_x + tx)] = d;
+                tile_count[static_cast<size_t>(ty * tiles_x + tx)] =
+                    static_cast<double>(n);
+                cb.add_ops += n;
+            };
+
+            // Diff tile producer, split interior/border: a tile whose
+            // shifted footprint is fully inside the key frame needs no
+            // bounds checks and runs the fixed-stripe SAD row kernel
+            // on raw row pointers (SIMD when the variant says so;
+            // bit-identical either way — flow/sad_kernels.h).
+            i64 ity_lo;
+            i64 ity_hi;
+            i64 itx_lo;
+            i64 itx_hi;
+            interior_tile_range(dy, s, h, tiles_y, ity_lo, ity_hi);
+            interior_tile_range(dx, s, w, tiles_x, itx_lo, itx_hi);
+
+            for (i64 ty = 0; ty < tiles_y; ++ty) {
+                const bool row_interior = ty >= ity_lo && ty < ity_hi;
+                const i64 ix_lo = row_interior ? itx_lo : 0;
+                const i64 ix_hi = row_interior ? itx_hi : 0;
+                for (i64 tx = 0; tx < ix_lo; ++tx) {
+                    border_tile(ty, tx);
+                }
+                for (i64 tx = ix_hi; tx < tiles_x; ++tx) {
+                    border_tile(ty, tx);
+                }
+                if (ix_lo >= ix_hi) {
+                    continue;
+                }
+                const i64 ntiles = ix_hi - ix_lo;
+                double *acc = tile_diff.data() + ty * tiles_x + ix_lo;
+                std::fill(acc, acc + ntiles, 0.0);
+                for (i64 y = ty * s; y < (ty + 1) * s; ++y) {
+                    sad_rows(cur_base + y * w + ix_lo * s,
+                             key_base + (y + dy) * w + ix_lo * s + dx,
+                             ntiles, s, acc);
+                }
+                for (i64 tx = ix_lo; tx < ix_hi; ++tx) {
+                    tile_count[static_cast<size_t>(ty * tiles_x + tx)] =
+                        static_cast<double>(s * s);
+                }
+                cb.add_ops += ntiles * s * s;
             }
 
             // Prefix sums over the tile grid.

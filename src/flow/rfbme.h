@@ -27,6 +27,23 @@
 
 namespace eva2 {
 
+/**
+ * Diff-tile producer implementation. Both variants follow the
+ * fixed-stripe SAD contract of flow/sad_kernels.h for interior tiles
+ * and share the guarded per-pixel loop for border tiles, so they are
+ * bit-identical on every input — the kernel tuner races them freely
+ * without perturbing digests or the `add_ops` account. kSimd falls
+ * back to the scalar kernels when simd_supported() is false.
+ */
+enum class RfbmeVariant : i64
+{
+    kScalar = 0, ///< Fixed-stripe scalar SAD (the oracle tier).
+    kSimd = 1,   ///< Runtime-dispatched SIMD SAD tile kernels.
+};
+
+/** Printable variant name ("scalar" or "simd"). */
+const char *rfbme_variant_name(RfbmeVariant v);
+
 /** Parameters of an RFBME run. */
 struct RfbmeConfig
 {
@@ -35,6 +52,9 @@ struct RfbmeConfig
     i64 rf_pad = 2;    ///< Receptive-field padding in pixels.
     i64 search_radius = 12; ///< Max offset searched, in pixels.
     i64 search_stride = 2;  ///< Offset grid step, in pixels.
+
+    /** Diff-tile producer; variants are bit-identical (see above). */
+    RfbmeVariant variant = RfbmeVariant::kScalar;
 };
 
 /** Output of an RFBME run. */
@@ -76,7 +96,12 @@ struct RfbmeResult
  */
 struct RfbmeWorkspace
 {
-    /** Per-chunk buffers of the parallel candidate-offset search. */
+    /**
+     * Per-chunk buffers of the parallel candidate-offset search.
+     * Only `best` and `winner` are cleared per frame; the tile and
+     * prefix planes are fully rewritten per offset, so a same-shape
+     * frame reuses their contents-stale allocations untouched.
+     */
     struct Chunk
     {
         std::vector<double> best;

@@ -1,0 +1,41 @@
+#include "flow/sad_kernels.h"
+
+#include <cmath>
+
+namespace eva2 {
+
+double
+sad_span(const float *a, const float *b, i64 n)
+{
+    // Eight independent accumulator stripes (see the header contract):
+    // element i lands in stripe i%8, and the final pairwise reduction
+    // is the fixed tree every variant must reproduce exactly.
+    double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    i64 i = 0;
+    for (; i + 8 <= n; i += 8) {
+        for (i64 l = 0; l < 8; ++l) {
+            acc[l] += std::fabs(static_cast<double>(a[i + l]) -
+                                static_cast<double>(b[i + l]));
+        }
+    }
+    for (; i < n; ++i) {
+        acc[i % 8] += std::fabs(static_cast<double>(a[i]) -
+                                static_cast<double>(b[i]));
+    }
+    const double s01 = acc[0] + acc[1];
+    const double s23 = acc[2] + acc[3];
+    const double s45 = acc[4] + acc[5];
+    const double s67 = acc[6] + acc[7];
+    return (s01 + s23) + (s45 + s67);
+}
+
+void
+sad_tile_row(const float *a, const float *b, i64 tiles, i64 s,
+             double *acc)
+{
+    for (i64 t = 0; t < tiles; ++t) {
+        acc[t] += sad_span(a + t * s, b + t * s, s);
+    }
+}
+
+} // namespace eva2

@@ -10,7 +10,9 @@
 #include "simd/simd_kernels.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "flow/sad_kernels.h"
 #include "simd/vec.h"
 
 namespace eva2 {
@@ -422,6 +424,208 @@ warp_apply_nearest_simd(const float *plane, const i32 *off, i64 n,
     for (; p < n; ++p) {
         out[p] = off[p] >= 0 ? plane[off[p]] : 0.0f;
     }
+}
+
+#if defined(EVA2_SIMD_ISA_AVX2)
+namespace {
+
+/**
+ * Lane-parallel |double(a) - double(b)| of four float lanes. The
+ * widening happens before the subtraction — that order is part of
+ * the bit-exactness contract with the scalar sad_span.
+ */
+inline __m256d
+sad_abs_diff_pd(__m128 fa, __m128 fb)
+{
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    return _mm256_andnot_pd(
+        sign, _mm256_sub_pd(_mm256_cvtps_pd(fa), _mm256_cvtps_pd(fb)));
+}
+
+/**
+ * The fixed pairwise stripe reduction ((s0+s1)+(s2+s3)) +
+ * ((s4+s5)+(s6+s7)) for stripe vectors lo = [s0..s3], hi = [s4..s7].
+ * hadd interleaves the 128-bit lanes, giving [s01, s45, s23, s67];
+ * adding its halves yields [s01+s23, s45+s67], and the final scalar
+ * add matches the scalar tree's root exactly.
+ */
+inline double
+sad_reduce_stripes(__m256d lo, __m256d hi)
+{
+    const __m256d h = _mm256_hadd_pd(lo, hi);
+    const __m128d q = _mm_add_pd(_mm256_castpd256_pd128(h),
+                                 _mm256_extractf128_pd(h, 1));
+    return _mm_cvtsd_f64(q) + _mm_cvtsd_f64(_mm_unpackhi_pd(q, q));
+}
+
+/**
+ * Tile row of whole 8-float groups (s = 8 * kGroups): keep each
+ * tile's stripe vectors in registers and reduce tiles in transposed
+ * batches of four so the horizontal work amortizes across the row.
+ * Per tile, hadd + permute yield [s01, s23, s45, s67]; a second hadd
+ * level pairs tiles into [A_L, B_L, A_H, B_H] (L = s01+s23,
+ * H = s45+s67), and regrouping the 128-bit halves before the final
+ * add produces each tile's exact scalar tree root
+ * (s01+s23)+(s45+s67) — bit-exact, just four tiles at a time. The
+ * compile-time group count lets the inner loop unroll fully for the
+ * common receptive-field strides.
+ */
+template <i64 kGroups>
+inline void
+sad_tile_row_groups(const float *a, const float *b, i64 tiles,
+                    double *acc)
+{
+    const i64 s = kGroups * 8;
+    i64 t = 0;
+    for (; t + 4 <= tiles; t += 4) {
+        __m256d part[4];
+        for (i64 j = 0; j < 4; ++j) {
+            const float *pa = a + (t + j) * s;
+            const float *pb = b + (t + j) * s;
+            __m256d lo = _mm256_setzero_pd();
+            __m256d hi = _mm256_setzero_pd();
+            for (i64 g = 0; g < kGroups; ++g) {
+                lo = _mm256_add_pd(
+                    lo, sad_abs_diff_pd(_mm_loadu_ps(pa + g * 8),
+                                        _mm_loadu_ps(pb + g * 8)));
+                hi = _mm256_add_pd(
+                    hi,
+                    sad_abs_diff_pd(_mm_loadu_ps(pa + g * 8 + 4),
+                                    _mm_loadu_ps(pb + g * 8 + 4)));
+            }
+            const __m256d h = _mm256_hadd_pd(lo, hi);
+            part[j] =
+                _mm256_permute4x64_pd(h, _MM_SHUFFLE(3, 1, 2, 0));
+        }
+        const __m256d q01 = _mm256_hadd_pd(part[0], part[1]);
+        const __m256d q23 = _mm256_hadd_pd(part[2], part[3]);
+        const __m256d lo128 = _mm256_permute2f128_pd(q01, q23, 0x20);
+        const __m256d hi128 = _mm256_permute2f128_pd(q01, q23, 0x31);
+        const __m256d sums = _mm256_add_pd(lo128, hi128);
+        _mm256_storeu_pd(
+            acc + t, _mm256_add_pd(_mm256_loadu_pd(acc + t), sums));
+    }
+    for (; t < tiles; ++t) {
+        acc[t] += sad_span_simd(a + t * s, b + t * s, s);
+    }
+}
+
+} // namespace
+#endif
+
+double
+sad_span_simd(const float *a, const float *b, i64 n)
+{
+#if defined(EVA2_SIMD_ISA_AVX2)
+    // Stripe vectors: lanes of `lo` are stripes 0..3, lanes of `hi`
+    // stripes 4..7, accumulated in ascending-i order like the scalar
+    // reference.
+    __m256d lo = _mm256_setzero_pd();
+    __m256d hi = _mm256_setzero_pd();
+    i64 i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 fa = _mm256_loadu_ps(a + i);
+        const __m256 fb = _mm256_loadu_ps(b + i);
+        lo = _mm256_add_pd(lo,
+                           sad_abs_diff_pd(_mm256_castps256_ps128(fa),
+                                           _mm256_castps256_ps128(fb)));
+        hi = _mm256_add_pd(hi,
+                           sad_abs_diff_pd(_mm256_extractf128_ps(fa, 1),
+                                           _mm256_extractf128_ps(fb, 1)));
+    }
+    if (i < n) {
+        double st[8];
+        _mm256_storeu_pd(st, lo);
+        _mm256_storeu_pd(st + 4, hi);
+        for (; i < n; ++i) {
+            st[i % 8] += std::fabs(static_cast<double>(a[i]) -
+                                   static_cast<double>(b[i]));
+        }
+        const double s01 = st[0] + st[1];
+        const double s23 = st[2] + st[3];
+        const double s45 = st[4] + st[5];
+        const double s67 = st[6] + st[7];
+        return (s01 + s23) + (s45 + s67);
+    }
+    return sad_reduce_stripes(lo, hi);
+#else
+    return sad_span(a, b, n);
+#endif
+}
+
+void
+sad_tile_row_simd(const float *a, const float *b, i64 tiles, i64 s,
+                  double *acc)
+{
+#if defined(EVA2_SIMD_ISA_AVX2)
+    if (s == 2) {
+        // One 8-float load spans 4 tiles; hadd pairs the lanes into
+        // per-tile sums [t0, t2, t1, t3], and the permute restores
+        // tile order. A width-2 span's stripe reduction is exactly
+        // e0+e1 (the other stripes are +0.0), so this is bit-exact.
+        i64 t = 0;
+        for (; t + 4 <= tiles; t += 4) {
+            const __m256 fa = _mm256_loadu_ps(a + t * 2);
+            const __m256 fb = _mm256_loadu_ps(b + t * 2);
+            const __m256d d_lo =
+                sad_abs_diff_pd(_mm256_castps256_ps128(fa),
+                                _mm256_castps256_ps128(fb));
+            const __m256d d_hi =
+                sad_abs_diff_pd(_mm256_extractf128_ps(fa, 1),
+                                _mm256_extractf128_ps(fb, 1));
+            const __m256d h = _mm256_hadd_pd(d_lo, d_hi);
+            const __m256d tile =
+                _mm256_permute4x64_pd(h, _MM_SHUFFLE(3, 1, 2, 0));
+            _mm256_storeu_pd(
+                acc + t, _mm256_add_pd(_mm256_loadu_pd(acc + t), tile));
+        }
+        for (; t < tiles; ++t) {
+            acc[t] += sad_span_simd(a + t * 2, b + t * 2, 2);
+        }
+        return;
+    }
+    if (s == 4) {
+        // One 8-float load spans 2 tiles; two hadd levels produce
+        // each tile's exact (e0+e1)+(e2+e3) reduction.
+        i64 t = 0;
+        for (; t + 2 <= tiles; t += 2) {
+            const __m256 fa = _mm256_loadu_ps(a + t * 4);
+            const __m256 fb = _mm256_loadu_ps(b + t * 4);
+            const __m256d d_lo =
+                sad_abs_diff_pd(_mm256_castps256_ps128(fa),
+                                _mm256_castps256_ps128(fb));
+            const __m256d d_hi =
+                sad_abs_diff_pd(_mm256_extractf128_ps(fa, 1),
+                                _mm256_extractf128_ps(fb, 1));
+            const __m256d h = _mm256_hadd_pd(d_lo, d_hi);
+            const __m128d q = _mm_add_pd(_mm256_castpd256_pd128(h),
+                                         _mm256_extractf128_pd(h, 1));
+            _mm_storeu_pd(acc + t,
+                          _mm_add_pd(_mm_loadu_pd(acc + t), q));
+        }
+        for (; t < tiles; ++t) {
+            acc[t] += sad_span_simd(a + t * 4, b + t * 4, 4);
+        }
+        return;
+    }
+    if (s % 8 == 0) {
+        // Batched transposed reduction (sad_tile_row_groups) for the
+        // common receptive-field strides; larger multiples of 8 fall
+        // through to the per-tile path.
+        switch (s / 8) {
+          case 1: sad_tile_row_groups<1>(a, b, tiles, acc); return;
+          case 2: sad_tile_row_groups<2>(a, b, tiles, acc); return;
+          case 3: sad_tile_row_groups<3>(a, b, tiles, acc); return;
+          case 4: sad_tile_row_groups<4>(a, b, tiles, acc); return;
+          default: break;
+        }
+    }
+    for (i64 t = 0; t < tiles; ++t) {
+        acc[t] += sad_span_simd(a + t * s, b + t * s, s);
+    }
+#else
+    sad_tile_row(a, b, tiles, s, acc);
+#endif
 }
 
 } // namespace eva2

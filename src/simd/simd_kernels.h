@@ -11,10 +11,13 @@
  *
  * Two numeric classes of kernel live here:
  *
- *  - Bit-exact: relu_simd and the warp_apply_* kernels perform, per
+ *  - Bit-exact: relu_simd, the warp_apply_* kernels, and the SAD
+ *    kernels (sad_span_simd / sad_tile_row_simd) perform, per
  *    element, exactly the operation sequence of the scalar reference
- *    (lane-parallel max / mul / add, no fma, no reordering). They are
- *    drop-in replacements and need no divergence gating.
+ *    (lane-parallel max / mul / add, no fma, no reordering; the SAD
+ *    kernels reproduce the fixed-stripe reduction contract of
+ *    flow/sad_kernels.h). They are drop-in replacements and need no
+ *    divergence gating.
  *  - Bounded-divergence: the GEMM micro-kernels (fma: one rounding
  *    where the scalar reference has two) and the FC kernels (fma plus
  *    a tree-order horizontal sum). These are only selected through
@@ -136,6 +139,29 @@ void warp_apply_bilinear_simd(const float *plane, const i32 *o00,
  */
 void warp_apply_nearest_simd(const float *plane, const i32 *off, i64 n,
                              float *out);
+
+/**
+ * SIMD sum of |a[i] - b[i]| over i in [0, n): bit-exact vs the
+ * scalar sad_span in flow/sad_kernels.h. Each float is widened to
+ * double *before* the subtraction (float subtract-then-widen rounds
+ * differently), elements accumulate into the same 8 stripes
+ * (element i -> stripe i%8), and the stripes reduce through the same
+ * pairwise tree, so the result is identical on every input.
+ */
+double sad_span_simd(const float *a, const float *b, i64 n);
+
+/**
+ * SIMD diff-tile row kernel: acc[t] += sad_span(a + t*s, b + t*s, s)
+ * for t in [0, tiles). Bit-exact vs flow/sad_kernels.h
+ * sad_tile_row. Narrow tiles (s = 2 and s = 4) vectorize *across*
+ * adjacent tiles — one 8-float load covers 4 (resp. 2) tiles and a
+ * horizontal pairwise add produces each tile's stripe reduction
+ * exactly (for n < 8 the unused stripes of the scalar contract are
+ * +0.0, an exact no-op) — wider tiles vectorize within the tile like
+ * sad_span_simd.
+ */
+void sad_tile_row_simd(const float *a, const float *b, i64 tiles,
+                       i64 s, double *acc);
 
 } // namespace eva2
 

@@ -9,6 +9,7 @@
 #include "flow/block_matching.h"
 #include "flow/optical_flow.h"
 #include "flow/rfbme.h"
+#include "runtime/parallel_for.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 #include "video/synthetic_video.h"
@@ -447,6 +448,130 @@ TEST(RfbmeInto, WorkspaceSurvivesAConfigChange)
     const RfbmeResult expect = rfbme(key, cur, big);
     EXPECT_TRUE(fields_equal(result.field, expect.field));
     EXPECT_EQ(result.add_ops, expect.add_ops);
+}
+
+// --------------------------------------------------------------------
+// RFBME variant parity: the scalar and SIMD diff-tile producers must
+// be bit-identical on every input (the fixed-stripe SAD contract of
+// flow/sad_kernels.h), and both must stay within tolerance of the
+// naive reference. On machines or builds without SIMD support the
+// kSimd variant falls back to the scalar kernels, so this suite is
+// meaningful in the EVA2_SIMD=OFF and sanitizer CI legs too.
+
+void
+expect_bit_identical(const RfbmeResult &a, const RfbmeResult &b)
+{
+    ASSERT_TRUE(fields_equal(a.field, b.field));
+    ASSERT_EQ(a.rf_errors.size(), b.rf_errors.size());
+    for (size_t i = 0; i < a.rf_errors.size(); ++i) {
+        EXPECT_EQ(a.rf_errors[i], b.rf_errors[i]) << "cell " << i;
+    }
+    EXPECT_EQ(a.total_error, b.total_error);
+    EXPECT_EQ(a.mean_error, b.mean_error);
+    EXPECT_EQ(a.add_ops, b.add_ops);
+}
+
+TEST(RfbmeParity, ScalarAndSimdBitIdenticalAcrossBorderClipping)
+{
+    // Odd shapes, pads, and strides, with search radii at or past the
+    // image extent so candidate offsets clip at every border. Tile
+    // widths cover each SIMD code path: s=2 and s=4 vectorize across
+    // tiles, s=8 is one full vector, s=13 exercises the vector +
+    // stripe-remainder path, s=3 the scalar-contract tail.
+    const RfbmeCase cases[] = {
+        {19, 23, {5, 3, 1, 30, 7}, 61},
+        {18, 14, {6, 2, 2, 16, 3}, 62},
+        {33, 27, {9, 3, 4, 12, 5}, 63},
+        {40, 36, {12, 4, 2, 40, 9}, 64},
+        {26, 22, {13, 13, 6, 30, 11}, 65},
+        {24, 24, {16, 8, 0, 25, 25}, 66},
+    };
+    for (const RfbmeCase &tc : cases) {
+        const Tensor key = noise_frame(tc.h, tc.w, tc.seed);
+        Rng rng(tc.seed * 31 + 7);
+        Tensor cur = translate(key, -1, 2);
+        for (i64 i = 0; i < cur.size(); ++i) {
+            cur[i] += rng.uniform_f(-0.02f, 0.02f);
+        }
+        RfbmeConfig scalar_cfg = tc.cfg;
+        scalar_cfg.variant = RfbmeVariant::kScalar;
+        RfbmeConfig simd_cfg = tc.cfg;
+        simd_cfg.variant = RfbmeVariant::kSimd;
+
+        const RfbmeResult rs = rfbme(key, cur, scalar_cfg);
+        const RfbmeResult rv = rfbme(key, cur, simd_cfg);
+        expect_bit_identical(rs, rv);
+
+        // Both variants stay the optimized algorithm: tolerance vs
+        // the naive per-field reference (which sums in a different
+        // order by construction), same output geometry.
+        const RfbmeResult naive = rfbme_naive(key, cur, tc.cfg);
+        ASSERT_EQ(rs.field.height(), naive.field.height());
+        ASSERT_EQ(rs.field.width(), naive.field.width());
+        for (size_t i = 0; i < rs.rf_errors.size(); ++i) {
+            EXPECT_NEAR(rs.rf_errors[i], naive.rf_errors[i], 1e-9)
+                << tc.h << "x" << tc.w << " cell " << i;
+        }
+    }
+}
+
+TEST(RfbmeParity, OutputAndAddOpsInvariantAcrossThreadCounts)
+{
+    const Tensor key = noise_frame(50, 42, 71);
+    Tensor cur = translate(key, 2, -3);
+    RfbmeConfig cfg{14, 7, 3, 10, 5};
+    cfg.variant = RfbmeVariant::kSimd;
+
+    RfbmeResult parallel_result;
+    RfbmeWorkspace ws_parallel;
+    rfbme_into(key, cur, cfg, parallel_result, ws_parallel);
+
+    // Nested parallel_for calls run serially inline, so running the
+    // whole estimator inside an outer parallel region forces a
+    // one-thread schedule of the offset chunks. The ascending-offset
+    // chunk merge makes the two schedules bit-identical, add_ops
+    // included.
+    RfbmeResult serial_result;
+    RfbmeWorkspace ws_serial;
+    parallel_for(0, 1, [&](i64) {
+        rfbme_into(key, cur, cfg, serial_result, ws_serial);
+    });
+
+    expect_bit_identical(parallel_result, serial_result);
+}
+
+TEST(BlockMatch, ThreeStepRejectsBadConfig)
+{
+    // Regression: three_step_search_into used to skip the config
+    // validation the other searches have — block_size=0 divided by
+    // zero and search_stride<=0 went unchecked.
+    const Tensor a = noise_frame(16, 16, 91);
+    MotionField out;
+    const BlockMatchConfig zero_block{0, 4, 1};
+    EXPECT_THROW(three_step_search_into(a, a, zero_block, out),
+                 ConfigError);
+    const BlockMatchConfig zero_stride{8, 4, 0};
+    EXPECT_THROW(three_step_search_into(a, a, zero_stride, out),
+                 ConfigError);
+    const BlockMatchConfig neg_radius{8, -1, 1};
+    EXPECT_THROW(three_step_search_into(a, a, neg_radius, out),
+                 ConfigError);
+}
+
+TEST(BlockMatch, ExhaustiveParallelMatchesSerialSchedule)
+{
+    const Tensor key = noise_frame(40, 40, 93);
+    const Tensor cur = translate(key, 1, -2);
+    const BlockMatchConfig cfg{8, 6, 2};
+    MotionField par;
+    exhaustive_block_match_into(key, cur, cfg, par);
+    // Same nested-parallel_for trick as above: a forced one-thread
+    // schedule must match the parallel one bit for bit.
+    MotionField ser;
+    parallel_for(0, 1, [&](i64) {
+        exhaustive_block_match_into(key, cur, cfg, ser);
+    });
+    EXPECT_TRUE(fields_equal(par, ser));
 }
 
 TEST(BlockMatchingInto, MatchesAllocatingFormsWithoutAllocating)

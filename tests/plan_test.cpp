@@ -297,9 +297,10 @@ TEST(AmcPipeline, ObserverReceivesCompiledPlanRecords)
     PlanCapture capture;
     pipeline.set_observer(&capture);
 
-    ASSERT_EQ(capture.plans.size(), 2u);
+    ASSERT_EQ(capture.plans.size(), 3u);
     EXPECT_EQ(capture.plans[0].scope, "prefix");
     EXPECT_EQ(capture.plans[1].scope, "suffix");
+    EXPECT_EQ(capture.plans[2].scope, "motion");
     bool saw_gemm = false;
     for (const PlanStepInfo &step : capture.plans[0].steps) {
         if (step.kernel == "im2col_gemm") {
@@ -307,6 +308,13 @@ TEST(AmcPipeline, ObserverReceivesCompiledPlanRecords)
         }
     }
     EXPECT_TRUE(saw_gemm);
+    // The motion record reports the compiled RFBME kernel choice
+    // like the CNN steps do.
+    ASSERT_EQ(capture.plans[2].steps.size(), 1u);
+    const PlanStepInfo &me = capture.plans[2].steps[0];
+    EXPECT_EQ(me.layer, "rfbme");
+    EXPECT_EQ(me.kernel.rfind("rfbme_tile/", 0), 0u);
+    EXPECT_TRUE(me.variant == "scalar" || me.variant == "simd");
 }
 
 TEST(Engine, GemmAndDirectKernelsProduceIdenticalDigests)
@@ -354,11 +362,12 @@ TEST(Engine, ReportEchoesKernelSelection)
         engine.run(multi_stream_set(3, 1, 2, 48));
 
     EXPECT_EQ(report.kernel, "gemm");
-    ASSERT_EQ(report.plan.size(), 2u);
+    ASSERT_EQ(report.plan.size(), 3u);
     bool saw_gemm = false;
     for (const PlanRecord &record : report.plan) {
         EXPECT_TRUE(record.scope == "prefix" ||
-                    record.scope == "suffix");
+                    record.scope == "suffix" ||
+                    record.scope == "motion");
         for (const PlanStepInfo &step : record.steps) {
             if (step.kernel == "im2col_gemm") {
                 saw_gemm = true;
