@@ -72,13 +72,16 @@ shared runners are noisy neighbors), 2 = malformed report or missing
 anchor rows (a configuration bug; never retried).
 """
 
+from __future__ import annotations
+
 import argparse
 import json
 import statistics
 import sys
+from typing import Any, NoReturn
 
 
-def loadgen_rows(doc):
+def loadgen_rows(doc: dict[str, Any]) -> dict[str, float]:
     """Synthesize gate rows from a bench_loadgen --json report.
 
     The serving front end's gated metric is `net_overhead` =
@@ -92,7 +95,7 @@ def loadgen_rows(doc):
     overhead = float(doc["net_overhead"])
     if overhead <= 0:
         raise ValueError("loadgen report has no net_overhead measurement")
-    rows = {
+    rows: dict[str, float] = {
         f"loadgen/net_overhead/{shape}": overhead,
         f"loadgen/anchor/{shape}": 1.0,
     }
@@ -106,13 +109,13 @@ def loadgen_rows(doc):
     return rows
 
 
-def load_rows(path):
+def load_rows(path: str) -> dict[str, float]:
     try:
         with open(path) as f:
-            doc = json.load(f)
+            doc: dict[str, Any] = json.load(f)
         if doc.get("bench") == "loadgen":
             return loadgen_rows(doc)
-        samples = {}
+        samples: dict[str, list[float]] = {}
         for b in doc["benchmarks"]:
             if b.get("run_type", "iteration") != "iteration":
                 continue
@@ -126,7 +129,7 @@ def load_rows(path):
         sys.exit(2)
 
 
-def anchor_name(name):
+def anchor_name(name: str) -> str | None:
     """Same-run scalar anchor for a gated row, or None to skip."""
     parts = name.split("/")
     if name.startswith("conv_gemm/") and len(parts) == 3:
@@ -150,7 +153,7 @@ def anchor_name(name):
     return None
 
 
-def merge(out_path, run_paths):
+def merge(out_path: str, run_paths: list[str]) -> NoReturn:
     """Merge N bench runs into a committed baseline.
 
     Per gated row, keep the worst (highest) normalized ratio across
@@ -158,8 +161,8 @@ def merge(out_path, run_paths):
     as a google-benchmark-shaped JSON with anchor rows pinned at 1.0;
     the gate's normalization then reproduces the stored ratios.
     """
-    worst = {}
-    anchors = set()
+    worst: dict[str, float] = {}
+    anchors: set[str] = set()
     for path in run_paths:
         rows = load_rows(path)
         for name in rows:
@@ -176,8 +179,9 @@ def merge(out_path, run_paths):
     if not worst:
         print("error: no gated rows found in the input runs")
         sys.exit(2)
-    benchmarks = [{"name": n, "run_type": "iteration", "real_time": t}
-                  for n, t in sorted(worst.items())]
+    benchmarks: list[dict[str, object]] = [
+        {"name": n, "run_type": "iteration", "real_time": t}
+        for n, t in sorted(worst.items())]
     benchmarks += [{"name": a, "run_type": "iteration", "real_time": 1.0}
                    for a in sorted(anchors)]
     with open(out_path, "w") as f:
@@ -189,7 +193,7 @@ def merge(out_path, run_paths):
     sys.exit(0)
 
 
-def main():
+def main() -> NoReturn:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline")
     ap.add_argument("--current")
@@ -211,14 +215,14 @@ def main():
     base = load_rows(args.baseline)
     cur = load_rows(args.current)
 
-    gated = []
+    gated: list[tuple[str, str]] = []
     for name in sorted(cur):
         anchor = anchor_name(name)
         if anchor is None or name == anchor:
             continue
         if name not in base:
             print(f"note: {name}: not in baseline, skipped "
-                  f"(refresh the baseline to start gating it)")
+                  "(refresh the baseline to start gating it)")
             continue
         for missing in (m for m in {anchor} if m not in cur or m not in base):
             print(f"error: anchor row {missing} missing for {name}")
@@ -229,7 +233,7 @@ def main():
         print("error: no gated rows found in both reports")
         sys.exit(2)
 
-    failures = []
+    failures: list[str] = []
     for name, anchor in gated:
         r_cur = cur[name] / cur[anchor]
         r_base = base[name] / base[anchor]
@@ -247,7 +251,7 @@ def main():
             print(f"  {name}")
         sys.exit(1)
     print(f"\nall {len(gated)} gated kernels within {args.threshold:.0%} "
-          f"of baseline")
+          "of baseline")
     sys.exit(0)
 
 

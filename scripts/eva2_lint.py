@@ -1,0 +1,394 @@
+#!/usr/bin/env python3
+"""eva2-specific invariant linter (PR 10).
+
+Regex-over-stripped-source rules that encode project invariants the
+compiler cannot check (plus one that shells out to the compiler):
+
+  hot-path-string   Files tagged `// eva2-lint: hot-path` must not
+                    construct std::string / call std::to_string — the
+                    per-frame kernels must not allocate.
+  hot-path-alloc    The same files must not heap-allocate (new,
+                    malloc/calloc/realloc, make_unique/make_shared).
+  hot-path-require  require()/invariant() in hot files must use the
+                    const char* overload: the message argument must be
+                    a string literal, so no message is built unless the
+                    check fails.
+  raw-mutex         std::mutex / lock_guard / unique_lock /
+                    scoped_lock / condition_variable anywhere outside
+                    src/util/mutex.h — every lock must go through the
+                    annotated wrappers so Clang Thread Safety Analysis
+                    sees it.
+  header-self-sufficient  (--headers) every header compiles on its own
+                    with `$CXX -fsyntax-only` — no hidden include-order
+                    dependencies.
+
+Comments and string/char literal *contents* are stripped before the
+regex rules run (tags and expectations are read from the raw text), so
+a mutex mentioned in a doc comment is not a finding.
+
+`--self-test` lints tests/lint_fixtures/ and checks the findings match
+the `// eva2-lint-expect: <rule>` markers exactly — the linter's own
+regression suite, run under CTest.
+
+Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage or
+internal error. No dependencies beyond the standard library; if the
+optional libclang module is ever available it could replace the
+stripper, but the regex core is the portable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+HOT_TAG = re.compile(r"//\s*eva2-lint:\s*hot-path\b")
+EXPECT_MARK = re.compile(r"//\s*eva2-lint-expect:\s*([a-z-]+)")
+
+RAW_MUTEX = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock"
+    r"|scoped_lock|shared_lock|condition_variable(?:_any)?)\b"
+    r"|^[ \t]*#[ \t]*include[ \t]*<(?:mutex|condition_variable"
+    r"|shared_mutex)>",
+    re.MULTILINE,
+)
+HOT_STRING = re.compile(r"\bstd::(?:to_)?string\b")
+HOT_ALLOC = re.compile(
+    r"\bnew\b|\b(?:malloc|calloc|realloc)\s*\("
+    r"|\bstd::make_(?:unique|shared)\b"
+)
+REQUIRE_CALL = re.compile(r"\b(?:require|invariant)\s*\(")
+# After stripping, a string literal is just quotes around blanks;
+# adjacent literals (multi-line messages) are still one literal.
+LITERAL_ARG = re.compile(r'^\s*(?:"[^"]*"\s*)+$')
+
+CPP_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp"}
+WRAPPER_HEADER = Path("src") / "util" / "mutex.h"
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank comment bodies and string/char contents, keeping quotes,
+    newlines, and column positions so findings map back to source."""
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (
+                text[i] == "*" and i + 1 < n and text[i + 1] == "/"
+            ):
+                out.append(text[i] if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == 'R' and text.startswith('R"', i):
+            # Raw string: R"delim( ... )delim"
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            end = text.find(")" + m.group(1) + '"', i + m.end())
+            end = n if end < 0 else end + len(m.group(1)) + 2
+            out.append('"')
+            for j in range(i + 1, end - 1):
+                out.append("\n" if text[j] == "\n" else " ")
+            out.append('"')
+            i = end
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            # Digit separator (1'000) or literal suffix — not a char
+            # literal opener.
+            out.append(c)
+            i += 1
+        elif c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                elif text[i] == "\n":
+                    out.append("\n")
+                    i += 1
+                else:
+                    out.append(" ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def require_message_args(stripped: str, open_paren: int) -> str | None:
+    """The argument list of a require()/invariant() call after its
+    first top-level comma, or None if the parens never balance."""
+    depth = 0
+    first_comma = -1
+    for i in range(open_paren, len(stripped)):
+        c = stripped[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                if first_comma < 0:
+                    return ""  # Single-argument call: not ours.
+                return stripped[first_comma + 1 : i]
+        elif c == "," and depth == 1 and first_comma < 0:
+            first_comma = i
+    return None
+
+
+def lint_text(path: Path, raw: str, stripped: str) -> list[Finding]:
+    findings: list[Finding] = []
+
+    if path.as_posix() != WRAPPER_HEADER.as_posix() and not path.match(
+        "*/util/mutex.h"
+    ):
+        for m in RAW_MUTEX.finditer(stripped):
+            findings.append(
+                Finding(
+                    path,
+                    line_of(stripped, m.start()),
+                    "raw-mutex",
+                    "raw std lock primitive outside src/util/mutex.h; "
+                    "use eva2::Mutex / MutexLock / CondVar so the "
+                    "thread-safety analysis sees it",
+                )
+            )
+
+    if HOT_TAG.search(raw):
+        for m in HOT_STRING.finditer(stripped):
+            findings.append(
+                Finding(
+                    path,
+                    line_of(stripped, m.start()),
+                    "hot-path-string",
+                    "std::string construction in a hot-path file",
+                )
+            )
+        for m in HOT_ALLOC.finditer(stripped):
+            findings.append(
+                Finding(
+                    path,
+                    line_of(stripped, m.start()),
+                    "hot-path-alloc",
+                    "heap allocation in a hot-path file",
+                )
+            )
+        for m in REQUIRE_CALL.finditer(stripped):
+            args = require_message_args(stripped, m.end() - 1)
+            if args and not LITERAL_ARG.match(args):
+                findings.append(
+                    Finding(
+                        path,
+                        line_of(stripped, m.start()),
+                        "hot-path-require",
+                        "require()/invariant() message in a hot-path "
+                        "file must be a string literal (const char* "
+                        "overload) so nothing is built on success",
+                    )
+                )
+    return findings
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8")
+    return lint_text(path, raw, strip_comments_and_strings(raw))
+
+
+def collect(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(
+                f
+                for f in sorted(p.rglob("*"))
+                if f.suffix in CPP_SUFFIXES and f.is_file()
+            )
+        elif p.suffix in CPP_SUFFIXES:
+            files.append(p)
+    return files
+
+
+def find_cxx(explicit: str | None) -> str | None:
+    for cand in [explicit, "c++", "g++", "clang++"]:
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def check_headers(
+    headers: list[Path], cxx: str, include_dir: Path
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for h in headers:
+        proc = subprocess.run(
+            [
+                cxx,
+                "-std=c++17",
+                "-fsyntax-only",
+                "-x",
+                "c++",
+                "-I",
+                str(include_dir),
+                str(h),
+            ],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        if proc.returncode != 0:
+            first = proc.stderr.strip().splitlines()
+            findings.append(
+                Finding(
+                    h,
+                    1,
+                    "header-self-sufficient",
+                    "header does not compile standalone: "
+                    + (first[0] if first else "compiler failed"),
+                )
+            )
+    return findings
+
+
+def self_test(fixtures: Path, cxx: str | None, include_dir: Path) -> int:
+    files = collect([fixtures])
+    if not files:
+        print(f"self-test: no fixtures under {fixtures}", file=sys.stderr)
+        return 2
+    failures = 0
+    for f in files:
+        raw = f.read_text(encoding="utf-8")
+        expected = {
+            (line_of(raw, m.start()), m.group(1))
+            for m in EXPECT_MARK.finditer(raw)
+        }
+        got = {
+            (fi.line, fi.rule)
+            for fi in lint_text(f, raw, strip_comments_and_strings(raw))
+        }
+        if cxx is not None and f.suffix in {".h", ".hpp"}:
+            got |= {
+                (fi.line, fi.rule)
+                for fi in check_headers([f], cxx, include_dir)
+            }
+        elif f.suffix in {".h", ".hpp"}:
+            # No compiler: the header rule cannot run; drop its
+            # expectations instead of failing the self-test.
+            expected = {e for e in expected if e[1] != "header-self-sufficient"}
+        for line, rule in sorted(expected - got):
+            print(f"self-test: {f}:{line}: expected [{rule}], not flagged")
+            failures += 1
+        for line, rule in sorted(got - expected):
+            print(f"self-test: {f}:{line}: unexpected [{rule}]")
+            failures += 1
+    if failures:
+        print(f"self-test FAILED ({failures} mismatches)")
+        return 1
+    print(f"self-test OK ({len(files)} fixtures)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=(__doc__ or "").splitlines()[0]
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the script's parent's parent)",
+    )
+    parser.add_argument(
+        "--headers",
+        action="store_true",
+        help="also check each header compiles standalone (needs a C++ "
+        "compiler)",
+    )
+    parser.add_argument(
+        "--cxx",
+        default=None,
+        help="compiler for --headers (default: c++, g++, or clang++ "
+        "from PATH)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint tests/lint_fixtures and compare against the "
+        "eva2-lint-expect markers",
+    )
+    args = parser.parse_args(argv)
+
+    include_dir = args.root / "src"
+    cxx = find_cxx(args.cxx)
+
+    if args.self_test:
+        return self_test(args.root / "tests" / "lint_fixtures", cxx, include_dir)
+
+    paths = args.paths or [include_dir]
+    files = collect(paths)
+    if not files:
+        print("eva2_lint: no C++ sources found", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+    if args.headers:
+        if cxx is None:
+            print("eva2_lint: --headers needs a C++ compiler", file=sys.stderr)
+            return 2
+        headers = [f for f in files if f.suffix in {".h", ".hpp"}]
+        findings.extend(check_headers(headers, cxx, include_dir))
+
+    for fi in findings:
+        print(fi.render())
+    if findings:
+        print(f"eva2_lint: {len(findings)} finding(s) in {len(files)} files")
+        return 1
+    print(f"eva2_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -156,7 +156,7 @@ Session::submit(Tensor frame)
     // lands before the drain or throws — it can never be silently
     // accepted into a closing engine or carry a stale epoch into a
     // reset stream.
-    std::lock_guard<std::mutex> gate(submit_mutex_);
+    MutexLock gate(submit_mutex_);
     engine_->ensure_open("Session::submit");
     require(frame.shape() == engine_->network().input_shape(),
             "session '" + name_ + "': frame shape " +
@@ -165,7 +165,7 @@ Session::submit(Tensor frame)
     FrameTicket ticket;
     ticket.session = index_;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!has_times_) {
             first_submit_ = std::chrono::steady_clock::now();
             last_done_ = first_submit_;
@@ -240,7 +240,7 @@ Session::record_commit(FrameCommit commit)
     OutcomeSink sink;
     const i64 resident_bytes = commit.resident_bytes;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         outcome.frame = done_base_ + static_cast<i64>(done_.size());
         if (commit.error) {
             outcome.failed = true;
@@ -287,14 +287,14 @@ Session::record_commit(FrameCommit commit)
 void
 Session::set_outcome_sink(OutcomeSink sink)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     outcome_sink_ = std::move(sink);
 }
 
 std::optional<FrameOutcome>
 Session::poll(const FrameTicket &ticket) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     check_ticket(ticket);
     if (ticket.frame <
         done_base_ + static_cast<i64>(done_.size())) {
@@ -306,7 +306,7 @@ Session::poll(const FrameTicket &ticket) const
 FrameOutcome
 Session::wait(const FrameTicket &ticket)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     check_ticket(ticket);
     // The predicate wakes on completion, but also on an epoch bump
     // or a record trim: an Engine::reset() or forget_outcomes() from
@@ -315,11 +315,11 @@ Session::wait(const FrameTicket &ticket)
     // frame's outcome is gone, not late. Both paths notify the cv,
     // and the re-check below turns them into the same descriptive
     // stale/forgotten-ticket error poll() gives.
-    cv_.wait(lock, [&]() {
-        return ticket.epoch != epoch_ || ticket.frame < done_base_ ||
-               ticket.frame <
-                   done_base_ + static_cast<i64>(done_.size());
-    });
+    while (ticket.epoch == epoch_ && ticket.frame >= done_base_ &&
+           ticket.frame >=
+               done_base_ + static_cast<i64>(done_.size())) {
+        cv_.wait(lock);
+    }
     check_ticket(ticket);
     const FrameOutcome outcome =
         done_[static_cast<size_t>(ticket.frame - done_base_)];
@@ -339,7 +339,7 @@ void
 Session::drain()
 {
     scheduler_->drain();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Sticky: a failed frame broke this stream's digest chain, so
     // every drain keeps failing until Engine::reset() discards it.
     if (error_) {
@@ -356,15 +356,22 @@ Session::submitted() const
 i64
 Session::completed() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return done_base_ + static_cast<i64>(done_.size());
+}
+
+std::vector<Tensor>
+Session::outputs() const
+{
+    MutexLock lock(mutex_);
+    return outputs_;
 }
 
 StreamReport
 Session::report()
 {
     drain();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     StreamReport row;
     row.name = name_;
     row.stream_index = index_;
@@ -379,7 +386,7 @@ void
 Session::forget_outcomes()
 {
     drain();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     done_base_ += static_cast<i64>(done_.size());
     done_.clear();
     outputs_.clear();
@@ -398,10 +405,10 @@ Session::reset_record()
     // already passed the gate finishes its enqueue before we check
     // the drained invariant; one that arrives later observes the new
     // epoch and the restarted frame numbering together.
-    std::lock_guard<std::mutex> gate(submit_mutex_);
+    MutexLock gate(submit_mutex_);
     // Restart the strand's frame numbering (asserts it is drained).
     scheduler_->reset_counters();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++epoch_; // Pre-reset tickets must not match the new stream.
     done_base_ = 0;
     done_.clear();
@@ -423,7 +430,7 @@ bool
 Session::time_bounds(std::chrono::steady_clock::time_point *first,
                      std::chrono::steady_clock::time_point *last) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!has_times_) {
         return false;
     }
@@ -490,14 +497,14 @@ Engine::close()
     // observes closed_ under the gate and throws.
     std::vector<Session *> sessions;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         sessions.reserve(sessions_.size());
         for (const auto &s : sessions_) {
             sessions.push_back(s.get());
         }
     }
     for (Session *s : sessions) {
-        std::lock_guard<std::mutex> gate(s->submit_mutex_);
+        MutexLock gate(s->submit_mutex_);
     }
     flush();
 }
@@ -520,7 +527,7 @@ Engine::pipeline_locked(i64 index)
 Session &
 Engine::session(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = session_index_.find(name);
     if (it != session_index_.end()) {
         // Existing sessions stay addressable after close() (their
@@ -540,7 +547,7 @@ Engine::session(const std::string &name)
 Session *
 Engine::find_session(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = session_index_.find(name);
     return it == session_index_.end()
                ? nullptr
@@ -550,14 +557,14 @@ Engine::find_session(const std::string &name)
 i64
 Engine::num_sessions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<i64>(sessions_.size());
 }
 
 i64
 Engine::in_flight() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     i64 total = 0;
     for (const auto &s : sessions_) {
         total += s->in_flight();
@@ -602,7 +609,7 @@ Engine::evict_to_budget(i64 protect_index)
         }
         Session *s = nullptr;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (victim >= 0 &&
                 victim < static_cast<i64>(sessions_.size())) {
                 s = sessions_[static_cast<size_t>(victim)].get();
@@ -611,9 +618,11 @@ Engine::evict_to_budget(i64 protect_index)
         if (s == nullptr) {
             continue;
         }
-        std::unique_lock<std::mutex> gate(s->submit_mutex_,
-                                          std::try_to_lock);
-        if (!gate.owns_lock() || s->in_flight() != 0) {
+        MutexLock gate(s->submit_mutex_, std::defer_lock);
+        if (!gate.try_lock()) {
+            continue; // A submit holds the gate: not idle.
+        }
+        if (s->in_flight() != 0) {
             continue; // Busy: not idle enough to hibernate.
         }
         FramePlan &plan = s->pipeline_->frame_plan();
@@ -664,18 +673,18 @@ Engine::run(const std::vector<Sequence> &streams)
     if (resident_) {
         std::vector<Session *> sessions;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             sessions.reserve(sessions_.size());
             for (const auto &s : sessions_) {
                 sessions.push_back(s.get());
             }
         }
         for (Session *s : sessions) {
-            std::lock_guard<std::mutex> gate(s->submit_mutex_);
+            MutexLock gate(s->submit_mutex_);
             s->hydrate_if_hibernated();
         }
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (i64 i = 0; i < static_cast<i64>(streams.size()); ++i) {
         pipeline_locked(i);
     }
@@ -721,13 +730,28 @@ RunReport
 Engine::report()
 {
     flush();
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Build the per-session rows WITHOUT holding mutex_. Each row's
+    // session->report() drains that session, and a commit still in
+    // flight re-enters the engine through note_commit_resident →
+    // evict_to_budget, which takes mutex_ — so a drain under mutex_
+    // deadlocks (the commit blocked on mutex_ can never raise the
+    // committed count the drain is waiting for). The flush() above
+    // already quiesced every session, so the rows are stable; the
+    // snapshot matches flush()'s own pattern.
+    std::vector<Session *> sessions;
+    {
+        MutexLock lock(mutex_);
+        sessions.reserve(sessions_.size());
+        for (const auto &s : sessions_) {
+            sessions.push_back(s.get());
+        }
+    }
     RunReport report = base_report();
     report.digest = kDigestSeed;
     bool any_time = false;
     std::chrono::steady_clock::time_point first{};
     std::chrono::steady_clock::time_point last{};
-    for (const auto &session : sessions_) {
+    for (Session *session : sessions) {
         StreamReport row = session->report();
         report.frames += row.frames;
         report.key_frames += row.key_frames;
@@ -752,8 +776,11 @@ Engine::report()
                 .count();
     }
     StageTimings merged;
-    for (const auto &t : timings_) {
-        merged.merge(*t);
+    {
+        MutexLock lock(mutex_);
+        for (const auto &t : timings_) {
+            merged.merge(*t);
+        }
     }
     report.stages = stage_reports(merged, report.wall_ms);
     return report;
@@ -764,7 +791,7 @@ Engine::flush()
 {
     std::vector<Session *> sessions;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         sessions.reserve(sessions_.size());
         for (const auto &s : sessions_) {
             sessions.push_back(s.get());
@@ -792,23 +819,40 @@ Engine::flush()
 void
 Engine::reset()
 {
-    // Drain but swallow stream failures: reset discards the very
-    // state (records, sticky errors) a failure poisoned.
+    // Snapshot the session list, then drain and reset the per-session
+    // records WITHOUT holding mutex_. Two deadlocks hide in the
+    // holding-mutex_ shape this replaced: (a) a commit still in
+    // flight re-enters the engine via note_commit_resident →
+    // evict_to_budget, which takes mutex_, so a drain under mutex_
+    // waits on a commit that waits on us; (b) reset_record() acquires
+    // the session's submit gate, and an inline submit holds that gate
+    // while its commit's eviction pass takes mutex_ — acquiring the
+    // gate under mutex_ is that same pair in the opposite order. See
+    // docs/static_analysis.md (lock ordering).
+    std::vector<Session *> sessions;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
+        sessions.reserve(sessions_.size());
         for (const auto &s : sessions_) {
-            try {
-                s->drain();
-            } catch (...) {
-            }
+            sessions.push_back(s.get());
         }
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    executor_->reset_streams();
-    for (const auto &t : timings_) {
-        t->reset();
+    // Drain but swallow stream failures: reset discards the very
+    // state (records, sticky errors) a failure poisoned.
+    for (Session *s : sessions) {
+        try {
+            s->drain();
+        } catch (...) {
+        }
     }
-    for (const auto &s : sessions_) {
+    {
+        MutexLock lock(mutex_);
+        executor_->reset_streams();
+        for (const auto &t : timings_) {
+            t->reset();
+        }
+    }
+    for (Session *s : sessions) {
         s->reset_record();
     }
     // Stream state is gone (FramePlan::reset released it), so the

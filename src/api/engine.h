@@ -35,11 +35,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +46,7 @@
 #include "api/run_report.h"
 #include "runtime/stage_scheduler.h"
 #include "runtime/stream_executor.h"
+#include "util/mutex.h"
 
 namespace eva2 {
 
@@ -232,7 +231,7 @@ class Session
     FrameOutcome wait(const FrameTicket &ticket);
 
     /** Block until every submitted frame completes; rethrows errors. */
-    void drain();
+    void drain() EXCLUDES(mutex_);
 
     i64 submitted() const;
     i64 completed() const;
@@ -281,10 +280,13 @@ class Session
     StreamReport report();
 
     /**
-     * Retained output tensors in submission order; only meaningful
-     * with EngineConfig::store_outputs, after drain().
+     * Snapshot of the retained output tensors in submission order;
+     * only meaningful with EngineConfig::store_outputs, after
+     * drain(). Returned by value: the record is guarded and may be
+     * trimmed (forget_outcomes) or reset concurrently, so a reference
+     * into it could not be made safe.
      */
-    const std::vector<Tensor> &outputs() const { return outputs_; }
+    std::vector<Tensor> outputs() const;
 
   private:
     friend class Engine;
@@ -297,14 +299,15 @@ class Session
 
     /**
      * Rehydrate this session's plan if it was hibernated, recording
-     * the latency. Caller holds submit_mutex_ (which is what
-     * serializes against the Engine's eviction loop — it hibernates
-     * only under a try_lock of this same gate).
+     * the latency. The submit gate is what serializes this against
+     * the Engine's eviction loop — it hibernates only under a
+     * try_lock of this same gate.
      */
-    void hydrate_if_hibernated();
+    void hydrate_if_hibernated() REQUIRES(submit_mutex_);
 
     /** Reject foreign, stale (pre-reset), or forgotten tickets. */
-    void check_ticket(const FrameTicket &ticket) const;
+    void check_ticket(const FrameTicket &ticket) const
+        REQUIRES(mutex_);
 
     /** Drop cumulative records for an engine-level reset. */
     void reset_record();
@@ -325,29 +328,37 @@ class Session
      * a submission racing teardown either completes before the drain
      * or observes the closed/reset state and fails loudly. Ordered
      * before mutex_ (a submit's inline commit takes mutex_ while the
-     * gate is held; nothing takes the gate while holding mutex_).
+     * gate is held; nothing takes the gate while holding mutex_). It
+     * guards no data directly — it is a serialization gate, which is
+     * why the fields below name only mutex_.
      */
-    mutable std::mutex submit_mutex_;
+    mutable Mutex submit_mutex_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    i64 epoch_ = 0;     ///< Bumped by Engine::reset().
-    i64 done_base_ = 0; ///< Frame number of done_[0] (after trims).
-    std::vector<FrameOutcome> done_;
-    std::vector<Tensor> outputs_;
-    std::exception_ptr error_; ///< First failure (drain rethrows it).
-    std::map<i64, std::exception_ptr> frame_errors_; ///< By frame.
-    OutcomeSink outcome_sink_; ///< Per-commit push hook (may be null).
+    mutable Mutex mutex_;
+    CondVar cv_;
+    i64 epoch_ GUARDED_BY(mutex_) = 0; ///< Bumped by Engine::reset().
+    /** Frame number of done_[0] (after trims). */
+    i64 done_base_ GUARDED_BY(mutex_) = 0;
+    std::vector<FrameOutcome> done_ GUARDED_BY(mutex_);
+    std::vector<Tensor> outputs_ GUARDED_BY(mutex_);
+    /** First failure (drain rethrows it). */
+    std::exception_ptr error_ GUARDED_BY(mutex_);
+    /** Every failed frame's own diagnostic, by frame number. */
+    std::map<i64, std::exception_ptr> frame_errors_ GUARDED_BY(mutex_);
+    /** Per-commit push hook (may be null). */
+    OutcomeSink outcome_sink_ GUARDED_BY(mutex_);
 
     // Cumulative stream accounting (mirrors StreamResult).
-    u64 digest_ = kDigestSeed;
-    i64 frames_ = 0;
-    i64 key_frames_ = 0;
-    i64 me_add_ops_ = 0;
+    u64 digest_ GUARDED_BY(mutex_) = kDigestSeed;
+    i64 frames_ GUARDED_BY(mutex_) = 0;
+    i64 key_frames_ GUARDED_BY(mutex_) = 0;
+    i64 me_add_ops_ GUARDED_BY(mutex_) = 0;
 
-    bool has_times_ = false;
-    std::chrono::steady_clock::time_point first_submit_;
-    std::chrono::steady_clock::time_point last_done_;
+    bool has_times_ GUARDED_BY(mutex_) = false;
+    std::chrono::steady_clock::time_point first_submit_
+        GUARDED_BY(mutex_);
+    std::chrono::steady_clock::time_point last_done_
+        GUARDED_BY(mutex_);
 
     /**
      * This session's submission strand: serializes the stateful
@@ -413,8 +424,13 @@ class Engine
      */
     RunReport report();
 
-    /** Drain all sessions' in-flight work; rethrows the first error. */
-    void flush();
+    /**
+     * Drain all sessions' in-flight work; rethrows the first error.
+     * Must not hold mutex_: a commit still in flight re-enters the
+     * engine through note_commit_resident → evict_to_budget, which
+     * takes mutex_ — draining under it deadlocks.
+     */
+    void flush() EXCLUDES(mutex_);
 
     /**
      * Reset all stream state for an independent run: pipelines, the
@@ -464,9 +480,9 @@ class Engine
 
     /**
      * The pipeline backing stream `index`, with its instrumentation
-     * observer installed; creates on demand. Caller holds mutex_.
+     * observer installed; creates on demand.
      */
-    AmcPipeline &pipeline_locked(i64 index);
+    AmcPipeline &pipeline_locked(i64 index) REQUIRES(mutex_);
 
     /** Throw a descriptive ConfigError when the engine is closed. */
     void ensure_open(const char *what) const;
@@ -477,10 +493,10 @@ class Engine
      * while over budget (hibernate=on only). Called from the commit
      * path with no locks held.
      */
-    void note_commit_resident(i64 index, i64 bytes);
+    void note_commit_resident(i64 index, i64 bytes) EXCLUDES(mutex_);
 
     /** Hibernate LRU-idle sessions until under budget or no victims. */
-    void evict_to_budget(i64 protect_index);
+    void evict_to_budget(i64 protect_index) EXCLUDES(mutex_);
 
     RunReport base_report();
 
@@ -493,10 +509,19 @@ class Engine
     MemoryBudget memory_budget_;
     std::unique_ptr<ResidentSetManager> resident_;
 
-    mutable std::mutex mutex_; ///< Guards sessions_ and timings_.
-    std::vector<std::unique_ptr<StageTimings>> timings_;
-    std::vector<std::unique_ptr<Session>> sessions_;
-    std::map<std::string, i64> session_index_;
+    /**
+     * Guards the session/timing tables. Lock ordering (see
+     * docs/static_analysis.md): a submit gate may be held when a
+     * commit takes mutex_ (inline engines), so mutex_ must never be
+     * held while acquiring a gate or draining a session — that is the
+     * deadlock report()/reset() used to have.
+     */
+    mutable Mutex mutex_;
+    std::vector<std::unique_ptr<StageTimings>> timings_
+        GUARDED_BY(mutex_);
+    std::vector<std::unique_ptr<Session>> sessions_
+        GUARDED_BY(mutex_);
+    std::map<std::string, i64> session_index_ GUARDED_BY(mutex_);
 };
 
 } // namespace eva2

@@ -60,7 +60,7 @@ KernelTuner::pick(const std::string &key,
     require(!candidates.empty(), "kernel tuner: no candidates for '" +
                                      key + "'");
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = cache_.find(key);
         if (it != cache_.end()) {
             return it->second;
@@ -102,7 +102,7 @@ KernelTuner::pick(const std::string &key,
     pick.id = candidates[winner].id;
     pick.name = candidates[winner].name;
     pick.best_us = best[winner];
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto inserted = cache_.emplace(key, pick);
     if (inserted.second) {
         ++contests_;
@@ -115,21 +115,21 @@ KernelTuner::pick(const std::string &key,
 i64
 KernelTuner::cache_size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<i64>(cache_.size());
 }
 
 i64
 KernelTuner::contests() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return contests_;
 }
 
 void
 KernelTuner::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cache_.clear();
     contests_ = 0;
 }

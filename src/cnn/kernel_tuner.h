@@ -26,12 +26,12 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cnn/conv_kernels.h"
 #include "simd/simd_kernels.h"
+#include "util/mutex.h"
 
 namespace eva2 {
 
@@ -86,9 +86,9 @@ class KernelTuner
   private:
     KernelTuner() = default;
 
-    mutable std::mutex mutex_;
-    std::map<std::string, TunePick> cache_;
-    i64 contests_ = 0;
+    mutable Mutex mutex_;
+    std::map<std::string, TunePick> cache_ GUARDED_BY(mutex_);
+    i64 contests_ GUARDED_BY(mutex_) = 0;
 };
 
 /**

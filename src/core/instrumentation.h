@@ -15,11 +15,11 @@
 
 #include <array>
 #include <chrono>
-#include <mutex>
 #include <string>
 
 #include "cnn/execution_plan.h"
 #include "util/common.h"
+#include "util/mutex.h"
 
 namespace eva2 {
 
@@ -105,9 +105,9 @@ class StageTimings : public AmcObserver
     void reset();
 
   private:
-    mutable std::mutex mutex_;
-    std::array<double, kNumAmcStages> ms_{};
-    std::array<i64, kNumAmcStages> calls_{};
+    mutable Mutex mutex_;
+    std::array<double, kNumAmcStages> ms_ GUARDED_BY(mutex_){};
+    std::array<i64, kNumAmcStages> calls_ GUARDED_BY(mutex_){};
 };
 
 /**

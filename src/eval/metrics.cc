@@ -136,7 +136,7 @@ mean_average_precision(const std::vector<Detection> &detections,
 i64
 top1(const Tensor &logits)
 {
-    require(logits.size() > 0, "top1: empty tensor");
+    require(!logits.empty(), "top1: empty tensor");
     i64 best = 0;
     for (i64 i = 1; i < logits.size(); ++i) {
         if (logits[i] > logits[best]) {

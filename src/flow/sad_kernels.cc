@@ -1,3 +1,4 @@
+// eva2-lint: hot-path
 #include "flow/sad_kernels.h"
 
 #include <cmath>

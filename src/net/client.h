@@ -25,10 +25,8 @@
 #ifndef EVA2_NET_CLIENT_H
 #define EVA2_NET_CLIENT_H
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +35,7 @@
 #include "net/wire.h"
 #include "runtime/stream_executor.h"
 #include "tensor/tensor.h"
+#include "util/mutex.h"
 
 namespace eva2::net {
 
@@ -65,7 +64,7 @@ class ClientSession
     const std::string &name() const { return name_; }
 
     /** The credit window granted by the server's HELLO_ACK. */
-    u32 window() const { return window_; }
+    u32 window() const;
 
     /**
      * Send one frame, blocking while the credit window is full (the
@@ -113,30 +112,35 @@ class ClientSession
 
     ClientSession(Client *client, u32 wire_id, std::string name);
 
-    u64 send_frame_locked(const Tensor &frame,
-                          std::unique_lock<std::mutex> &lock);
+    u64 send_frame_locked(const Tensor &frame)
+        REQUIRES(client_->mutex_);
 
     Client *client_;
     u32 wire_id_;
     std::string name_;
 
-    // All below guarded by the owning Client's mutex.
+    // All below guarded by the owning Client's mutex. (The Client's
+    // own accesses go through Mutex::assert_held — the analysis
+    // cannot see that `session->client_` is the Client holding the
+    // lock; see docs/static_analysis.md.)
     enum class State
     {
         kOpening,
         kOpen,
         kRejected,
     };
-    State state_ = State::kOpening;
-    NackMsg nack_; ///< Valid when kRejected.
-    u32 window_ = 0;
-    u64 next_seq_ = 0;
-    i64 outstanding_ = 0;
-    i64 credit_stalls_ = 0;
-    i64 completed_ = 0;
-    i64 shed_ = 0;
-    u64 chained_digest_ = kDigestSeed;
-    std::map<u64, NetOutcome> results_; ///< Answered, not yet wait()ed.
+    State state_ GUARDED_BY(client_->mutex_) = State::kOpening;
+    /** Valid when kRejected. */
+    NackMsg nack_ GUARDED_BY(client_->mutex_);
+    u32 window_ GUARDED_BY(client_->mutex_) = 0;
+    u64 next_seq_ GUARDED_BY(client_->mutex_) = 0;
+    i64 outstanding_ GUARDED_BY(client_->mutex_) = 0;
+    i64 credit_stalls_ GUARDED_BY(client_->mutex_) = 0;
+    i64 completed_ GUARDED_BY(client_->mutex_) = 0;
+    i64 shed_ GUARDED_BY(client_->mutex_) = 0;
+    u64 chained_digest_ GUARDED_BY(client_->mutex_) = kDigestSeed;
+    /** Answered, not yet wait()ed. */
+    std::map<u64, NetOutcome> results_ GUARDED_BY(client_->mutex_);
 };
 
 /** One TCP connection to a net::Server plus its reader thread. */
@@ -173,22 +177,27 @@ class Client
     friend class ClientSession;
 
     void reader_loop();
-    void dispatch(const Message &msg);
-    /** Caller holds mutex_ (sends are serialized under it). */
-    void send_locked(const std::vector<u8> &bytes);
-    void check_alive_locked() const;
+    void dispatch(const Message &msg) REQUIRES(mutex_);
+    /** Sends are serialized under mutex_. */
+    void send_locked(const std::vector<u8> &bytes) REQUIRES(mutex_);
+    void check_alive_locked() const REQUIRES(mutex_);
 
     Fd fd_;
     std::thread reader_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    bool closed_ = false;       ///< close() ran (or is running).
-    bool reader_done_ = false;  ///< Reader saw EOF/error.
-    bool server_bye_ = false;   ///< Server announced drain/close.
-    std::string reader_error_;  ///< Nonempty if the reader died hard.
-    u32 next_wire_id_ = 1;
-    std::map<u32, std::unique_ptr<ClientSession>> sessions_;
+    mutable Mutex mutex_;
+    CondVar cv_;
+    /** close() ran (or is running). */
+    bool closed_ GUARDED_BY(mutex_) = false;
+    /** Reader saw EOF/error. */
+    bool reader_done_ GUARDED_BY(mutex_) = false;
+    /** Server announced drain/close. */
+    bool server_bye_ GUARDED_BY(mutex_) = false;
+    /** Nonempty if the reader died hard. */
+    std::string reader_error_ GUARDED_BY(mutex_);
+    u32 next_wire_id_ GUARDED_BY(mutex_) = 1;
+    std::map<u32, std::unique_ptr<ClientSession>> sessions_
+        GUARDED_BY(mutex_);
 };
 
 } // namespace eva2::net

@@ -133,7 +133,13 @@ Server::start()
     bound_port_ = bound.second;
     stop_requested_.store(false);
     running_.store(true);
-    io_thread_ = std::thread([this]() { io_loop(); });
+    io_thread_ = std::thread([this]() {
+        // This thread owns the IO-thread state for its lifetime; the
+        // role is handed back to stop() by the join.
+        io_role_.acquire();
+        io_loop();
+        io_role_.release();
+    });
 }
 
 int
@@ -192,6 +198,9 @@ Server::stop()
         engine_->flush();
     } catch (const std::exception &) {
     }
+    // The IO thread is joined (or never ran), so this thread holds
+    // the IO role now: role transfer by join.
+    io_role_.acquire();
     for (Session *s : sunk_sessions_) {
         s->set_outcome_sink(nullptr);
     }
@@ -201,8 +210,9 @@ Server::stop()
     by_name_.clear();
     total_inflight_ = 0;
     draining_ = false;
+    io_role_.release();
     {
-        std::lock_guard<std::mutex> lock(cq_mutex_);
+        MutexLock lock(cq_mutex_);
         cq_.clear();
     }
 }
@@ -210,7 +220,7 @@ Server::stop()
 NetStats
 Server::stats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return stats_;
 }
 
@@ -271,7 +281,7 @@ Server::io_loop()
         if (draining_) {
             bool cq_empty;
             {
-                std::lock_guard<std::mutex> lock(cq_mutex_);
+                MutexLock lock(cq_mutex_);
                 cq_empty = cq_.empty();
             }
             if (total_inflight_ == 0 && cq_empty) {
@@ -477,25 +487,21 @@ Server::handle_hello(Conn &conn, const Message &msg)
     }
     const HelloMsg hello = parse_hello(msg.payload);
 
-    const auto nack = [&](NackReason reason, const std::string &detail) {
-        bump([](NetStats &s) { ++s.sessions_rejected; });
-        queue_bytes(conn, encode_nack(wire_id, {reason, detail}));
-    };
-
     if (draining_) {
-        nack(NackReason::kDraining, "server is draining");
+        nack_session(conn, wire_id, NackReason::kDraining,
+                     "server is draining");
         return;
     }
     if (static_cast<i64>(by_name_.size()) >= config_.max_sessions) {
-        nack(NackReason::kSessionLimit,
-             "server at max_sessions = " +
-                 std::to_string(config_.max_sessions));
+        nack_session(conn, wire_id, NackReason::kSessionLimit,
+                     "server at max_sessions = " +
+                         std::to_string(config_.max_sessions));
         return;
     }
     if (by_name_.count(hello.name) != 0) {
-        nack(NackReason::kDuplicateSession,
-             "session '" + hello.name +
-                 "' is already bound on a live connection");
+        nack_session(conn, wire_id, NackReason::kDuplicateSession,
+                     "session '" + hello.name +
+                         "' is already bound on a live connection");
         return;
     }
 
@@ -504,7 +510,7 @@ Server::handle_hello(Conn &conn, const Message &msg)
         session = &engine_->session(hello.name);
     } catch (const ConfigError &e) {
         // The engine refused (closed under us): equivalent to drain.
-        nack(NackReason::kDraining, e.what());
+        nack_session(conn, wire_id, NackReason::kDraining, e.what());
         return;
     }
 
@@ -524,7 +530,7 @@ Server::handle_hello(Conn &conn, const Message &msg)
         session->set_outcome_sink([this, engine_index](
                                       const FrameOutcome &outcome) {
             {
-                std::lock_guard<std::mutex> lock(cq_mutex_);
+                MutexLock lock(cq_mutex_);
                 cq_.push_back({engine_index, outcome});
             }
             wake_.wake();
@@ -547,28 +553,21 @@ Server::handle_frame(Conn &conn, const Message &msg)
     }
     NetSession &ns = *it->second;
 
-    const auto shed = [&](ShedReason reason) {
-        const u32 credit =
-            static_cast<u32>(config_.window - ns.inflight);
-        queue_bytes(conn, encode_shed(ns.wire_id, msg.header.seq,
-                                      {reason, credit}));
-    };
-
     if (draining_) {
         bump([](NetStats &s) { ++s.shed_draining; });
-        shed(ShedReason::kDraining);
+        shed_frame(conn, ns, msg.header.seq, ShedReason::kDraining);
         return;
     }
     if (ns.inflight >= config_.window) {
         // The sender overran its credit; the excess frame is never
         // queued — backpressure is a hard bound, not a hint.
         bump([](NetStats &s) { ++s.shed_window; });
-        shed(ShedReason::kWindow);
+        shed_frame(conn, ns, msg.header.seq, ShedReason::kWindow);
         return;
     }
     if (total_inflight_ >= shed_cap(ns.priority)) {
         bump([](NetStats &s) { ++s.shed_overload; });
-        shed(ShedReason::kOverload);
+        shed_frame(conn, ns, msg.header.seq, ShedReason::kOverload);
         return;
     }
     if (engine_->memory_pressure()) {
@@ -577,7 +576,7 @@ Server::handle_frame(Conn &conn, const Message &msg)
         // enough. Shedding the frame keeps the cap a cap: the client
         // retries once completions / evictions free memory.
         bump([](NetStats &s) { ++s.shed_memory; });
-        shed(ShedReason::kMemory);
+        shed_frame(conn, ns, msg.header.seq, ShedReason::kMemory);
         return;
     }
 
@@ -597,7 +596,8 @@ Server::handle_frame(Conn &conn, const Message &msg)
         --total_inflight_;
         if (engine_->closed()) {
             bump([](NetStats &s) { ++s.shed_draining; });
-            shed(ShedReason::kDraining);
+            shed_frame(conn, ns, msg.header.seq,
+                       ShedReason::kDraining);
             return;
         }
         // Shape mismatch (submit validates eagerly): client bug; the
@@ -621,7 +621,7 @@ Server::drain_completions()
 {
     std::vector<Completion> batch;
     {
-        std::lock_guard<std::mutex> lock(cq_mutex_);
+        MutexLock lock(cq_mutex_);
         batch.swap(cq_);
     }
     for (const Completion &c : batch) {
@@ -708,6 +708,22 @@ Server::teardown(Conn &conn)
     conn.sessions.clear();
     conn.fd.reset();
     conn.dead = true;
+}
+
+void
+Server::nack_session(Conn &conn, u32 wire_id, NackReason reason,
+                     const std::string &detail)
+{
+    bump([](NetStats &s) { ++s.sessions_rejected; });
+    queue_bytes(conn, encode_nack(wire_id, {reason, detail}));
+}
+
+void
+Server::shed_frame(Conn &conn, const NetSession &ns, u64 seq,
+                   ShedReason reason)
+{
+    const u32 credit = static_cast<u32>(config_.window - ns.inflight);
+    queue_bytes(conn, encode_shed(ns.wire_id, seq, {reason, credit}));
 }
 
 void

@@ -46,7 +46,6 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -55,6 +54,7 @@
 #include "api/engine.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "util/mutex.h"
 
 namespace eva2::net {
 
@@ -153,18 +153,29 @@ class Server
         FrameOutcome outcome;
     };
 
-    void io_loop();
-    void do_accept();
-    void handle_readable(Conn &conn);
-    void handle_message(Conn &conn, const Message &msg);
-    void handle_hello(Conn &conn, const Message &msg);
-    void handle_frame(Conn &conn, const Message &msg);
-    void drain_completions();
-    void flush_writes(Conn &conn);
-    void queue_bytes(Conn &conn, std::vector<u8> bytes);
+    void io_loop() REQUIRES(io_role_);
+    void do_accept() REQUIRES(io_role_);
+    void handle_readable(Conn &conn) REQUIRES(io_role_);
+    void handle_message(Conn &conn, const Message &msg)
+        REQUIRES(io_role_);
+    void handle_hello(Conn &conn, const Message &msg)
+        REQUIRES(io_role_);
+    void handle_frame(Conn &conn, const Message &msg)
+        REQUIRES(io_role_);
+    void drain_completions() REQUIRES(io_role_);
+    void flush_writes(Conn &conn) REQUIRES(io_role_);
+    void queue_bytes(Conn &conn, std::vector<u8> bytes)
+        REQUIRES(io_role_);
     /** Unbind every session and close the connection. */
-    void teardown(Conn &conn);
-    void protocol_failure(Conn &conn, const std::string &what);
+    void teardown(Conn &conn) REQUIRES(io_role_);
+    void protocol_failure(Conn &conn, const std::string &what)
+        REQUIRES(io_role_);
+    /** Queue a typed session NACK and count the rejection. */
+    void nack_session(Conn &conn, u32 wire_id, NackReason reason,
+                      const std::string &detail) REQUIRES(io_role_);
+    /** Queue a typed SHED for one frame, with refreshed credit. */
+    void shed_frame(Conn &conn, const NetSession &ns, u64 seq,
+                    ShedReason reason) REQUIRES(io_role_);
     /** Global shed threshold for a priority class. */
     i64 shed_cap(u8 priority) const;
 
@@ -173,7 +184,7 @@ class Server
     void
     bump(Fn &&fn)
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         fn(stats_);
     }
 
@@ -188,26 +199,38 @@ class Server
     std::atomic<bool> stop_requested_{false};
     std::vector<int> installed_signals_;
 
-    // ---- IO-thread state (no locks) ----
-    std::vector<std::unique_ptr<Conn>> conns_;
-    std::map<i64, NetSession *> by_engine_index_;
-    std::map<std::string, NetSession *> by_name_;
-    i64 total_inflight_ = 0;
-    bool draining_ = false;
+    /**
+     * The IO-thread role: the state below is single-threaded by
+     * construction (only the IO loop touches it), and the capability
+     * makes that construction checkable — every accessor is marked
+     * REQUIRES(io_role_), the IO thread acquires the role at the top
+     * of its lambda, and stop() acquires it only after join() (role
+     * transfer by join; see docs/static_analysis.md).
+     */
+    ThreadRole io_role_;
+
+    // ---- IO-thread state (no locks; guarded by the role) ----
+    std::vector<std::unique_ptr<Conn>> conns_ GUARDED_BY(io_role_);
+    std::map<i64, NetSession *> by_engine_index_
+        GUARDED_BY(io_role_);
+    std::map<std::string, NetSession *> by_name_ GUARDED_BY(io_role_);
+    i64 total_inflight_ GUARDED_BY(io_role_) = 0;
+    bool draining_ GUARDED_BY(io_role_) = false;
 
     /**
      * Sessions whose outcome sink points at this server. Appended on
      * the IO thread, cleared by stop() after the join (ordered by
      * the join itself), so the sinks never dangle.
      */
-    std::set<Session *> sunk_sessions_;
+    std::set<Session *> sunk_sessions_ GUARDED_BY(io_role_);
 
     // ---- Cross-thread state ----
-    mutable std::mutex cq_mutex_;
-    std::vector<Completion> cq_; ///< Worker -> IO completion queue.
+    mutable Mutex cq_mutex_;
+    /** Worker -> IO completion queue. */
+    std::vector<Completion> cq_ GUARDED_BY(cq_mutex_);
 
-    mutable std::mutex stats_mutex_;
-    NetStats stats_;
+    mutable Mutex stats_mutex_;
+    NetStats stats_ GUARDED_BY(stats_mutex_);
 };
 
 } // namespace eva2::net

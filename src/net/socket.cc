@@ -7,6 +7,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <system_error>
 #include <unistd.h>
 
 namespace eva2::net {
@@ -24,8 +25,10 @@ std::string
 errno_text(const std::string &what)
 {
     const int err = errno;
-    return what + ": " + std::strerror(err) + " (errno " +
-           std::to_string(err) + ")";
+    // generic_category().message() rather than strerror(): same text,
+    // but thread-safe (strerror may share a static buffer).
+    return what + ": " + std::generic_category().message(err) +
+           " (errno " + std::to_string(err) + ")";
 }
 
 namespace {
@@ -142,16 +145,36 @@ void
 WakePipe::wake_fd(int write_fd)
 {
     // Best effort and async-signal-safe: a full pipe (EAGAIN) means
-    // the loop already has a pending wake-up.
+    // the loop already has a pending wake-up. Retry EINTR — a wake
+    // swallowed by a signal would leave the poll loop asleep with
+    // work pending. errno is saved and restored because this runs
+    // inside signal handlers, where clobbering the interrupted
+    // code's errno is a classic latent bug.
+    const int saved_errno = errno;
     const u8 byte = 1;
-    [[maybe_unused]] const ssize_t n = ::write(write_fd, &byte, 1);
+    ssize_t n;
+    do {
+        n = ::write(write_fd, &byte, 1);
+    } while (n < 0 && errno == EINTR);
+    errno = saved_errno;
 }
 
 void
 WakePipe::drain() const
 {
+    // Loop past EINTR: stopping there would leave wake bytes in the
+    // pipe, so the next poll() would spin on a readable fd that the
+    // loop believes it already drained.
     u8 buf[256];
-    while (::read(read_.get(), buf, sizeof(buf)) > 0) {
+    for (;;) {
+        const ssize_t n = ::read(read_.get(), buf, sizeof(buf));
+        if (n > 0) {
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        return; // Empty (EAGAIN), EOF, or a real error: done.
     }
 }
 

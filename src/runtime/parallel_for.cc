@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "util/mutex.h"
+
 namespace eva2 {
 
 namespace {
@@ -23,9 +25,9 @@ struct LoopState
     i64 chunk = 1;
     std::function<void(i64)> fn;
     std::atomic<i64> done{0};
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::exception_ptr error; ///< First failure; guarded by mutex.
+    Mutex mutex;
+    CondVar cv;
+    std::exception_ptr error GUARDED_BY(mutex); ///< First failure.
 };
 
 void
@@ -42,7 +44,7 @@ run_chunks(const std::shared_ptr<LoopState> &state)
                 state->fn(i);
             }
         } catch (...) {
-            std::lock_guard<std::mutex> lock(state->mutex);
+            MutexLock lock(state->mutex);
             if (!state->error) {
                 state->error = std::current_exception();
             }
@@ -52,7 +54,9 @@ run_chunks(const std::shared_ptr<LoopState> &state)
         const i64 finished =
             state->done.fetch_add(hi - lo) + (hi - lo);
         if (finished == state->total) {
-            std::lock_guard<std::mutex> lock(state->mutex);
+            // Lock then notify: a waiter between its predicate check
+            // and its wait() must not miss the wake-up.
+            MutexLock lock(state->mutex);
             state->cv.notify_all();
         }
     }
@@ -95,10 +99,10 @@ parallel_for(i64 begin, i64 end, const std::function<void(i64)> &fn,
     }
     run_chunks(state);
 
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->cv.wait(lock, [&state]() {
-        return state->done.load() == state->total;
-    });
+    MutexLock lock(state->mutex);
+    while (state->done.load() != state->total) {
+        state->cv.wait(lock);
+    }
     if (state->error) {
         std::rethrow_exception(state->error);
     }

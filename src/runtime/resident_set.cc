@@ -114,7 +114,7 @@ ResidentSetManager::set_bytes_locked(Entry &e, i64 bytes)
 void
 ResidentSetManager::note_resident(i64 session, i64 bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Entry &e = entry_locked(session);
     set_bytes_locked(e, bytes);
     touch_locked(e, session);
@@ -123,7 +123,7 @@ ResidentSetManager::note_resident(i64 session, i64 bytes)
 void
 ResidentSetManager::note_hibernated(i64 session, i64 bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Entry &e = entry_locked(session);
     set_bytes_locked(e, bytes);
     if (e.in_lru) {
@@ -140,7 +140,7 @@ void
 ResidentSetManager::note_hydrated(i64 session, i64 bytes,
                                   double latency_us)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Entry &e = entry_locked(session);
     set_bytes_locked(e, bytes);
     touch_locked(e, session);
@@ -157,14 +157,14 @@ ResidentSetManager::note_hydrated(i64 session, i64 bytes,
 i64
 ResidentSetManager::total_bytes() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return total_bytes_;
 }
 
 bool
 ResidentSetManager::over_budget() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return budget_.budget_bytes > 0 &&
            total_bytes_ > budget_.budget_bytes;
 }
@@ -172,7 +172,7 @@ ResidentSetManager::over_budget() const
 std::vector<i64>
 ResidentSetManager::victims(i64 max, i64 exclude) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<i64> out;
     for (const i64 session : lru_) {
         if (static_cast<i64>(out.size()) >= max) {
@@ -188,7 +188,7 @@ ResidentSetManager::victims(i64 max, i64 exclude) const
 i64
 ResidentSetManager::hibernation_count(i64 session) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(session);
     return it == entries_.end() ? 0 : it->second.hibernations;
 }
@@ -196,7 +196,7 @@ ResidentSetManager::hibernation_count(i64 session) const
 MemoryStats
 ResidentSetManager::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     MemoryStats s;
     s.budget_bytes = budget_.budget_bytes;
     s.hibernate = budget_.hibernate;

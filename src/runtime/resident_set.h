@@ -30,11 +30,11 @@
 
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/common.h"
+#include "util/mutex.h"
 
 namespace eva2 {
 
@@ -149,27 +149,27 @@ class ResidentSetManager
         bool in_lru = false;
     };
 
-    /** Caller holds mutex_. */
-    Entry &entry_locked(i64 session);
-    void touch_locked(Entry &e, i64 session);
-    void set_bytes_locked(Entry &e, i64 bytes);
+    Entry &entry_locked(i64 session) REQUIRES(mutex_);
+    void touch_locked(Entry &e, i64 session) REQUIRES(mutex_);
+    void set_bytes_locked(Entry &e, i64 bytes) REQUIRES(mutex_);
 
-    MemoryBudget budget_;
-    mutable std::mutex mutex_;
-    std::map<i64, Entry> entries_;
-    std::list<i64> lru_; ///< Front = least recently used.
-    i64 total_bytes_ = 0;
-    i64 peak_bytes_ = 0;
-    i64 hibernations_ = 0;
-    i64 hydrations_ = 0;
+    MemoryBudget budget_; ///< Immutable after construction.
+    mutable Mutex mutex_;
+    std::map<i64, Entry> entries_ GUARDED_BY(mutex_);
+    /** Front = least recently used. */
+    std::list<i64> lru_ GUARDED_BY(mutex_);
+    i64 total_bytes_ GUARDED_BY(mutex_) = 0;
+    i64 peak_bytes_ GUARDED_BY(mutex_) = 0;
+    i64 hibernations_ GUARDED_BY(mutex_) = 0;
+    i64 hydrations_ GUARDED_BY(mutex_) = 0;
     /**
      * Fixed-size hydrate-latency reservoir (overwritten round-robin:
      * deterministic, bounded, recent-biased once full) for the p50/
      * p99 the report carries.
      */
-    std::vector<double> hydrate_us_;
-    size_t hydrate_next_ = 0;
-    i64 hydrate_samples_ = 0;
+    std::vector<double> hydrate_us_ GUARDED_BY(mutex_);
+    size_t hydrate_next_ GUARDED_BY(mutex_) = 0;
+    i64 hydrate_samples_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace eva2

@@ -60,7 +60,7 @@ StageScheduler::enqueue_impl(PendingFrame frame)
     i64 index;
     bool schedule = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         index = next_index_++;
         pending_.push_back(std::move(frame));
         if (!front_active_ && !front_stalled_) {
@@ -81,7 +81,7 @@ StageScheduler::pump_front()
         PendingFrame frame;
         i64 index;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (pending_.empty()) {
                 front_active_ = false;
                 // drain() waits for the front strand too: the last
@@ -183,7 +183,7 @@ StageScheduler::finish_frame(i64 index, const Tensor *out,
         }
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // The map is keyed by frame index; commits flush in order.
         // emplace-by-move keeps the (possibly stored) output tensor.
         ready_.emplace(index, std::move(commit));
@@ -201,7 +201,7 @@ StageScheduler::flush_ready()
     for (;;) {
         FrameCommit commit;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             const auto it = ready_.find(committed_);
             if (it == ready_.end()) {
                 flushing_ = false;
@@ -222,7 +222,7 @@ StageScheduler::flush_ready()
             }
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++committed_;
         }
     }
@@ -244,22 +244,26 @@ StageScheduler::maybe_restart_front_locked()
     }
 }
 
+bool
+StageScheduler::drained_locked() const
+{
+    // Covers every thread still inside the scheduler: the front
+    // strand (front_active_), uncommitted frames, and the commit
+    // flusher (flushing_) — a flusher that delivered the last commit
+    // still has to reacquire the mutex once to retire, and drain()
+    // may gate destruction, so it must not slip out early on a
+    // spurious wakeup between those two critical sections.
+    return committed_ == next_index_ && !front_active_ && !flushing_;
+}
+
 void
 StageScheduler::drain()
 {
-    // The predicate covers every thread still inside the scheduler:
-    // the front strand (front_active_), uncommitted frames, and the
-    // commit flusher (flushing_) — a flusher that delivered the last
-    // commit still has to reacquire the mutex once to retire, and
-    // drain() may gate destruction, so it must not slip out early on
-    // a spurious wakeup between those two critical sections.
-    auto done = [&]() {
-        return committed_ == next_index_ && !front_active_ &&
-               !flushing_;
-    };
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (opts_.batcher == nullptr) {
-        cv_.wait(lock, done);
+        while (!drained_locked()) {
+            cv_.wait(lock);
+        }
         return;
     }
     // With a batcher, frames of this stream may be parked in partial
@@ -272,18 +276,20 @@ StageScheduler::drain()
     // below what the delay timer already guarantees.
     const auto cadence = std::chrono::microseconds(
         std::max<i64>(1000, opts_.batcher->max_delay_us()));
-    while (!done()) {
+    while (!drained_locked()) {
         lock.unlock();
         opts_.batcher->flush();
         lock.lock();
-        cv_.wait_for(lock, cadence, done);
+        if (!drained_locked()) {
+            cv_.wait_for(lock, cadence);
+        }
     }
 }
 
 void
 StageScheduler::reset_counters()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     invariant(pending_.empty() && !front_active_ && ready_.empty() &&
                   committed_ == next_index_,
               "stage scheduler reset with work in flight");
@@ -296,14 +302,14 @@ StageScheduler::reset_counters()
 i64
 StageScheduler::submitted() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return next_index_;
 }
 
 i64
 StageScheduler::committed() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return committed_;
 }
 

@@ -29,16 +29,15 @@
 #ifndef EVA2_RUNTIME_STAGE_SCHEDULER_H
 #define EVA2_RUNTIME_STAGE_SCHEDULER_H
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "core/amc_pipeline.h"
 #include "runtime/suffix_batcher.h"
 #include "runtime/thread_pool.h"
+#include "util/mutex.h"
 
 namespace eva2 {
 
@@ -206,7 +205,10 @@ class StageScheduler : public SuffixBatchClient
     void flush_ready();
 
     /** Re-schedule the front after a commit freed a slot. */
-    void maybe_restart_front_locked();
+    void maybe_restart_front_locked() REQUIRES(mutex_);
+
+    /** Every enqueued frame committed and no thread still inside. */
+    bool drained_locked() const REQUIRES(mutex_);
 
     void schedule_front();
 
@@ -217,17 +219,30 @@ class StageScheduler : public SuffixBatchClient
     StageSchedulerOptions opts_;
     CommitFn on_commit_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<PendingFrame> pending_;
-    std::map<i64, FrameCommit> ready_; ///< Awaiting in-order flush.
-    std::vector<FrameCtx> ctx_; ///< Ring, indexed by frame % depth.
-    bool front_active_ = false;
-    bool front_stalled_ = false; ///< Parked on a full depth window.
-    bool flushing_ = false;      ///< A thread is delivering commits.
-    i64 next_index_ = 0;         ///< Frames enqueued.
-    i64 front_index_ = 0;        ///< Frames whose front half started.
-    i64 committed_ = 0;          ///< Frames committed, in order.
+    mutable Mutex mutex_;
+    CondVar cv_;
+    std::deque<PendingFrame> pending_ GUARDED_BY(mutex_);
+    /** Awaiting in-order flush. */
+    std::map<i64, FrameCommit> ready_ GUARDED_BY(mutex_);
+    /**
+     * Ring, indexed by frame % depth. Deliberately NOT guarded by
+     * mutex_: slot `i` is written only by the serialized front strand
+     * and read only by that frame's single suffix task, and the
+     * handoff happens-before via the pool queue (or the batcher's
+     * submit). The depth window keeps a slot from being reused until
+     * its frame commits. See docs/static_analysis.md.
+     */
+    std::vector<FrameCtx> ctx_;
+    bool front_active_ GUARDED_BY(mutex_) = false;
+    /** Parked on a full depth window. */
+    bool front_stalled_ GUARDED_BY(mutex_) = false;
+    /** A thread is delivering commits. */
+    bool flushing_ GUARDED_BY(mutex_) = false;
+    i64 next_index_ GUARDED_BY(mutex_) = 0;  ///< Frames enqueued.
+    /** Frames whose front half started. */
+    i64 front_index_ GUARDED_BY(mutex_) = 0;
+    /** Frames committed, in order. */
+    i64 committed_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace eva2

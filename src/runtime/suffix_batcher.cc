@@ -45,7 +45,7 @@ SuffixBatcher::~SuffixBatcher()
     // drained, so this drain is normally a no-op safety net.
     drain();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_timer_.notify_all();
@@ -70,7 +70,7 @@ SuffixBatcher::submit(const Tensor *activation,
         // Inline mode: execute immediately as a batch of 1 on the
         // submitting thread — the serial engine shape.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             ++in_flight_;
         }
         std::vector<Item> one;
@@ -80,7 +80,7 @@ SuffixBatcher::submit(const Tensor *activation,
     }
     std::vector<Item> ready;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (pending_.empty()) {
             oldest_ = std::chrono::steady_clock::now();
         }
@@ -104,7 +104,7 @@ SuffixBatcher::flush()
 {
     std::vector<Item> ready;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (pending_.empty()) {
             return;
         }
@@ -165,7 +165,7 @@ SuffixBatcher::run_batch(std::vector<Item> batch)
         // this batch in the occupancy accounting. in_flight_ stays up
         // until every completion has been delivered — it is what the
         // batcher's own drain()/destructor gate on.
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.batches;
         stats_.items += n;
         if (n >= 1 &&
@@ -179,7 +179,7 @@ SuffixBatcher::run_batch(std::vector<Item> batch)
                                     error ? nullptr : outs[i], error);
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         in_flight_ -= n;
         // Notify while holding the mutex: a drain()-ing owner whose
         // predicate this decrement satisfies may destroy the batcher
@@ -193,17 +193,20 @@ void
 SuffixBatcher::timer_loop()
 {
     const auto delay = std::chrono::microseconds(opts_.max_delay_us);
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-        cv_timer_.wait(lock,
-                       [&]() { return stop_ || !pending_.empty(); });
+        while (!stop_ && pending_.empty()) {
+            cv_timer_.wait(lock);
+        }
         if (stop_) {
             return;
         }
         const auto deadline = oldest_ + delay;
         if (std::chrono::steady_clock::now() < deadline) {
-            cv_timer_.wait_until(lock, deadline,
-                                 [&]() { return stop_; });
+            while (!stop_ &&
+                   cv_timer_.wait_until(lock, deadline) !=
+                       std::cv_status::timeout) {
+            }
             if (stop_) {
                 return;
             }
@@ -227,16 +230,16 @@ void
 SuffixBatcher::drain()
 {
     flush();
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&]() {
-        return pending_.empty() && in_flight_ == 0;
-    });
+    MutexLock lock(mutex_);
+    while (!pending_.empty() || in_flight_ != 0) {
+        cv_done_.wait(lock);
+    }
 }
 
 SuffixBatchStats
 SuffixBatcher::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -35,14 +35,13 @@
 #define EVA2_RUNTIME_SUFFIX_BATCHER_H
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "cnn/execution_plan.h"
 #include "core/instrumentation.h"
 #include "runtime/thread_pool.h"
+#include "util/mutex.h"
 
 namespace eva2 {
 
@@ -171,14 +170,16 @@ class SuffixBatcher
     ThreadPool *pool_;
     SuffixBatchOptions opts_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_done_;  ///< drain() waits here.
-    std::condition_variable cv_timer_; ///< Timer parks here.
-    std::vector<Item> pending_;
-    std::chrono::steady_clock::time_point oldest_{};
-    i64 in_flight_ = 0; ///< Items dispatched, not yet delivered.
-    bool stop_ = false;
-    SuffixBatchStats stats_;
+    mutable Mutex mutex_;
+    CondVar cv_done_;  ///< drain() waits here.
+    CondVar cv_timer_; ///< Timer parks here.
+    std::vector<Item> pending_ GUARDED_BY(mutex_);
+    /** When the oldest pending item arrived (deadline anchor). */
+    std::chrono::steady_clock::time_point oldest_ GUARDED_BY(mutex_){};
+    /** Items dispatched, not yet delivered. */
+    i64 in_flight_ GUARDED_BY(mutex_) = 0;
+    bool stop_ GUARDED_BY(mutex_) = false;
+    SuffixBatchStats stats_ GUARDED_BY(mutex_);
     std::thread timer_;
 };
 

@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(i64 num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -37,7 +37,7 @@ void
 ThreadPool::enqueue_detached(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         invariant(!stop_, "thread pool: enqueue after shutdown");
         queue_.push(std::move(task));
     }
@@ -51,8 +51,10 @@ ThreadPool::worker_loop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stop_ && queue_.empty()) {
+                cv_.wait(lock);
+            }
             if (queue_.empty()) {
                 return; // stop_ set and the queue fully drained.
             }
@@ -66,7 +68,10 @@ ThreadPool::worker_loop()
 i64
 ThreadPool::default_num_threads()
 {
-    if (const char *env = std::getenv("EVA2_NUM_THREADS")) {
+    // NOLINT budget (see .clang-tidy): read-once startup override;
+    // nothing in the process calls setenv, so the env block is stable.
+    if (const char *env =
+            std::getenv("EVA2_NUM_THREADS")) { // NOLINT(concurrency-mt-unsafe)
         const long v = std::strtol(env, nullptr, 10);
         if (v > 0) {
             return static_cast<i64>(v);
@@ -85,14 +90,14 @@ global_pool_slot()
     return pool;
 }
 
-std::mutex global_pool_mutex;
+Mutex global_pool_mutex;
 
 } // namespace
 
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    MutexLock lock(global_pool_mutex);
     std::unique_ptr<ThreadPool> &slot = global_pool_slot();
     if (!slot) {
         slot = std::make_unique<ThreadPool>();
@@ -103,7 +108,7 @@ ThreadPool::global()
 void
 ThreadPool::set_global_size(i64 num_threads)
 {
-    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    MutexLock lock(global_pool_mutex);
     global_pool_slot() = std::make_unique<ThreadPool>(num_threads);
 }
 

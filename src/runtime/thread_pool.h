@@ -20,17 +20,16 @@
 #ifndef EVA2_RUNTIME_THREAD_POOL_H
 #define EVA2_RUNTIME_THREAD_POOL_H
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "util/common.h"
+#include "util/mutex.h"
 
 namespace eva2 {
 
@@ -100,10 +99,10 @@ class ThreadPool
     void worker_loop();
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mutex_;
+    std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+    CondVar cv_;
+    bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace eva2

@@ -6,7 +6,11 @@
  * -ffp-contract=off` on x86_64 when EVA2_SIMD is ON. Nothing in this
  * file runs unless the caller checked simd_supported() first, so the
  * binary stays runnable on machines without the elevated ISA.
+ *
+ * These kernels run per frame per layer: no std::string, no heap
+ * allocation, literal-only require() messages.
  */
+// eva2-lint: hot-path
 #include "simd/simd_kernels.h"
 
 #include <algorithm>

@@ -89,7 +89,7 @@ double
 mean_abs_diff(const Tensor &a, const Tensor &b)
 {
     require(a.shape() == b.shape(), "mean_abs_diff: shape mismatch");
-    if (a.size() == 0) {
+    if (a.empty()) {
         return 0.0;
     }
     double acc = 0.0;
@@ -140,7 +140,7 @@ sum_squares(const Tensor &t)
 double
 zero_fraction(const Tensor &t, float threshold)
 {
-    if (t.size() == 0) {
+    if (t.empty()) {
         return 0.0;
     }
     i64 zeros = 0;

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Annotated mutex/condvar wrappers for Clang Thread Safety Analysis.
+ *
+ * Every lock in the codebase goes through these types (enforced by
+ * scripts/eva2_lint.py: raw std::mutex / std::lock_guard outside this
+ * header is a lint error) so that GUARDED_BY / REQUIRES contracts in
+ * headers are actually checked by the clang CI leg. The wrappers are
+ * zero-cost: each is exactly its std counterpart plus attributes that
+ * compile to nothing.
+ *
+ * Patterns:
+ *  - `MutexLock lock(mu);` — scoped lock, the std::lock_guard shape.
+ *  - `lock.unlock(); ...; lock.lock();` — relock windows (drain loops
+ *    that must run callbacks unlocked).
+ *  - `MutexLock lock(mu, std::defer_lock); if (!lock.try_lock()) ...`
+ *    — scoped try-lock; the analysis checks the branch and the
+ *    destructor releases only if held. Sites are listed in
+ *    docs/static_analysis.md.
+ *  - `cv.wait(lock)` — always inside a `while (!condition)` loop. Do
+ *    NOT use predicate-lambda waits: the analysis cannot see that the
+ *    lambda runs with the lock held and reports false positives.
+ */
+#ifndef EVA2_UTIL_MUTEX_H
+#define EVA2_UTIL_MUTEX_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace eva2 {
+
+/** An annotated std::mutex. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /**
+     * Tell the analysis this mutex is held — a no-op at runtime. Only
+     * for aliasing the analysis cannot see through (e.g. net::Client
+     * holds `this->mutex_` while touching a ClientSession whose
+     * fields are guarded by `client_->mutex_`; the two are the same
+     * object, but not the same expression). Every call site is a
+     * documented escape in docs/static_analysis.md.
+     */
+    void assert_held() const ASSERT_CAPABILITY(this) {}
+
+  private:
+    friend class MutexLock;
+    friend class MutexLock2;
+
+    std::mutex mu_;
+};
+
+/**
+ * Scoped lock over one Mutex (the std::lock_guard / std::unique_lock
+ * shape). Relockable: unlock()/lock() open a window where the mutex
+ * is not held, and the analysis tracks it.
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+
+    /**
+     * Deferred form for the scoped try-lock pattern:
+     *
+     *   MutexLock lock(mu, std::defer_lock);
+     *   if (!lock.try_lock()) { ... not acquired ... }
+     *
+     * The destructor releases only if held (unique_lock semantics),
+     * which the analysis models via the RELEASE() on ~MutexLock.
+     */
+    MutexLock(Mutex &mu, std::defer_lock_t) EXCLUDES(mu)
+        : lock_(mu.mu_, std::defer_lock)
+    {
+    }
+
+    ~MutexLock() RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    void lock() ACQUIRE() { lock_.lock(); }
+    void unlock() RELEASE() { lock_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return lock_.try_lock(); }
+
+    /** The underlying unique_lock — for CondVar only. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Scoped lock over two Mutexes with std::lock deadlock avoidance (the
+ * std::scoped_lock shape). Used by StageTimings' two-object ops.
+ */
+class SCOPED_CAPABILITY MutexLock2
+{
+  public:
+    MutexLock2(Mutex &a, Mutex &b) ACQUIRE(a, b) : lock_(a.mu_, b.mu_)
+    {
+    }
+    ~MutexLock2() RELEASE() {}
+
+    MutexLock2(const MutexLock2 &) = delete;
+    MutexLock2 &operator=(const MutexLock2 &) = delete;
+
+  private:
+    std::scoped_lock<std::mutex, std::mutex> lock_;
+};
+
+/**
+ * A condition variable over MutexLock. Deliberately unannotated on
+ * the wait side (the caller's MutexLock stays "held" for the
+ * analysis, which matches the caller's view: held before and after).
+ * Callers must use explicit `while (!cond) cv.wait(lock);` loops —
+ * see the header comment.
+ */
+class CondVar
+{
+  public:
+    void wait(MutexLock &lock) { cv_.wait(lock.native()); }
+
+    template <class Rep, class Period>
+    std::cv_status
+    wait_for(MutexLock &lock,
+             const std::chrono::duration<Rep, Period> &dur)
+    {
+        return cv_.wait_for(lock.native(), dur);
+    }
+
+    template <class Clock, class Duration>
+    std::cv_status
+    wait_until(MutexLock &lock,
+               const std::chrono::time_point<Clock, Duration> &tp)
+    {
+        return cv_.wait_until(lock.native(), tp);
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+/**
+ * A zero-state capability naming a thread role (e.g. "the IO
+ * thread"). Fields tagged GUARDED_BY(role) may only be touched by
+ * functions marked REQUIRES(role); the role is acquired at the top of
+ * the owning thread's loop and transferred by join: a thread that has
+ * join()ed the owner may acquire the role afterwards. acquire() and
+ * release() are no-ops at runtime — the value is purely the
+ * compile-time check (documented escape: the empty bodies themselves,
+ * see docs/static_analysis.md).
+ */
+class CAPABILITY("role") ThreadRole
+{
+  public:
+    void acquire() ACQUIRE() {}
+    void release() RELEASE() {}
+};
+
+} // namespace eva2
+
+#endif // EVA2_UTIL_MUTEX_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis attribute macros.
+ *
+ * These expand to the `capability`-style attributes documented at
+ * https://clang.llvm.org/docs/ThreadSafetyAnalysis.html under Clang
+ * and to nothing elsewhere, so GCC builds are unaffected and the
+ * analysis runs only where `-Wthread-safety` is available (the clang
+ * CI leg promotes it to an error via EVA2_WERROR_THREAD_SAFETY).
+ *
+ * Annotate data with the mutex that guards it and functions with the
+ * locks they take or expect; the compiler then rejects any access
+ * that does not hold the right lock. Use the wrappers in
+ * util/mutex.h — raw std::mutex cannot carry these attributes and is
+ * rejected by scripts/eva2_lint.py outside that header.
+ */
+#ifndef EVA2_UTIL_THREAD_ANNOTATIONS_H
+#define EVA2_UTIL_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__)
+#define EVA2_THREAD_ANNOTATION_ATTR(x) __attribute__((x))
+#else
+#define EVA2_THREAD_ANNOTATION_ATTR(x) // no-op outside clang
+#endif
+
+/** Marks a class as a lockable capability (e.g. a mutex wrapper). */
+#define CAPABILITY(x) EVA2_THREAD_ANNOTATION_ATTR(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define SCOPED_CAPABILITY EVA2_THREAD_ANNOTATION_ATTR(scoped_lockable)
+
+/** Data member readable/writable only with `x` held. */
+#define GUARDED_BY(x) EVA2_THREAD_ANNOTATION_ATTR(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by `x`. */
+#define PT_GUARDED_BY(x) EVA2_THREAD_ANNOTATION_ATTR(pt_guarded_by(x))
+
+/** Function precondition: the listed capabilities are held on entry. */
+#define REQUIRES(...) \
+    EVA2_THREAD_ANNOTATION_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function precondition: shared (reader) hold of the capabilities. */
+#define REQUIRES_SHARED(...) \
+    EVA2_THREAD_ANNOTATION_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define ACQUIRE(...) \
+    EVA2_THREAD_ANNOTATION_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities (held on entry). */
+#define RELEASE(...) \
+    EVA2_THREAD_ANNOTATION_ATTR(release_capability(__VA_ARGS__))
+
+/** Function tries to acquire; first arg is the success return value. */
+#define TRY_ACQUIRE(...) \
+    EVA2_THREAD_ANNOTATION_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Function must be called with the listed capabilities NOT held. */
+#define EXCLUDES(...) \
+    EVA2_THREAD_ANNOTATION_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the capability is held (no acquisition). */
+#define ASSERT_CAPABILITY(x) \
+    EVA2_THREAD_ANNOTATION_ATTR(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define RETURN_CAPABILITY(x) EVA2_THREAD_ANNOTATION_ATTR(lock_returned(x))
+
+/**
+ * Escape hatch: disables the analysis for one function. Forbidden in
+ * src/runtime/ and src/api/ except at the documented sites listed in
+ * docs/static_analysis.md (enforced by review, checked in CI greps).
+ */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    EVA2_THREAD_ANNOTATION_ATTR(no_thread_safety_analysis)
+
+#endif // EVA2_UTIL_THREAD_ANNOTATIONS_H

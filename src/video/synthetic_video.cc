@@ -26,7 +26,7 @@ frame_difference(const Tensor &a, const Tensor &b)
     for (i64 i = 0; i < a.size(); ++i) {
         acc += std::fabs(static_cast<double>(a[i]) - b[i]);
     }
-    return a.size() > 0 ? acc / static_cast<double>(a.size()) : 0.0;
+    return a.empty() ? 0.0 : acc / static_cast<double>(a.size());
 }
 
 namespace {

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Negative control for the thread-safety gate: this TU is valid C++
+ * (it compiles clean without the analysis) but reads and writes a
+ * GUARDED_BY field without holding its mutex, so compiling it with
+ * `-Wthread-safety -Werror=thread-safety` MUST fail. CTest registers
+ * that inverted compile (WILL_FAIL) plus a no-flags positive control
+ * on clang builds — if the annotation macros ever silently degrade to
+ * no-ops under clang, the inverted test goes green-on-compile and
+ * fails, catching the broken gate itself.
+ *
+ * Deliberately not part of the library build.
+ */
+#include "util/mutex.h"
+
+namespace eva2_compile_fail {
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        eva2::MutexLock lock(mu_);
+        ++value_; // Correct: held.
+    }
+
+    int
+    read_unlocked() const
+    {
+        return value_; // BAD: guarded read without mu_.
+    }
+
+    void
+    write_unlocked(int v)
+    {
+        value_ = v; // BAD: guarded write without mu_.
+    }
+
+  private:
+    mutable eva2::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace eva2_compile_fail

@@ -1,0 +1,13 @@
+// eva2-lint-expect: header-self-sufficient
+// Known-bad fixture: uses std::vector without including <vector>, so
+// it must fail the standalone-compile (IWYU self-sufficiency) check.
+#ifndef EVA2_TESTS_LINT_FIXTURES_BAD_HEADER_H
+#define EVA2_TESTS_LINT_FIXTURES_BAD_HEADER_H
+
+namespace eva2_fixture {
+
+std::vector<int> missing_include();
+
+} // namespace eva2_fixture
+
+#endif // EVA2_TESTS_LINT_FIXTURES_BAD_HEADER_H

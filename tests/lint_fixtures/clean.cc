@@ -1,0 +1,18 @@
+// eva2-lint: hot-path
+// Known-good fixture: a hot-path file the linter must pass untouched
+// (no expect markers — any finding here is a false positive).
+
+namespace eva2_fixture {
+
+double
+accumulate(const float *a, long n)
+{
+    require(n >= 0, "accumulate: n must be >= 0");
+    double acc = 0.0;
+    for (long i = 0; i < n; ++i) {
+        acc += static_cast<double>(a[i]);
+    }
+    return acc;
+}
+
+} // namespace eva2_fixture

@@ -1,0 +1,23 @@
+// eva2-lint: hot-path
+// Known-bad fixture for eva2_lint.py --self-test: a hot-path file
+// committing every sin the hot-path rules exist to catch. Never
+// compiled — only scanned.
+#include <string>
+
+namespace eva2_fixture {
+
+int
+process(int n)
+{
+    std::string label = "frame";                // eva2-lint-expect: hot-path-string
+    label += std::to_string(n);                 // eva2-lint-expect: hot-path-string
+    int *scratch = new int[8];                  // eva2-lint-expect: hot-path-alloc
+    // A comment mentioning std::string and new must NOT be flagged.
+    require(n >= 0,                             // eva2-lint-expect: hot-path-require
+            "bad: " + std::to_string(n));       // eva2-lint-expect: hot-path-string
+    require(n >= 0, "literal message is fine");
+    delete[] scratch;
+    return static_cast<int>(label.size());
+}
+
+} // namespace eva2_fixture

@@ -1,0 +1,23 @@
+// Known-bad fixture for eva2_lint.py --self-test: raw std lock
+// primitives outside src/util/mutex.h. Never compiled — only scanned.
+#include <mutex>                // eva2-lint-expect: raw-mutex
+#include <condition_variable>   // eva2-lint-expect: raw-mutex
+
+namespace eva2_fixture {
+
+struct Queue
+{
+    // "std::mutex" in a comment or string must NOT be flagged.
+    const char *doc = "guards via std::mutex";
+    std::mutex mu;              // eva2-lint-expect: raw-mutex
+    std::condition_variable cv; // eva2-lint-expect: raw-mutex
+
+    void
+    touch()
+    {
+        std::lock_guard<std::mutex> lock(mu); // eva2-lint-expect: raw-mutex
+        // (one line, two matches: lock_guard and its mutex argument)
+    }
+};
+
+} // namespace eva2_fixture
